@@ -1,0 +1,43 @@
+"""E13 — Inconsistency certificates: production and verification cost.
+
+Extension experiment: "no" answers carry verifiable evidence.  Measured
+shape: marginal certificates are near-free; Farkas certificates cost one
+exact phase-I simplex but verify in one matrix-vector pass; verification
+is always much cheaper than production.
+"""
+
+import pytest
+
+from repro.consistency.certificates import (
+    collection_certificate,
+    pairwise_certificate,
+    verify_certificate,
+)
+from repro.consistency.local_global import tseitin_collection
+from repro.core.schema import Schema
+from repro.hypergraphs.families import cycle_hypergraph
+from repro.workloads.generators import inconsistent_pair
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_pairwise_certificate_production(benchmark, n, rng):
+    r, s = inconsistent_pair(AB, BC, rng, n_tuples=n)
+    certificate = benchmark(pairwise_certificate, r, s)
+    assert certificate is not None
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_farkas_production_on_tseitin(benchmark, n):
+    bags = tseitin_collection(list(cycle_hypergraph(n).edges))
+    certificate = benchmark(collection_certificate, bags)
+    assert certificate is not None
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_farkas_verification(benchmark, n):
+    bags = tseitin_collection(list(cycle_hypergraph(n).edges))
+    certificate = collection_certificate(bags)
+    assert benchmark(verify_certificate, bags, certificate)

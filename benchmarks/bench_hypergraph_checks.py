@@ -1,0 +1,74 @@
+"""E10 — Theorem 1/2 structural layer: the four acyclicity deciders.
+
+Claim: acyclicity, chordality+conformality, running intersection, and
+join-tree existence coincide and are all polynomial.  The series sweeps
+hypergraph size for each decider; agreement is asserted on every
+instance.
+"""
+
+import random
+
+import pytest
+
+from repro.hypergraphs.acyclicity import (
+    has_running_intersection_property,
+    is_acyclic,
+    is_acyclic_via_chordal_conformal,
+    join_tree,
+    verify_join_tree,
+)
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    path_hypergraph,
+    random_acyclic_hypergraph,
+    random_hypergraph,
+)
+from repro.hypergraphs.obstructions import find_obstruction
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_gyo_on_paths(benchmark, n):
+    h = path_hypergraph(n)
+    assert benchmark(is_acyclic, h)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_chordal_conformal_on_paths(benchmark, n):
+    h = path_hypergraph(n)
+    assert benchmark(is_acyclic_via_chordal_conformal, h)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_rip_on_paths(benchmark, n):
+    h = path_hypergraph(n)
+    assert benchmark(has_running_intersection_property, h)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_join_tree_on_random_acyclic(benchmark, n):
+    h = random_acyclic_hypergraph(n, 4, random.Random(n))
+    tree = benchmark(join_tree, h)
+    assert verify_join_tree(tree)
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_deciders_agree_on_random(benchmark, n):
+    h = random_hypergraph(n, n, 3, random.Random(n))
+
+    def all_four():
+        return (
+            is_acyclic(h),
+            is_acyclic_via_chordal_conformal(h),
+            has_running_intersection_property(h),
+        )
+
+    a, b, c = benchmark(all_four)
+    assert a == b == c
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def test_obstruction_finding_on_cycles(benchmark, n):
+    h = cycle_hypergraph(n)
+    obstruction = benchmark(find_obstruction, h)
+    assert obstruction.kind == "cycle"
+    assert len(obstruction.vertices) == n

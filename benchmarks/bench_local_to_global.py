@@ -1,0 +1,58 @@
+"""E3 — Theorem 2: local-to-global consistency iff acyclic.
+
+Claims regenerated: (i) on acyclic families pairwise consistency always
+extends to a global witness; (ii) on every cyclic family the Tseitin
+pipeline produces pairwise-consistent, globally-inconsistent bags.
+The series sweeps family size for P_n (acyclic), C_n and H_n (cyclic).
+"""
+
+import pytest
+
+from repro.consistency.global_ import (
+    acyclic_global_witness,
+    decide_global_consistency,
+    pairwise_consistent,
+)
+from repro.consistency.local_global import (
+    counterexample_for_cyclic,
+    tseitin_collection,
+)
+from repro.consistency.witness import is_witness
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+)
+from repro.workloads.generators import random_collection_over
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_acyclic_pn_pairwise_implies_global(benchmark, n, rng):
+    bags = random_collection_over(path_hypergraph(n), rng, n_tuples=4)
+    assert pairwise_consistent(bags)
+    witness = benchmark(acyclic_global_witness, bags)
+    assert is_witness(bags, witness)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_cyclic_cn_counterexample_pipeline(benchmark, n):
+    h = cycle_hypergraph(n)
+    bags = benchmark(counterexample_for_cyclic, h)
+    assert pairwise_consistent(bags)
+    assert not decide_global_consistency(bags)
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_cyclic_hn_counterexample_pipeline(benchmark, n):
+    h = hn_hypergraph(n)
+    bags = benchmark(counterexample_for_cyclic, h)
+    assert pairwise_consistent(bags)
+    assert not decide_global_consistency(bags)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_tseitin_construction_cost(benchmark, n):
+    """The raw construction (no lifting): d = k = 2 on C_n."""
+    h = cycle_hypergraph(n)
+    bags = benchmark(tseitin_collection, list(h.edges))
+    assert all(bag.support_size == 2 for bag in bags)

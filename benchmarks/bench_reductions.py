@@ -1,0 +1,70 @@
+"""E8 — Lemmas 6/7 + HLY80 + Irving-Jerrum: the reduction suite.
+
+Claims regenerated: each reduction maps yes to yes and no to no, and
+runs in polynomial time; witnesses map in both directions.  Series:
+chain depth for C_3 -> C_n, instance size for 3DCT, graph size for
+3-coloring.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.global_ import decide_global_consistency
+from repro.consistency.local_global import tseitin_collection
+from repro.hypergraphs.families import cycle_hypergraph, hn_hypergraph
+from repro.reductions.cycle_chain import reduce_cycle_instance
+from repro.reductions.hn_chain import reduce_hn_instance
+from repro.reductions.three_coloring import (
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_consistency,
+)
+from repro.reductions.three_dct import (
+    decide_3dct,
+    random_consistent_instance,
+)
+from repro.workloads.generators import random_collection_over
+
+
+@pytest.mark.parametrize("target", [5, 7, 9])
+def test_cycle_chain_from_c3(benchmark, target):
+    base = tseitin_collection(list(cycle_hypergraph(3).edges))
+
+    def chain():
+        bags = base
+        while len(bags) < target:
+            bags = reduce_cycle_instance(bags)
+        return bags
+
+    bags = benchmark(chain)
+    assert len(bags) == target
+    assert not decide_global_consistency(bags, method="search")
+
+
+def test_hn_chain_from_h3(benchmark):
+    base = tseitin_collection(list(hn_hypergraph(3).edges))
+    bags = benchmark(reduce_hn_instance, base)
+    assert len(bags) == 4
+    assert not decide_global_consistency(bags, method="search")
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_3dct_decision(benchmark, n):
+    rng = random.Random(17)
+    inst = random_consistent_instance(n, rng, density=0.6, max_entry=3)
+    assert benchmark(decide_3dct, inst)
+
+
+@pytest.mark.parametrize("vertices", [4, 5, 6])
+def test_three_coloring_via_consistency(benchmark, vertices):
+    rng = random.Random(23)
+    edges = sorted(
+        {
+            (u, v)
+            for u in range(vertices)
+            for v in range(u + 1, vertices)
+            if rng.random() < 0.5
+        }
+    )
+    answer = benchmark(is_three_colorable_via_consistency, edges)
+    assert answer == is_three_colorable_bruteforce(range(vertices), edges)

@@ -1,0 +1,47 @@
+"""E2 — Section 3's witness family: exactly 2^(n-1) witnesses.
+
+Claim: R_{n-1}, S_{n-1} are consistent; the number of witnesses is
+2^(n-1); witnesses are pairwise incomparable; every witness support is
+a proper subset of the join of supports.  The series sweeps n and
+asserts the exact count each time.
+"""
+
+import pytest
+
+from repro.consistency.program import ConsistencyProgram
+from repro.consistency.witness import minimal_pairwise_witness
+from repro.lp.integer_feasibility import enumerate_solutions
+from repro.workloads.generators import witness_family_pair
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_enumerate_all_witnesses(benchmark, n):
+    r, s = witness_family_pair(n)
+    program = ConsistencyProgram.build([r, s])
+    solutions = benchmark(enumerate_solutions, program.system)
+    assert len(solutions) == 2 ** (n - 1)
+
+
+@pytest.mark.parametrize("n", [3, 6, 9, 12])
+def test_one_minimal_witness_despite_exponentially_many(benchmark, n):
+    """Corollary 4 sidesteps the exponential witness space: one minimal
+    witness in strongly polynomial time."""
+    r, s = witness_family_pair(n)
+    witness = benchmark(minimal_pairwise_witness, r, s)
+    assert witness.support_size <= r.support_size + s.support_size
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_witness_supports_proper_subsets(benchmark, n):
+    r, s = witness_family_pair(n)
+    join_support = r.support().join(s.support())
+    program = ConsistencyProgram.build([r, s])
+
+    def witnesses_inside_join():
+        return [
+            program.witness_from_solution(sol)
+            for sol in enumerate_solutions(program.system)
+        ]
+
+    witnesses = benchmark(witnesses_inside_join)
+    assert all(w.support().rows < join_support.rows for w in witnesses)

@@ -1,0 +1,51 @@
+"""E4 — Theorem 3 + Example 1: witness sizes under binary multiplicities.
+
+Claim: the join-shaped witness of Example 1 has 2^n support while the
+input has 4(n-1) support tuples with multiplicity 2^n; Theorem 6's
+witness stays within the sum of input supports.  The series prints both
+sizes as n grows — the measured gap must be exponential vs linear.
+"""
+
+import pytest
+
+from repro.consistency.global_ import acyclic_global_witness
+from repro.consistency.witness import (
+    check_theorem3_bounds,
+    is_witness,
+)
+from repro.workloads.generators import example1_instance
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_small_witness_construction(benchmark, n):
+    bags, _ = example1_instance(n)
+    witness = benchmark(acyclic_global_witness, bags)
+    assert is_witness(bags, witness)
+    input_support = sum(b.support_size for b in bags)
+    assert witness.support_size <= input_support
+    report = check_theorem3_bounds(bags, witness)
+    assert report.multiplicity_ok and report.support_unary_ok
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_exponential_join_witness(benchmark, n):
+    """Materializing the join-shaped witness costs 2^n — the thing
+    Theorem 3(3) lets algorithms avoid."""
+
+    def build():
+        return example1_instance(n)[1]
+
+    witness = benchmark(build)
+    assert witness.support_size == 2**n
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_gap_is_exponential(benchmark, n):
+    def measure():
+        bags, join_witness = example1_instance(n)
+        small = acyclic_global_witness(bags)
+        return small.support_size, join_witness.support_size
+
+    small_size, join_size = benchmark(measure)
+    assert join_size == 2**n
+    assert small_size <= 4 * (n - 1)

@@ -1,0 +1,55 @@
+"""E11 — Yannakakis acyclic join evaluation (the intro's motivation).
+
+Claim ([Yan81], recounted in the paper's introduction): over acyclic
+schemas the join is computable in input+output polynomial time, while
+naive plans can materialize intermediates exponentially larger than the
+output.  Measured: on the branching-dangler family the naive plan's
+largest intermediate grows like dangle^(L-3) while Yannakakis' stays at
+the output size.
+"""
+
+import pytest
+
+from repro.consistency.yannakakis import (
+    dangling_heavy_instance,
+    join_nonempty_acyclic,
+    naive_join,
+    yannakakis_join,
+)
+
+
+@pytest.mark.parametrize("dangle", [2, 4, 6])
+def test_yannakakis_on_danglers(benchmark, dangle):
+    relations = dangling_heavy_instance(2, 7, dangle)
+    trace = benchmark(yannakakis_join, relations)
+    assert len(trace.result) == 2
+    assert trace.max_intermediate <= 2
+
+
+@pytest.mark.parametrize("dangle", [2, 4, 6])
+def test_naive_on_danglers(benchmark, dangle):
+    relations = dangling_heavy_instance(2, 7, dangle)
+    trace = benchmark(naive_join, relations)
+    assert len(trace.result) == 2
+    assert trace.max_intermediate >= dangle ** 3
+
+
+@pytest.mark.parametrize("length", [5, 7, 9])
+def test_blowup_grows_with_chain_length(benchmark, length):
+    relations = dangling_heavy_instance(2, length, 3)
+
+    def both():
+        return (
+            naive_join(relations).max_intermediate,
+            yannakakis_join(relations).max_intermediate,
+        )
+
+    slow, fast = benchmark(both)
+    assert slow >= 3 ** (length - 4)
+    assert fast <= 2
+
+
+@pytest.mark.parametrize("dangle", [4, 8])
+def test_emptiness_without_materialization(benchmark, dangle):
+    relations = dangling_heavy_instance(2, 7, dangle)
+    assert benchmark(join_nonempty_acyclic, relations)

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one experiment from DESIGN.md's
+per-experiment index (E1-E10) and *asserts the paper's shape claim* on
+the measured artifacts, so `pytest benchmarks/ --benchmark-only` is both
+a timing harness and a correctness replay of the evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20210620)

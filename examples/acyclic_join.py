@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Why acyclicity pays: Yannakakis join evaluation vs a naive plan.
+
+The paper's introduction motivates acyclic schemas through Yannakakis'
+algorithm: join evaluation is NP-complete in general but polynomial in
+input + output over acyclic schemas.  This example measures the
+mechanism on a family where naive left-deep joins materialize a tower of
+doomed intermediate tuples that a semijoin (full-reducer) pass would
+have deleted up front.
+
+Run:  python examples/acyclic_join.py
+"""
+
+import time
+
+from repro.consistency import (
+    dangling_heavy_instance,
+    join_nonempty_acyclic,
+    naive_join,
+    yannakakis_join,
+)
+
+
+def main() -> None:
+    print(
+        f"{'dangle':>6} {'naive max-interm.':>17} {'yann. max-interm.':>17} "
+        f"{'naive ms':>9} {'yann. ms':>9}"
+    )
+    for dangle in (2, 3, 4, 5, 6):
+        relations = dangling_heavy_instance(
+            n_chains=2, chain_length=8, dangle_factor=dangle
+        )
+        t0 = time.perf_counter()
+        slow = naive_join(relations)
+        t_naive = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        fast = yannakakis_join(relations)
+        t_yann = (time.perf_counter() - t0) * 1000
+        assert fast.result == slow.result
+        print(
+            f"{dangle:>6} {slow.max_intermediate:>17} "
+            f"{fast.max_intermediate:>17} {t_naive:>9.2f} {t_yann:>9.2f}"
+        )
+    print(
+        "\nThe output has 2 tuples throughout.  The naive plan's largest "
+        "intermediate grows like dangle^(L-3); the Yannakakis plan never "
+        "exceeds the output size, because the full-reducer pass deletes "
+        "every dangling tuple before any join is materialized."
+    )
+
+    relations = dangling_heavy_instance(2, 8, 6)
+    t0 = time.perf_counter()
+    nonempty = join_nonempty_acyclic(relations)
+    dt = (time.perf_counter() - t0) * 1000
+    print(
+        f"\nEmptiness can be decided without materializing the join at "
+        f"all: non-empty={nonempty} in {dt:.2f} ms (semijoin passes only)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Witness sizes: why the bounds of Theorems 3/5/6 matter.
+
+Walks through Example 1 of the paper: path-schema bags with
+multiplicity 2^n are consistent, the natural (join-shaped) witness has
+2^n support tuples — exponential in the binary-encoded input — yet a
+*minimal* witness stays polynomial (Theorem 3(3)), and over this
+acyclic schema Theorem 6 constructs one whose support is bounded by the
+sum of the input supports.
+
+Run:  python examples/witness_sizes.py
+"""
+
+from repro import (
+    acyclic_global_witness,
+    check_theorem3_bounds,
+    is_witness,
+)
+from repro.consistency import certificate_size_bound
+from repro.workloads import example1_instance
+
+
+def main() -> None:
+    print(
+        f"{'n':>3} {'input supp':>10} {'join witness':>12} "
+        f"{'Thm6 witness':>12} {'ES bound':>9}"
+    )
+    for n in range(2, 9):
+        bags, join_witness = example1_instance(n)
+        assert is_witness(bags, join_witness)
+        small = acyclic_global_witness(bags)
+        assert is_witness(bags, small)
+        report = check_theorem3_bounds(bags, small)
+        assert report.multiplicity_ok and report.support_unary_ok
+        input_support = sum(b.support_size for b in bags)
+        print(
+            f"{n:>3} {input_support:>10} {join_witness.support_size:>12} "
+            f"{small.support_size:>12} {certificate_size_bound(bags):>9.1f}"
+        )
+    print(
+        "\nThe join witness column grows like 2^n while the input and "
+        "the Theorem 6 witness stay polynomial — Example 1's point, and "
+        "the reason Corollary 3 (membership in NP with binary "
+        "multiplicities) needs the Eisenbrand-Shmonin bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

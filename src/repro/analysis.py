@@ -1,0 +1,149 @@
+"""Witness-space analysis: how determined is a reconciliation?
+
+Section 3 shows a consistent pair can have exponentially many pairwise
+incomparable witnesses — so "the data is consistent" can mean anything
+from "the joint database is forced" to "almost any joint story fits".
+This module quantifies that spectrum:
+
+* :func:`witness_space_report` — per-join-tuple multiplicity ranges
+  (via the Section 3 LP remark), the number of *pinned* tuples, and the
+  total slack;
+* :func:`count_witnesses` — exact witness count by exhaustive
+  enumeration (exponential; small instances);
+* :func:`ambiguity_index` — a normalized [0, 1] score: 0 means a unique
+  witness, values near 1 mean the marginals barely constrain the joint
+  database.
+
+These are downstream-user conveniences built entirely on the paper's
+machinery (P(R, S), Lemma 1, the LP integrality of Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from typing import Iterator
+
+from .consistency.optimize import multiplicity_range
+from .consistency.program import ConsistencyProgram
+from .core.bags import Bag
+from .errors import InconsistentError
+from .lp.integer_feasibility import (
+    DEFAULT_NODE_BUDGET,
+    enumerate_solutions,
+    iter_solutions,
+)
+
+
+@dataclass(frozen=True)
+class TupleRange:
+    """The multiplicity interval of one join tuple across all witnesses."""
+
+    row: tuple
+    low: int
+    high: int
+
+    @property
+    def pinned(self) -> bool:
+        return self.low == self.high
+
+    @property
+    def slack(self) -> int:
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class WitnessSpaceReport:
+    """Summary of the witness space of a consistent pair."""
+
+    ranges: tuple[TupleRange, ...]
+    total_mass: int
+
+    @property
+    def n_join_tuples(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def n_pinned(self) -> int:
+        return sum(1 for r in self.ranges if r.pinned)
+
+    @property
+    def total_slack(self) -> int:
+        return sum(r.slack for r in self.ranges)
+
+    @property
+    def unique_witness(self) -> bool:
+        return all(r.pinned for r in self.ranges)
+
+    def ambiguity_index(self) -> float:
+        """Total slack normalized by total mass: 0 iff the witness is
+        unique; larger values mean looser marginals.  (Can exceed 1 when
+        many tuples each range over most of the mass.)"""
+        if self.total_mass == 0:
+            return 0.0
+        return self.total_slack / self.total_mass
+
+
+def witness_space_report(r: Bag, s: Bag) -> WitnessSpaceReport:
+    """Per-tuple multiplicity ranges for every join tuple of a
+    consistent pair (2 |J| exact LP solves).
+
+    Raises :class:`InconsistentError` for inconsistent pairs (an empty
+    witness space has no geometry to report).
+    """
+    from .consistency.pairwise import are_consistent
+
+    if not are_consistent(r, s):
+        raise InconsistentError("bags are not consistent")
+    program = ConsistencyProgram.build([r, s])
+    ranges = []
+    for row in program.join_rows:
+        low, high = multiplicity_range(r, s, row)
+        ranges.append(TupleRange(row, low, high))
+    return WitnessSpaceReport(
+        ranges=tuple(ranges), total_mass=r.unary_size
+    )
+
+
+def count_witnesses(
+    bags: Sequence[Bag],
+    limit: int | None = None,
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> int:
+    """The exact number of witnesses of a collection (0 when globally
+    inconsistent).  Exhaustive; exponential in general — use on small
+    instances or with a ``limit``."""
+    program = ConsistencyProgram.build(list(bags))
+    return len(
+        enumerate_solutions(program.system, limit=limit, node_budget=node_budget)
+    )
+
+
+def iter_witnesses(
+    bags: Sequence[Bag],
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> Iterator[Bag]:
+    """Lazily stream every witness of a collection.
+
+    Streaming matters because witness counts can be exponential
+    (Section 3): taking the first few costs only the search work to
+    reach them.
+    """
+    program = ConsistencyProgram.build(list(bags))
+    for solution in iter_solutions(program.system, node_budget):
+        yield program.witness_from_solution(solution)
+
+
+def format_report(report: WitnessSpaceReport) -> str:
+    """Human-readable rendering of a witness-space report."""
+    lines = [
+        f"join tuples: {report.n_join_tuples}, pinned: {report.n_pinned}, "
+        f"total slack: {report.total_slack}, "
+        f"ambiguity index: {report.ambiguity_index():.3f}"
+    ]
+    for tr in report.ranges:
+        label = ", ".join(str(v) for v in tr.row)
+        status = "pinned" if tr.pinned else f"range [{tr.low}, {tr.high}]"
+        lines.append(f"  ({label}): {status}")
+    return "\n".join(lines)

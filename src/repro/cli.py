@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Usage (all inputs are the JSON encodings of :mod:`repro.io`):
+
+* ``python -m repro check-pair R.json S.json`` — Lemma 2 consistency test.
+* ``python -m repro witness R.json S.json [--minimal] [-o OUT]`` — a
+  (minimal) witness via Corollary 1 / Corollary 4.
+* ``python -m repro global-check COLLECTION.json [--method M]`` — the
+  GCPB decision with the Theorem 4 dispatch, plus a witness when one
+  exists.
+* ``python -m repro audit-schema HYPERGRAPH.json [--counterexample OUT]``
+  — acyclicity audit; for cyclic schemas optionally emits the Theorem 2
+  counterexample collection.
+* ``python -m repro show BAG.json`` — render a bag in the paper's
+  tabular format.
+* ``python -m repro certificate COLLECTION.json [-v]`` — a verifiable
+  inconsistency certificate (marginal cell / Farkas / search marker).
+* ``python -m repro repair COLLECTION.json [-o OUT]`` — repair a
+  collection over an acyclic schema into global consistency.
+* ``python -m repro analyze R.json S.json`` — witness-space ambiguity
+  report (per-tuple multiplicity ranges).
+
+Exit codes: 0 for "yes"/success, 1 for "no" (inconsistent / cyclic),
+2 for usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import io as repro_io
+from .consistency.global_ import global_witness
+from .consistency.local_global import find_local_to_global_counterexample
+from .consistency.pairwise import are_consistent, consistency_witness
+from .consistency.witness import minimal_pairwise_witness
+from .display import bag_table, collection_summary
+from .errors import InconsistentError, ReproError
+from .hypergraphs.acyclicity import is_acyclic, running_intersection_order
+from .hypergraphs.obstructions import find_obstruction
+
+
+def _load_bag(path: str):
+    return repro_io.bag_from_json(Path(path).read_text())
+
+
+def _cmd_check_pair(args: argparse.Namespace) -> int:
+    r = _load_bag(args.left)
+    s = _load_bag(args.right)
+    consistent = are_consistent(r, s)
+    print("consistent" if consistent else "inconsistent")
+    return 0 if consistent else 1
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    r = _load_bag(args.left)
+    s = _load_bag(args.right)
+    try:
+        if args.minimal:
+            witness = minimal_pairwise_witness(r, s)
+        else:
+            witness = consistency_witness(r, s)
+    except InconsistentError:
+        print("inconsistent", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(repro_io.bag_to_json(witness, indent=2))
+        print(f"witness written to {args.output}")
+    else:
+        print(bag_table(witness))
+    return 0
+
+
+def _cmd_global_check(args: argparse.Namespace) -> int:
+    bags = repro_io.collection_from_json(Path(args.collection).read_text())
+    print(collection_summary(bags))
+    result = global_witness(bags, method=args.method)
+    print(f"method: {result.method}")
+    if not result.consistent:
+        print("globally inconsistent")
+        return 1
+    print("globally consistent")
+    if result.witness is not None:
+        if args.output:
+            Path(args.output).write_text(
+                repro_io.bag_to_json(result.witness, indent=2)
+            )
+            print(f"witness written to {args.output}")
+        else:
+            print(bag_table(result.witness))
+    return 0
+
+
+def _cmd_audit_schema(args: argparse.Namespace) -> int:
+    hypergraph = repro_io.hypergraph_from_json(
+        Path(args.hypergraph).read_text()
+    )
+    if is_acyclic(hypergraph):
+        print("acyclic: pairwise consistency checks are sound and complete")
+        rip = running_intersection_order(hypergraph)
+        for i, edge in enumerate(rip.order):
+            print(f"  {i + 1}. {tuple(edge.attrs)}")
+        return 0
+    obstruction = find_obstruction(hypergraph)
+    print(
+        f"cyclic: obstruction {obstruction.kind} on "
+        f"{sorted(map(str, obstruction.vertices))}"
+    )
+    if args.counterexample:
+        bags = find_local_to_global_counterexample(hypergraph)
+        Path(args.counterexample).write_text(
+            repro_io.collection_to_json(bags, indent=2)
+        )
+        print(f"counterexample collection written to {args.counterexample}")
+    return 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(bag_table(_load_bag(args.bag)))
+    return 0
+
+
+def _cmd_certificate(args: argparse.Namespace) -> int:
+    from .consistency.certificates import (
+        FarkasCertificate,
+        MarginalCertificate,
+        SearchRefutation,
+        collection_certificate,
+        verify_certificate,
+    )
+
+    bags = repro_io.collection_from_json(Path(args.collection).read_text())
+    certificate = collection_certificate(bags)
+    if certificate is None:
+        print("globally consistent: no inconsistency certificate exists")
+        return 0
+    assert verify_certificate(bags, certificate)
+    if isinstance(certificate, MarginalCertificate):
+        print(
+            f"inconsistent: bags {certificate.left_index} and "
+            f"{certificate.right_index} disagree on common cell "
+            f"{certificate.cell}: {certificate.left_value} vs "
+            f"{certificate.right_value}"
+        )
+    elif isinstance(certificate, FarkasCertificate):
+        print(
+            f"inconsistent: Farkas certificate with "
+            f"{len(certificate.multipliers)} multipliers refutes even the "
+            f"rational relaxation"
+        )
+        if args.verbose:
+            for (bag, row), mult in zip(
+                certificate.labels, certificate.multipliers
+            ):
+                if mult:
+                    print(f"  y[bag {bag}, row {row}] = {mult}")
+    elif isinstance(certificate, SearchRefutation):
+        print(
+            "inconsistent: exhaustive search found no witness "
+            "(no succinct certificate exists for this instance)"
+        )
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .consistency.repair import repair_collection
+
+    bags = repro_io.collection_from_json(Path(args.collection).read_text())
+    fixed, cost = repair_collection(bags)
+    print(f"repair cost: {cost} tuple edits")
+    if args.output:
+        Path(args.output).write_text(
+            repro_io.collection_to_json(fixed, indent=2)
+        )
+        print(f"repaired collection written to {args.output}")
+    else:
+        print(collection_summary(fixed))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import format_report, witness_space_report
+
+    r = _load_bag(args.left)
+    s = _load_bag(args.right)
+    report = witness_space_report(r, s)
+    print(format_report(report))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Bag consistency toolkit (Atserias & Kolaitis, PODS 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check-pair", help="two-bag consistency (Lemma 2)")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=_cmd_check_pair)
+
+    p = sub.add_parser("witness", help="two-bag witness (Corollary 1/4)")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--minimal", action="store_true")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_witness)
+
+    p = sub.add_parser(
+        "global-check", help="global consistency of a collection (GCPB)"
+    )
+    p.add_argument("collection")
+    p.add_argument(
+        "--method", choices=["auto", "acyclic", "search"], default="auto"
+    )
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_global_check)
+
+    p = sub.add_parser(
+        "audit-schema",
+        help="acyclicity audit + Theorem 2 counterexample synthesis",
+    )
+    p.add_argument("hypergraph")
+    p.add_argument("--counterexample", metavar="OUT")
+    p.set_defaults(func=_cmd_audit_schema)
+
+    p = sub.add_parser("show", help="render a bag in the paper's format")
+    p.add_argument("bag")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser(
+        "certificate",
+        help="produce a verifiable inconsistency certificate",
+    )
+    p.add_argument("collection")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_certificate)
+
+    p = sub.add_parser(
+        "repair",
+        help="repair a collection over an acyclic schema",
+    )
+    p.add_argument("collection")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_repair)
+
+    p = sub.add_parser(
+        "analyze",
+        help="witness-space ambiguity report for a pair of bags",
+    )
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Inconsistency certificates: succinct, independently checkable proofs.
+
+A "no" answer deserves evidence as much as a "yes" answer (where the
+witness bag is the evidence, Corollary 3).  This module produces and
+verifies three kinds of refutation:
+
+* **Marginal certificates** (pairwise): a common-attribute cell where
+  the two marginals differ — O(1) to check, exists iff the pair is
+  inconsistent (Lemma 2(2)).
+* **Cut certificates** (pairwise): a source-sink cut of N(R, S) with
+  capacity below the total supply — the max-flow/min-cut dual of
+  Lemma 2(5).
+* **Farkas certificates** (collections): a rational vector refuting
+  even the LP relaxation of P(R1..Rm).  Checkable in polynomial time;
+  exists whenever the relaxation is infeasible.  The Tseitin
+  counterexamples (empty joint support with positive demands) always
+  admit one.
+
+Honesty note: a collection can be rationally feasible yet integrally
+infeasible; there, no Farkas certificate exists and — GCPB being
+NP-complete (Theorem 4) with no known coNP-side succinct certificates —
+this module returns the honest ``SearchRefutation`` marker, whose
+"verification" is re-running the exhaustive search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Union
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..flows.maxflow import CutResult, min_cut, verify_cut
+from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET, find_solution
+from ..lp.simplex import farkas_certificate, verify_farkas
+from .pairwise import build_network
+from .program import ConsistencyProgram
+
+
+@dataclass(frozen=True)
+class MarginalCertificate:
+    """A cell of the common marginal where two bags disagree."""
+
+    left_index: int
+    right_index: int
+    common: Schema
+    cell: tuple
+    left_value: int
+    right_value: int
+
+
+@dataclass(frozen=True)
+class CutCertificate:
+    """A cut of N(R, S) whose capacity is below the total supply."""
+
+    cut: CutResult
+    supply: int
+
+
+@dataclass(frozen=True)
+class FarkasCertificate:
+    """A rational refutation of the LP relaxation of P(R1..Rm).
+
+    ``multipliers[i]`` pairs with ``labels[i] = (bag index, support
+    row)``; checking requires only the original bags (see
+    :func:`verify_certificate`).
+    """
+
+    multipliers: tuple[Fraction, ...]
+    labels: tuple[tuple[int, tuple], ...]
+
+
+@dataclass(frozen=True)
+class SearchRefutation:
+    """The honest marker for integrally-infeasible-but-LP-feasible
+    collections: the exhaustive search found no witness.  Not succinct;
+    re-verification means re-searching."""
+
+    nodes_allowed: int | None
+
+
+Certificate = Union[
+    MarginalCertificate, CutCertificate, FarkasCertificate, SearchRefutation
+]
+
+
+def pairwise_certificate(r: Bag, s: Bag) -> MarginalCertificate | None:
+    """A marginal disagreement cell, or None when the pair is
+    consistent."""
+    common = r.schema & s.schema
+    left = r.marginal(common)
+    right = s.marginal(common)
+    cells = set(left.support_rows()) | set(right.support_rows())
+    for cell in sorted(cells, key=repr):
+        lv, rv = left.multiplicity(cell), right.multiplicity(cell)
+        if lv != rv:
+            return MarginalCertificate(0, 1, common, cell, lv, rv)
+    return None
+
+
+def cut_certificate(r: Bag, s: Bag) -> CutCertificate | None:
+    """A deficient cut of N(R, S), or None when a saturated flow
+    exists.
+
+    Exists iff the bags are inconsistent *and* their totals could have
+    been routed (for unequal totals the marginal certificate on the
+    empty-schema cell is the natural evidence; a cut below min(total)
+    still exists whenever max-flow < supply)."""
+    network = build_network(r, s)
+    supply = network.source_capacity()
+    cut = min_cut(network)
+    if cut.capacity >= supply and supply == network.sink_capacity():
+        return None
+    return CutCertificate(cut, supply)
+
+
+def collection_certificate(
+    bags: Sequence[Bag],
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> Certificate | None:
+    """Evidence that a collection is globally inconsistent, or None when
+    it is consistent.
+
+    Tries, in order of checkability: a pairwise marginal certificate; a
+    Farkas certificate for the LP relaxation of P(R1..Rm); the honest
+    search refutation.
+    """
+    for i in range(len(bags)):
+        for j in range(i + 1, len(bags)):
+            cert = pairwise_certificate(bags[i], bags[j])
+            if cert is not None:
+                return MarginalCertificate(
+                    i, j, cert.common, cert.cell,
+                    cert.left_value, cert.right_value,
+                )
+    program = ConsistencyProgram.build(list(bags))
+    y = farkas_certificate(program.dense_matrix(), program.dense_rhs())
+    if y is not None:
+        return FarkasCertificate(tuple(y), program.constraint_labels)
+    if find_solution(program.system, node_budget) is None:
+        return SearchRefutation(node_budget)
+    return None
+
+
+def verify_certificate(
+    bags: Sequence[Bag], certificate: Certificate
+) -> bool:
+    """Independently check a certificate against the original bags."""
+    if isinstance(certificate, MarginalCertificate):
+        r = bags[certificate.left_index]
+        s = bags[certificate.right_index]
+        if certificate.common != (r.schema & s.schema):
+            return False
+        lv = r.marginal(certificate.common).multiplicity(certificate.cell)
+        rv = s.marginal(certificate.common).multiplicity(certificate.cell)
+        return (
+            lv == certificate.left_value
+            and rv == certificate.right_value
+            and lv != rv
+        )
+    if isinstance(certificate, CutCertificate):
+        if len(bags) != 2:
+            return False
+        network = build_network(bags[0], bags[1])
+        if not verify_cut(network, certificate.cut):
+            return False
+        return (
+            certificate.supply == network.source_capacity()
+            and (
+                certificate.cut.capacity < certificate.supply
+                or network.source_capacity() != network.sink_capacity()
+            )
+        )
+    if isinstance(certificate, FarkasCertificate):
+        program = ConsistencyProgram.build(list(bags))
+        if certificate.labels != program.constraint_labels:
+            return False
+        return verify_farkas(
+            program.dense_matrix(),
+            program.dense_rhs(),
+            list(certificate.multipliers),
+        )
+    if isinstance(certificate, SearchRefutation):
+        program = ConsistencyProgram.build(list(bags))
+        return find_solution(program.system, certificate.nodes_allowed) is None
+    return False

@@ -1,0 +1,202 @@
+"""Global consistency of collections of bags — the GCPB problem.
+
+Implements the decision and construction layer of Section 5:
+
+* :func:`pairwise_consistent` / :func:`k_wise_consistent` — local
+  consistency notions (Section 4).
+* :func:`acyclic_global_witness` — Theorem 6: over an acyclic schema,
+  fold minimal two-bag witnesses along a running-intersection ordering;
+  polynomial time, support bounded by the sum of input support sizes.
+* :func:`decide_global_consistency` / :func:`global_witness` — the
+  dispatching solvers: pairwise check first (necessary), then the
+  polynomial acyclic route when the schema is acyclic (Theorem 2 makes
+  pairwise consistency sufficient there), otherwise the exact integer
+  search on P(R1, ..., Rm) — honest exponential work, as Theorem 4's
+  NP-completeness predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Literal, Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import CyclicSchemaError, InconsistentError
+from ..hypergraphs.acyclicity import is_acyclic, running_intersection_order
+from ..hypergraphs.hypergraph import Hypergraph, hypergraph_of_bags
+from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET, find_solution
+from ..lp.simplex import solve_lp
+from .pairwise import are_consistent, consistency_witness
+from .program import ConsistencyProgram
+from .witness import is_witness, minimal_pairwise_witness
+
+Method = Literal["auto", "acyclic", "search"]
+
+
+def pairwise_consistent(bags: Sequence[Bag]) -> bool:
+    """Every two bags of the collection are consistent (Section 4)."""
+    return all(
+        are_consistent(bags[i], bags[j])
+        for i, j in combinations(range(len(bags)), 2)
+    )
+
+
+def k_wise_consistent(
+    bags: Sequence[Bag],
+    k: int,
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> bool:
+    """Every subcollection of at most k bags is globally consistent.
+
+    Because global consistency of a set implies it for every subset
+    (marginalize the witness), only subsets of size ``min(k, m)`` need
+    checking.  Exponential in k — the oracle behind the Lemma 4 tests.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    size = min(k, len(bags))
+    return all(
+        decide_global_consistency(
+            [bags[i] for i in subset], node_budget=node_budget
+        )
+        for subset in combinations(range(len(bags)), size)
+    )
+
+
+def _dedupe_by_schema(bags: Sequence[Bag]) -> list[Bag]:
+    """Collapse equal-schema bags (pairwise consistency forces equality:
+    two bags over the same schema are consistent iff they are equal)."""
+    seen: dict[Schema, Bag] = {}
+    for bag in bags:
+        if bag.schema in seen:
+            if seen[bag.schema] != bag:
+                raise InconsistentError(
+                    f"two distinct bags share schema {bag.schema!r}; they "
+                    f"cannot be consistent"
+                )
+        else:
+            seen[bag.schema] = bag
+    return list(seen.values())
+
+
+def acyclic_global_witness(
+    bags: Sequence[Bag], minimal: bool = True
+) -> Bag:
+    """Theorem 6: a witness to global consistency over an acyclic schema.
+
+    Requires the collection to be pairwise consistent (checked; raises
+    :class:`InconsistentError` otherwise) and the schema hypergraph to be
+    acyclic (raises :class:`CyclicSchemaError` otherwise).  Folds
+    two-bag witnesses along a running-intersection ordering; with
+    ``minimal=True`` each step uses the Corollary 4 minimal witness,
+    giving ``||T||supp <= sum_i ||Ri||supp`` as Theorem 6 promises
+    (asserted before returning).
+    """
+    if not bags:
+        raise InconsistentError("empty collection has no witness schema")
+    if not pairwise_consistent(bags):
+        raise InconsistentError("collection is not pairwise consistent")
+    deduped = _dedupe_by_schema(bags)
+    hypergraph = hypergraph_of_bags(deduped)
+    rip = running_intersection_order(hypergraph)  # raises if cyclic
+    by_schema = {bag.schema: bag for bag in deduped}
+    ordered = [by_schema[edge] for edge in rip.order]
+    witness = ordered[0]
+    for bag in ordered[1:]:
+        if minimal:
+            witness = minimal_pairwise_witness(witness, bag)
+        else:
+            witness = consistency_witness(witness, bag)
+    if minimal:
+        bound = sum(bag.support_size for bag in deduped)
+        if witness.support_size > bound:
+            raise AssertionError(
+                f"Theorem 6 violated: witness support "
+                f"{witness.support_size} exceeds {bound}"
+            )
+    if not is_witness(deduped, witness):
+        raise AssertionError(
+            "Theorem 6 construction failed to produce a witness; "
+            "this contradicts Step 1 of Theorem 2"
+        )
+    return witness
+
+
+@dataclass(frozen=True)
+class GlobalConsistencyResult:
+    """Outcome of a global-consistency decision."""
+
+    consistent: bool
+    witness: Bag | None
+    method: str
+
+
+def global_witness(
+    bags: Sequence[Bag],
+    method: Method = "auto",
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+    lp_presolve: bool = True,
+) -> GlobalConsistencyResult:
+    """Decide global consistency and produce a witness when one exists.
+
+    ``method="auto"`` picks the polynomial acyclic route when the schema
+    hypergraph is acyclic and falls back to the exact integer search
+    otherwise.  ``lp_presolve`` runs the rational relaxation first on the
+    search path — an exact necessary condition that short-circuits many
+    infeasible instances.
+    """
+    if not bags:
+        raise InconsistentError("empty collection")
+    if not pairwise_consistent(bags):
+        return GlobalConsistencyResult(False, None, "pairwise")
+    hypergraph = hypergraph_of_bags(bags)
+    use_acyclic = method == "acyclic" or (
+        method == "auto" and is_acyclic(hypergraph)
+    )
+    if use_acyclic:
+        witness = acyclic_global_witness(bags)
+        return GlobalConsistencyResult(True, witness, "acyclic")
+    if method == "acyclic":
+        raise CyclicSchemaError(
+            f"method='acyclic' requested on a cyclic schema: {hypergraph!r}"
+        )
+    program = ConsistencyProgram.build(list(_dedupe_by_schema(bags)))
+    if lp_presolve:
+        relaxation = solve_lp(program.dense_matrix(), program.dense_rhs())
+        if relaxation.status != "optimal":
+            return GlobalConsistencyResult(False, None, "lp-presolve")
+    solution = find_solution(program.system, node_budget)
+    if solution is None:
+        return GlobalConsistencyResult(False, None, "search")
+    witness = program.witness_from_solution(solution)
+    return GlobalConsistencyResult(True, witness, "search")
+
+
+def decide_global_consistency(
+    bags: Sequence[Bag],
+    method: Method = "auto",
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> bool:
+    """The GCPB decision problem: are the bags globally consistent?
+
+    On acyclic schemas this is the pure Theorem 2 decision: pairwise
+    consistency alone settles the answer in polynomial time, with no
+    witness construction.  On cyclic schemas it falls through to the
+    exact search (NP-complete in general, Theorem 4).
+    """
+    if not bags:
+        raise InconsistentError("empty collection")
+    if not pairwise_consistent(bags):
+        return False
+    if method != "search":
+        hypergraph = hypergraph_of_bags(bags)
+        if is_acyclic(hypergraph):
+            return True  # Theorem 2: pairwise consistency suffices
+        if method == "acyclic":
+            raise CyclicSchemaError(
+                f"method='acyclic' requested on a cyclic schema: "
+                f"{hypergraph!r}"
+            )
+    return global_witness(bags, "search", node_budget).consistent

@@ -1,0 +1,187 @@
+"""Incremental pairwise-consistency maintenance.
+
+Downstream systems rarely re-check consistency from scratch: ledgers
+receive inserts and deletes one tuple at a time.  Because the paper's
+two-bag consistency criterion is *marginal equality* (Lemma 2(2)), it
+admits O(1)-per-update maintenance: keep the multiset difference of the
+two common-attribute marginals and a count of the cells where they
+disagree.  The pair is consistent exactly when no cell disagrees.
+
+:class:`IncrementalPairChecker` maintains one pair;
+:class:`IncrementalCollectionChecker` maintains all pairs of a
+collection (O(m) checkers per update of one bag) and, over an acyclic
+schema, its aggregate answer equals *global* consistency by Theorem 2 —
+turning the paper's structure theorem into a constant-time-per-update
+monitoring guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema, project_values
+from ..errors import MultiplicityError, SchemaError
+
+
+class IncrementalPairChecker:
+    """Maintains consistency of two bags under tuple-level updates.
+
+    ``delta[z] = R[Z](z) - S[Z](z)`` for the common schema Z, stored
+    sparsely; ``disagreements`` counts non-zero cells.  Updates touch
+    exactly one cell.
+    """
+
+    __slots__ = ("left_schema", "right_schema", "common", "_delta",
+                 "_disagreements", "_left", "_right")
+
+    def __init__(self, left: Bag, right: Bag) -> None:
+        self.left_schema = left.schema
+        self.right_schema = right.schema
+        self.common = left.schema & right.schema
+        self._left = dict(left.items())
+        self._right = dict(right.items())
+        self._delta: dict[tuple, int] = {}
+        self._disagreements = 0
+        for row, mult in left.items():
+            self._bump(project_values(row, left.schema, self.common), mult)
+        for row, mult in right.items():
+            self._bump(project_values(row, right.schema, self.common), -mult)
+
+    def _bump(self, cell: tuple, amount: int) -> None:
+        if amount == 0:
+            return
+        old = self._delta.get(cell, 0)
+        new = old + amount
+        if old == 0 and new != 0:
+            self._disagreements += 1
+        elif old != 0 and new == 0:
+            self._disagreements -= 1
+        if new == 0:
+            self._delta.pop(cell, None)
+        else:
+            self._delta[cell] = new
+
+    @property
+    def consistent(self) -> bool:
+        """Lemma 2(2), maintained: equal common marginals."""
+        return self._disagreements == 0
+
+    def disagreeing_cells(self) -> dict[tuple, int]:
+        """The common-marginal cells where the bags disagree (cell ->
+        R-side minus S-side); the actionable diagnostic."""
+        return dict(self._delta)
+
+    # -- updates --------------------------------------------------------
+
+    def _apply(self, side: dict, schema: Schema, row: tuple, amount: int,
+               sign: int) -> None:
+        row = tuple(row)
+        if len(row) != len(schema):
+            raise SchemaError(
+                f"row {row!r} has arity {len(row)}, schema {schema!r} has "
+                f"arity {len(schema)}"
+            )
+        new = side.get(row, 0) + amount
+        if new < 0:
+            raise MultiplicityError(
+                f"update would make multiplicity of {row!r} negative"
+            )
+        if new == 0:
+            side.pop(row, None)
+        else:
+            side[row] = new
+        self._bump(project_values(row, schema, self.common), sign * amount)
+
+    def update_left(self, row: tuple, amount: int) -> None:
+        """Add ``amount`` (possibly negative) copies of ``row`` to the
+        left bag."""
+        self._apply(self._left, self.left_schema, row, amount, +1)
+
+    def update_right(self, row: tuple, amount: int) -> None:
+        self._apply(self._right, self.right_schema, row, amount, -1)
+
+    # -- snapshots -------------------------------------------------------
+
+    def left(self) -> Bag:
+        return Bag(self.left_schema, self._left)
+
+    def right(self) -> Bag:
+        return Bag(self.right_schema, self._right)
+
+
+class IncrementalCollectionChecker:
+    """Maintains pairwise consistency of a whole collection.
+
+    One :class:`IncrementalPairChecker` per pair; an update to bag i
+    touches its m-1 checkers.  ``pairwise_consistent`` is O(1).  When
+    the schema hypergraph is acyclic, Theorem 2 upgrades the answer to
+    *global* consistency (``globally_consistent_by_theorem2``).
+    """
+
+    def __init__(self, bags: Sequence[Bag]) -> None:
+        self._bags = [dict(bag.items()) for bag in bags]
+        self._schemas = [bag.schema for bag in bags]
+        self._checkers: dict[tuple[int, int], IncrementalPairChecker] = {}
+        for i in range(len(bags)):
+            for j in range(i + 1, len(bags)):
+                self._checkers[(i, j)] = IncrementalPairChecker(
+                    bags[i], bags[j]
+                )
+        from ..hypergraphs.acyclicity import is_acyclic
+        from ..hypergraphs.hypergraph import Hypergraph
+
+        self._acyclic = is_acyclic(
+            Hypergraph.from_schemas(list(self._schemas))
+        )
+
+    @property
+    def acyclic(self) -> bool:
+        return self._acyclic
+
+    @property
+    def pairwise_consistent(self) -> bool:
+        return all(c.consistent for c in self._checkers.values())
+
+    @property
+    def globally_consistent_by_theorem2(self) -> bool:
+        """For acyclic schemas this IS global consistency (Theorem 2);
+        for cyclic schemas it is only the necessary pairwise condition,
+        and the property raises to prevent silent misuse."""
+        if not self._acyclic:
+            raise SchemaError(
+                "schema is cyclic: pairwise consistency does not decide "
+                "global consistency (Theorem 2); run the exact solver"
+            )
+        return self.pairwise_consistent
+
+    def update(self, index: int, row: tuple, amount: int) -> None:
+        """Add ``amount`` copies of ``row`` to bag ``index`` and refresh
+        every affected pair checker."""
+        row = tuple(row)
+        schema = self._schemas[index]
+        new = self._bags[index].get(row, 0) + amount
+        if new < 0:
+            raise MultiplicityError(
+                f"update would make multiplicity of {row!r} negative"
+            )
+        for (i, j), checker in self._checkers.items():
+            if i == index:
+                checker.update_left(row, amount)
+            elif j == index:
+                checker.update_right(row, amount)
+        if new == 0:
+            self._bags[index].pop(row, None)
+        else:
+            self._bags[index][row] = new
+
+    def bag(self, index: int) -> Bag:
+        return Bag(self._schemas[index], self._bags[index])
+
+    def inconsistent_pairs(self) -> list[tuple[int, int]]:
+        """Indices of bag pairs currently violating Lemma 2(2)."""
+        return sorted(
+            pair
+            for pair, checker in self._checkers.items()
+            if not checker.consistent
+        )

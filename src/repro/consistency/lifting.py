@@ -1,0 +1,230 @@
+"""Lemma 4: transporting collections of bags across safe deletions.
+
+A *safe deletion* is a vertex deletion ``H \\ u`` or a covered-edge
+deletion ``H \\ e`` (Section 4).  Lemma 4 shows that if H0 is obtained
+from H1 by a sequence of safe deletions, then any collection D0 of bags
+over H0 lifts to a collection D1 over H1 that is k-wise consistent iff
+D0 is, for every k — the mechanism that transports the Tseitin
+counterexamples from the minimal obstructions (C_n / H_n) back to an
+arbitrary cyclic hypergraph in Theorem 2's Step 2.
+
+Collections are *lists* of bags aligned with a list of schemas; after a
+vertex deletion two schemas may coincide, so lists (not sets) are the
+right carrier, exactly as the paper indexes bags by i in [m].
+
+The forward direction (:func:`push_collection`) marginalizes/drops; the
+backward direction (:func:`lift_collection`) is the paper's
+construction: covered edges are re-created as marginals of their
+covering bag, and deleted vertices are re-attached with a default value
+``u0``.  ``push(lift(D0)) == D0`` holds and is tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Attribute, Schema
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DeletionStep:
+    """One safe deletion over a schema list.
+
+    ``kind == "vertex"``: ``vertex`` was removed from every schema
+    (length preserved; schemas may become empty or equal).
+
+    ``kind == "edge"``: the schema at ``removed_index`` (into
+    ``schemas_before``) was deleted; it is contained in the schema at
+    ``covering_index``.
+    """
+
+    kind: Literal["vertex", "edge"]
+    schemas_before: tuple[Schema, ...]
+    schemas_after: tuple[Schema, ...]
+    vertex: Attribute | None = None
+    removed_index: int | None = None
+    covering_index: int | None = None
+
+
+def vertex_deletion_step(
+    schemas: Sequence[Schema], vertex: Attribute
+) -> DeletionStep:
+    """Delete ``vertex`` from every schema in the list."""
+    schemas = tuple(schemas)
+    if not any(vertex in schema for schema in schemas):
+        raise SchemaError(f"vertex {vertex!r} occurs in no schema")
+    after = tuple(
+        schema.without(vertex) if vertex in schema else schema
+        for schema in schemas
+    )
+    return DeletionStep(
+        kind="vertex",
+        schemas_before=schemas,
+        schemas_after=after,
+        vertex=vertex,
+    )
+
+
+def edge_deletion_step(
+    schemas: Sequence[Schema], removed_index: int, covering_index: int
+) -> DeletionStep:
+    """Delete the covered schema at ``removed_index``."""
+    schemas = tuple(schemas)
+    if removed_index == covering_index:
+        raise SchemaError("an edge cannot cover itself")
+    removed = schemas[removed_index]
+    covering = schemas[covering_index]
+    if not removed.issubset(covering):
+        raise SchemaError(
+            f"schema {removed!r} is not contained in {covering!r}; "
+            f"deletion is not safe"
+        )
+    after = tuple(
+        schema for i, schema in enumerate(schemas) if i != removed_index
+    )
+    return DeletionStep(
+        kind="edge",
+        schemas_before=schemas,
+        schemas_after=after,
+        removed_index=removed_index,
+        covering_index=covering_index,
+    )
+
+
+def deletion_sequence(
+    schemas: Sequence[Schema], keep_vertices: frozenset
+) -> list[DeletionStep]:
+    """A sequence of safe deletions from ``schemas`` to the reduced
+    induced schema list on ``keep_vertices``.
+
+    First deletes every vertex outside ``keep_vertices`` (in canonical
+    order), then deletes covered schemas (duplicates included) until no
+    coverage remains — i.e. until the list holds exactly the edges of
+    ``R(H[W])``, as in the proof of Lemma 3.
+    """
+    steps: list[DeletionStep] = []
+    current = tuple(schemas)
+    all_vertices: set = set()
+    for schema in current:
+        all_vertices.update(schema.attrs)
+    for vertex in sorted(all_vertices - set(keep_vertices), key=repr):
+        step = vertex_deletion_step(current, vertex)
+        steps.append(step)
+        current = step.schemas_after
+    while True:
+        found = None
+        for i in range(len(current)):
+            for j in range(len(current)):
+                if i != j and current[i].issubset(current[j]):
+                    found = (i, j)
+                    break
+            if found:
+                break
+        if not found:
+            break
+        step = edge_deletion_step(current, found[0], found[1])
+        steps.append(step)
+        current = step.schemas_after
+    return steps
+
+
+def _check_alignment(bags: Sequence[Bag], schemas: Sequence[Schema]) -> None:
+    if len(bags) != len(schemas):
+        raise SchemaError(
+            f"collection has {len(bags)} bags but the schema list has "
+            f"{len(schemas)} entries"
+        )
+    for bag, schema in zip(bags, schemas):
+        if bag.schema != schema:
+            raise SchemaError(
+                f"bag schema {bag.schema!r} does not match expected "
+                f"{schema!r}"
+            )
+
+
+def push_collection(
+    bags: Sequence[Bag], step: DeletionStep
+) -> list[Bag]:
+    """Transport a collection forward across one deletion.
+
+    Vertex deletion marginalizes each affected bag onto its shrunken
+    schema; edge deletion drops the removed bag.  Preserves k-wise
+    consistency in the forward direction (marginals of a witness
+    witness the marginals).
+    """
+    _check_alignment(bags, step.schemas_before)
+    if step.kind == "vertex":
+        return [
+            bag.marginal(after)
+            for bag, after in zip(bags, step.schemas_after)
+        ]
+    return [
+        bag for i, bag in enumerate(bags) if i != step.removed_index
+    ]
+
+
+def lift_collection_one(
+    bags: Sequence[Bag], step: DeletionStep, default_value=0
+) -> list[Bag]:
+    """Lemma 4's construction for a single deletion step (backward).
+
+    Edge deletion: the removed bag is re-created as the marginal of its
+    covering bag.  Vertex deletion: each affected bag is extended with
+    the default value ``u0 = default_value`` on the deleted attribute.
+    """
+    _check_alignment(bags, step.schemas_after)
+    if step.kind == "edge":
+        assert step.removed_index is not None
+        assert step.covering_index is not None
+        # Position of the covering schema inside the *after* list.
+        covering_after = step.covering_index
+        if step.covering_index > step.removed_index:
+            covering_after -= 1
+        removed_schema = step.schemas_before[step.removed_index]
+        recreated = bags[covering_after].marginal(removed_schema)
+        lifted = list(bags)
+        lifted.insert(step.removed_index, recreated)
+        return lifted
+    # Vertex deletion: extend every bag whose original schema held the
+    # vertex.
+    vertex = step.vertex
+    lifted = []
+    for bag, before in zip(bags, step.schemas_before):
+        if vertex not in before:
+            lifted.append(bag)
+            continue
+        mults = {}
+        for row, mult in bag.items():
+            mapping = dict(zip(bag.schema.attrs, row))
+            mapping[vertex] = default_value
+            new_row = tuple(mapping[a] for a in before.attrs)
+            mults[new_row] = mult
+        lifted.append(Bag(before, mults))
+    return lifted
+
+
+def lift_collection(
+    bags: Sequence[Bag],
+    steps: Sequence[DeletionStep],
+    default_value=0,
+) -> list[Bag]:
+    """Lemma 4 over a whole deletion sequence: given D0 over the final
+    schema list, produce D1 over the initial one, preserving k-wise
+    consistency in both directions."""
+    current = list(bags)
+    for step in reversed(list(steps)):
+        current = lift_collection_one(current, step, default_value)
+    return current
+
+
+def push_collection_all(
+    bags: Sequence[Bag], steps: Sequence[DeletionStep]
+) -> list[Bag]:
+    """Transport a collection forward across a whole sequence."""
+    current = list(bags)
+    for step in steps:
+        current = push_collection(current, step)
+    return current

@@ -1,0 +1,130 @@
+"""Theorem 2: the local-to-global consistency property for bags.
+
+A hypergraph H has the *local-to-global consistency property for bags*
+when every pairwise consistent collection of bags over its hyperedges is
+globally consistent.  Theorem 2 proves this property holds iff H is
+acyclic.  This module makes both directions executable:
+
+* the acyclic direction is :func:`repro.consistency.global_.acyclic_global_witness`
+  (Step 1 of the proof: fold witnesses along a running-intersection
+  ordering);
+* the cyclic direction is the explicit counterexample machine
+  (Step 2): the Tseitin-style construction :func:`tseitin_collection`
+  over any k-uniform d-regular hypergraph with d >= 2, transported to an
+  arbitrary cyclic hypergraph through Lemma 3 obstructions and Lemma 4
+  lifting by :func:`counterexample_for_cyclic`.
+
+The counterexamples consist of 0/1 bags, i.e. relations, and the same
+modular-counting argument defeats set semantics too, so
+:func:`counterexample_for_cyclic` also exhibits the failure of the
+local-to-global property *for relations* on cyclic schemas (the hard
+direction of Theorem 1(e)).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import AcyclicSchemaError, NotRegularError
+from ..hypergraphs.acyclicity import is_acyclic
+from ..hypergraphs.hypergraph import Hypergraph
+from ..hypergraphs.obstructions import find_obstruction
+from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
+from .global_ import decide_global_consistency, pairwise_consistent
+from .lifting import deletion_sequence, lift_collection
+
+
+def tseitin_collection(
+    schemas: Sequence[Schema], charged_index: int | None = None
+) -> list[Bag]:
+    """The paper's pairwise-consistent, globally-inconsistent collection
+    over a k-uniform d-regular hypergraph (Theorem 2, Step 2).
+
+    For every edge except one, the bag holds (with multiplicity 1) all
+    tuples with values in {0, ..., d-1} summing to 0 mod d; the *charged*
+    edge (by default the last) requires sum 1 mod d.  Pairwise
+    consistency follows from uniform marginals; global consistency fails
+    by summing the congruences over a d-regular hypergraph.
+
+    Raises :class:`NotRegularError` unless the schema list forms a
+    k-uniform, d-regular hypergraph with d >= 2 and distinct edges.
+    """
+    schemas = list(schemas)
+    if len(set(schemas)) != len(schemas):
+        raise NotRegularError("Tseitin construction needs distinct edges")
+    hypergraph = Hypergraph.from_schemas(schemas)
+    k = hypergraph.uniformity()
+    d = hypergraph.regularity()
+    if k is None or d is None or d < 2:
+        raise NotRegularError(
+            f"Tseitin construction needs a k-uniform d-regular hypergraph "
+            f"with d >= 2; got uniformity={k}, regularity={d}"
+        )
+    if charged_index is None:
+        charged_index = len(schemas) - 1
+    bags = []
+    for i, schema in enumerate(schemas):
+        target = 1 if i == charged_index else 0
+        rows = {
+            values: 1
+            for values in product(range(d), repeat=k)
+            if sum(values) % d == target
+        }
+        bags.append(Bag(schema, rows))
+    return bags
+
+
+def counterexample_for_cyclic(
+    hypergraph: Hypergraph, default_value=0
+) -> list[Bag]:
+    """A pairwise consistent but globally inconsistent collection of bags
+    over the hyperedges of a cyclic hypergraph (Step 2 of Theorem 2).
+
+    Pipeline: Lemma 3 finds W and the reduced induced obstruction
+    (a cycle C_n or an H_n, both uniform and regular); the Tseitin
+    collection is built over it; Lemma 4 lifts the collection back
+    through the safe-deletion sequence.  The result is aligned with
+    ``hypergraph.edges``.
+
+    Raises :class:`AcyclicSchemaError` on acyclic hypergraphs — by
+    Theorem 2 no counterexample exists there.
+    """
+    obstruction = find_obstruction(hypergraph)  # raises when acyclic
+    schemas = list(hypergraph.edges)
+    steps = deletion_sequence(schemas, obstruction.vertices)
+    final_schemas = steps[-1].schemas_after if steps else tuple(schemas)
+    core = tseitin_collection(list(final_schemas))
+    return lift_collection(core, steps, default_value)
+
+
+def has_local_to_global_property_for_bags(hypergraph: Hypergraph) -> bool:
+    """Theorem 2 as a decider: the property holds iff H is acyclic."""
+    return is_acyclic(hypergraph)
+
+
+def find_local_to_global_counterexample(
+    hypergraph: Hypergraph, default_value=0
+) -> list[Bag] | None:
+    """None when H is acyclic (no counterexample exists, Theorem 2);
+    otherwise an explicit pairwise-consistent, globally-inconsistent
+    collection over H's hyperedges."""
+    try:
+        return counterexample_for_cyclic(hypergraph, default_value)
+    except AcyclicSchemaError:
+        return None
+
+
+def verify_counterexample(
+    bags: Sequence[Bag],
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> bool:
+    """Certificate check: the collection is pairwise consistent yet not
+    globally consistent (the exact search settles the negative half)."""
+    if not pairwise_consistent(bags):
+        return False
+    return not decide_global_consistency(
+        bags, method="search", node_budget=node_budget
+    )

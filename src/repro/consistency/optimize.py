@@ -1,0 +1,153 @@
+"""Optimal witnesses: minimize linear objectives over witness space.
+
+The end of Section 3 remarks that, because all vertices of the P(R, S)
+polytope are integral (Hoffman-Kruskal via total unimodularity), any LP
+algorithm can find a consistency witness *minimizing any linear function
+of the multiplicities*, in time polynomial in the bit size of the input.
+This module implements that remark with the exact simplex:
+
+* :func:`optimal_witness` — the witness minimizing
+  ``sum_t objective(t) * T(t)``;
+* :func:`multiplicity_range` — the [min, max] multiplicity a given join
+  tuple can take across all witnesses (two LPs), useful to quantify how
+  underdetermined the reconciliation is;
+* :func:`spread_witness` / :func:`concentrated_witness` — convenience
+  objectives: spread mass over many tuples or concentrate it on few.
+
+The simplex returns basic solutions; over the totally unimodular P(R, S)
+system with integer right-hand sides, basic solutions are integral, and
+the code verifies this before building the bag (a failed check would
+indicate a solver bug, not an unlucky instance).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable
+
+from ..core.bags import Bag
+from ..core.tuples import Tup
+from ..errors import InconsistentError, SolverError
+from ..lp.simplex import solve_lp
+from .program import ConsistencyProgram
+
+Objective = Callable[[Tup], int]
+
+
+def _solve_two_bag_lp(
+    r: Bag, s: Bag, cost: list
+) -> tuple[ConsistencyProgram, list[int]]:
+    program = ConsistencyProgram.build([r, s])
+    result = solve_lp(program.dense_matrix(), program.dense_rhs(), cost)
+    if result.status == "infeasible":
+        raise InconsistentError("bags are not consistent")
+    if result.status == "unbounded":
+        raise SolverError(
+            "witness LP unbounded; objectives must be bounded below on "
+            "the witness polytope (e.g. non-negative coefficients)"
+        )
+    integral = []
+    for value in result.solution:
+        if value.denominator != 1:
+            raise SolverError(
+                f"non-integral basic solution {value} on a totally "
+                f"unimodular system; this indicates a simplex bug"
+            )
+        integral.append(int(value))
+    return program, integral
+
+
+def optimal_witness(r: Bag, s: Bag, objective: Objective) -> Bag:
+    """The witness T minimizing ``sum_t objective(t) * T(t)``.
+
+    ``objective`` maps each join tuple (a :class:`Tup` over the union
+    schema) to an integer coefficient.  Negative coefficients are
+    allowed as long as the objective stays bounded below on the witness
+    polytope (multiplicities are bounded by the marginals, so every
+    objective is in fact bounded; unboundedness would be a solver bug).
+
+    Raises :class:`InconsistentError` when no witness exists.
+    """
+    probe = ConsistencyProgram.build([r, s])
+    cost = [
+        Fraction(objective(Tup(probe.union_schema, row)))
+        for row in probe.join_rows
+    ]
+    program, solution = _solve_two_bag_lp(r, s, cost)
+    return program.witness_from_solution(solution)
+
+
+def multiplicity_range(r: Bag, s: Bag, row: tuple) -> tuple[int, int]:
+    """The smallest and largest multiplicity the join tuple ``row`` (raw
+    values over the union schema) can take across all witnesses.
+
+    Quantifies reconciliation ambiguity: a wide range means the pairwise
+    data pins the joint fact down poorly.  Raises
+    :class:`InconsistentError` when the bags are inconsistent and
+    :class:`KeyError` when the row is not a join tuple (its multiplicity
+    is 0 in every witness, by Lemma 1).
+    """
+    probe = ConsistencyProgram.build([r, s])
+    row = tuple(row)
+    try:
+        index = probe.join_rows.index(row)
+    except ValueError:
+        raise KeyError(
+            f"{row!r} is outside the join of supports; by Lemma 1 its "
+            f"multiplicity is 0 in every witness"
+        )
+    n = len(probe.join_rows)
+    low_cost = [Fraction(0)] * n
+    low_cost[index] = Fraction(1)
+    high_cost = [Fraction(0)] * n
+    high_cost[index] = Fraction(-1)
+    _, low_solution = _solve_two_bag_lp(r, s, low_cost)
+    _, high_solution = _solve_two_bag_lp(r, s, high_cost)
+    return low_solution[index], high_solution[index]
+
+
+def concentrated_witness(r: Bag, s: Bag) -> Bag:
+    """A witness biased toward few heavy tuples: maximize the total mass
+    on tuples whose R-side and S-side rows 'rank' equal — implemented as
+    the minimal-support-style objective that charges every tuple 1.
+
+    Since all witnesses have the same total multiplicity, the uniform
+    objective is constant; to concentrate we instead charge each tuple
+    by its index parity to break ties deterministically.  Exposed mainly
+    as a deterministic alternative construction; prefer
+    :func:`repro.consistency.witness.minimal_pairwise_witness` for true
+    support minimality.
+    """
+    probe = ConsistencyProgram.build([r, s])
+    weights = {row: i % 2 for i, row in enumerate(probe.join_rows)}
+
+    def objective(tup: Tup) -> int:
+        return weights[tup.values]
+
+    return optimal_witness(r, s, objective)
+
+
+def spread_witness(r: Bag, s: Bag) -> Bag:
+    """The closed-form 'proportional' witness when it is integral, else
+    an LP witness preferring tuples the proportional solution favors.
+
+    The Lemma 2 closed form ``x_t = R(t[X]) S(t[Y]) / R(t[Z])`` spreads
+    mass maximally; when all its values are integers it is itself a
+    witness and is returned directly.
+    """
+    from .pairwise import rational_witness
+
+    rational = rational_witness(r, s)
+    if all(value.denominator == 1 for value in rational.values()):
+        union = r.schema | s.schema
+        return Bag(
+            union,
+            {row: int(value) for row, value in rational.items() if value},
+        )
+    # Prefer tuples with large proportional mass: charge the complement.
+    scale = max(value.denominator for value in rational.values())
+
+    def objective(tup: Tup) -> int:
+        return -int(rational[tup.values] * scale)
+
+    return optimal_witness(r, s, objective)

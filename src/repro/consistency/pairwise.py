@@ -1,0 +1,163 @@
+"""Consistency of two bags — all five characterizations of Lemma 2.
+
+Lemma 2 proves the equivalence of:
+
+1. R and S are consistent (some bag T has T[X] = R and T[Y] = S);
+2. R[X & Y] = S[X & Y];
+3. P(R, S) is feasible over the rationals;
+4. P(R, S) is feasible over the integers;
+5. N(R, S) admits a saturated flow.
+
+Each statement is implemented as an independently runnable decider
+(:func:`consistent_via_marginals`, :func:`consistent_via_lp`,
+:func:`consistent_via_integer_search`, :func:`consistent_via_flow`,
+:func:`consistent_via_witness_search`), and the test suite checks they
+agree.  The practical API is :func:`are_consistent` (the O(n) marginal
+test) and :func:`consistency_witness` (Corollary 1: a witness in
+strongly polynomial time via max-flow).
+
+:func:`rational_witness` exposes the explicit closed-form solution
+``x_t = R(t[X]) * S(t[Y]) / R(t[Z])`` used in the (2) => (3) step.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.bags import Bag
+from ..core.schema import project_values
+from ..errors import InconsistentError
+from ..flows.maxflow import FlowResult, saturated_flow
+from ..flows.network import FlowNetwork
+from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET, find_solution
+from ..lp.simplex import solve_lp
+from .program import ConsistencyProgram
+
+SOURCE = ("source", "*")
+SINK = ("sink", "*")
+
+
+def are_consistent(r: Bag, s: Bag) -> bool:
+    """Lemma 2(2): the polynomial-time consistency test — equal marginals
+    on the common attributes."""
+    common = r.schema & s.schema
+    return r.marginal(common) == s.marginal(common)
+
+
+consistent_via_marginals = are_consistent
+
+
+def build_network(r: Bag, s: Bag) -> FlowNetwork:
+    """The network N(R, S) of Section 3.
+
+    One node per support tuple of each bag plus source and sink; source
+    edges carry R(r), sink edges carry S(s), and middle edges (one per
+    join tuple) carry "unbounded" capacity, realized as the total
+    multiplicity of R (no flow can exceed it).
+    """
+    network = FlowNetwork(SOURCE, SINK)
+    unbounded = max(r.unary_size, s.unary_size, 1)
+    for row, mult in r.items():
+        network.add_edge(SOURCE, ("r", row), mult)
+    for row, mult in s.items():
+        network.add_edge(("s", row), SINK, mult)
+    join = r.support().join(s.support())
+    union = join.schema
+    for t in join.rows:
+        left = project_values(t, union, r.schema)
+        right = project_values(t, union, s.schema)
+        network.add_edge(("r", left), ("s", right), unbounded)
+    return network
+
+
+def consistent_via_flow(r: Bag, s: Bag) -> bool:
+    """Lemma 2(5): N(R, S) admits a saturated flow."""
+    return saturated_flow(build_network(r, s)) is not None
+
+
+def witness_from_flow(r: Bag, s: Bag, flow: FlowResult) -> Bag:
+    """The witness T(t) := f(t[X], t[Y]) extracted from a saturated flow
+    (the (5) => (1) step of Lemma 2)."""
+    union = r.schema | s.schema
+    join = r.support().join(s.support())
+    mults: dict[tuple, int] = {}
+    for t in join.rows:
+        left = ("r", project_values(t, union, r.schema))
+        right = ("s", project_values(t, union, s.schema))
+        value = flow.on(left, right)
+        if value:
+            mults[t] = value
+    return Bag(union, mults)
+
+
+def consistency_witness(r: Bag, s: Bag) -> Bag:
+    """Corollary 1: a witness to the consistency of two bags, computed
+    via one integral max-flow; raises :class:`InconsistentError` when the
+    bags are inconsistent."""
+    flow = saturated_flow(build_network(r, s))
+    if flow is None:
+        raise InconsistentError(
+            "bags are not consistent (no saturated flow in N(R, S))"
+        )
+    return witness_from_flow(r, s, flow)
+
+
+def rational_witness(r: Bag, s: Bag) -> dict[tuple, Fraction]:
+    """The closed-form rational solution of P(R, S) from Lemma 2's
+    (2) => (3) step: ``x_t = R(t[X]) * S(t[Y]) / R(t[Z])``.
+
+    Keys are raw join tuples over the union schema.  Raises
+    :class:`InconsistentError` when R[Z] != S[Z].
+    """
+    common = r.schema & s.schema
+    if r.marginal(common) != s.marginal(common):
+        raise InconsistentError("bags disagree on their common marginal")
+    union = r.schema | s.schema
+    r_common = r.marginal(common)
+    join = r.support().join(s.support())
+    out: dict[tuple, Fraction] = {}
+    for t in join.rows:
+        x = project_values(t, union, r.schema)
+        y = project_values(t, union, s.schema)
+        z = project_values(t, union, common)
+        out[t] = Fraction(r.multiplicity(x) * s.multiplicity(y), r_common.multiplicity(z))
+    return out
+
+
+def consistent_via_lp(r: Bag, s: Bag) -> bool:
+    """Lemma 2(3): rational feasibility of P(R, S), by exact simplex."""
+    program = ConsistencyProgram.build([r, s])
+    result = solve_lp(program.dense_matrix(), program.dense_rhs())
+    return result.status == "optimal"
+
+
+def consistent_via_integer_search(
+    r: Bag, s: Bag, node_budget: int | None = DEFAULT_NODE_BUDGET
+) -> bool:
+    """Lemma 2(4): integer feasibility of P(R, S), by exact search."""
+    program = ConsistencyProgram.build([r, s])
+    return find_solution(program.system, node_budget) is not None
+
+
+def consistent_via_witness_search(
+    r: Bag, s: Bag, node_budget: int | None = DEFAULT_NODE_BUDGET
+) -> Bag | None:
+    """Lemma 2(1) taken literally: search for a witness bag directly.
+
+    Returns a witness or None; the definitional (exponential) route, used
+    as the oracle in cross-checks.
+    """
+    program = ConsistencyProgram.build([r, s])
+    solution = find_solution(program.system, node_budget)
+    if solution is None:
+        return None
+    return program.witness_from_solution(solution)
+
+
+ALL_DECIDERS = (
+    ("marginals", consistent_via_marginals),
+    ("lp", consistent_via_lp),
+    ("integer", consistent_via_integer_search),
+    ("flow", consistent_via_flow),
+    ("witness", lambda r, s: consistent_via_witness_search(r, s) is not None),
+)

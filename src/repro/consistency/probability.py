@@ -1,0 +1,182 @@
+"""Vorob'ev's theorem: local-to-global consistency for distributions.
+
+The related-work section recounts that Vorob'ev (1962) characterized
+when every pairwise consistent family of probability distributions has a
+joint distribution — by a hypergraph condition later recognized as
+acyclicity.  With exact rational probabilities this is the Q>=0 story of
+:mod:`repro.consistency.semiring_consistency` plus a normalization, so
+the machinery here is thin and the theorems come out as corollaries:
+
+* two distributions are consistent iff their common marginals agree
+  (:func:`distributions_consistent`); the *conditional-independence
+  glue* ``p(t) = p_R(t[X]) p_S(t[Y]) / p(t[Z])`` is a joint distribution
+  (:func:`glue_pair`) — Lemma 2's closed form, renormalized by nothing;
+* over acyclic schemas every pairwise consistent family has a joint
+  distribution, built by folding the glue along a running-intersection
+  order (:func:`joint_distribution_acyclic`) — Vorob'ev's positive
+  direction;
+* over cyclic schemas the normalized Tseitin collections are pairwise
+  consistent families with no joint distribution
+  (:func:`contextual_family`) — the negative direction, and the formal
+  kinship with Bell-type contextuality the paper points out.
+
+A distribution is a :class:`~repro.core.krelations.KRelation` over the
+non-negative rationals whose annotations sum to 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.krelations import KRelation
+from ..core.semirings import NONNEG_RATIONALS
+from ..errors import AcyclicSchemaError, MultiplicityError
+from ..hypergraphs.hypergraph import Hypergraph
+from .local_global import counterexample_for_cyclic
+from .semiring_consistency import (
+    acyclic_global_witness_rationals,
+    is_krelation_witness,
+    krelations_consistent,
+    rational_pairwise_witness,
+)
+
+
+def is_distribution(k: KRelation) -> bool:
+    """A non-empty Q>=0-relation whose annotations sum to exactly 1."""
+    if k.semiring is not NONNEG_RATIONALS or not k:
+        return False
+    total = sum((Fraction(v) for _, v in k.items()), Fraction(0))
+    return total == 1
+
+
+def distribution(schema_rows: dict, schema=None) -> KRelation:
+    """Build a distribution from ``{row: probability}``; probabilities
+    are normalized exactly if they do not already sum to 1."""
+    from ..core.schema import Schema
+
+    if schema is None:
+        raise MultiplicityError("distribution() requires schema=")
+    values = {row: Fraction(v) for row, v in schema_rows.items()}
+    total = sum(values.values(), Fraction(0))
+    if total <= 0:
+        raise MultiplicityError("probabilities must have positive total")
+    return KRelation(
+        schema,
+        NONNEG_RATIONALS,
+        {row: v / total for row, v in values.items()},
+    )
+
+
+def from_bag(bag: Bag) -> KRelation:
+    """The empirical distribution of a bag (frequencies / total)."""
+    total = bag.unary_size
+    if total == 0:
+        raise MultiplicityError("empty bag has no empirical distribution")
+    return KRelation(
+        bag.schema,
+        NONNEG_RATIONALS,
+        {row: Fraction(mult, total) for row, mult in bag.items()},
+    )
+
+
+def distributions_consistent(p: KRelation, q: KRelation) -> bool:
+    """Two distributions are consistent iff their common marginals agree
+    — the probability reading of Lemma 2(1) <=> (2)."""
+    _require_distribution(p)
+    _require_distribution(q)
+    return krelations_consistent(p, q)
+
+
+def glue_pair(p: KRelation, q: KRelation) -> KRelation:
+    """The conditional-independence glue of two consistent distributions
+    — a joint distribution with the given marginals.
+
+    This is exactly Lemma 2's closed-form solution; its total mass is
+    automatically 1 (summing the formula over the join telescopes to the
+    total of p).
+    """
+    _require_distribution(p)
+    _require_distribution(q)
+    joint = rational_pairwise_witness(p, q)
+    assert is_distribution(joint), "glue lost normalization"
+    return joint
+
+
+def joint_distribution_acyclic(
+    family: Sequence[KRelation],
+) -> KRelation:
+    """Vorob'ev's positive direction: a joint distribution for any
+    pairwise consistent family over an acyclic schema."""
+    for p in family:
+        _require_distribution(p)
+    joint = acyclic_global_witness_rationals(family)
+    assert is_distribution(joint), "fold lost normalization"
+    return joint
+
+
+def has_joint_distribution(family: Sequence[KRelation]) -> bool:
+    """Decide existence of a joint distribution.
+
+    Acyclic schemas: pairwise consistency decides (Vorob'ev).  Cyclic
+    schemas: falls back to exact rational LP feasibility of the marginal
+    equations over the join of supports.
+    """
+    from ..hypergraphs.acyclicity import is_acyclic
+    from ..lp.simplex import solve_lp
+
+    for p in family:
+        _require_distribution(p)
+    pairwise = all(
+        krelations_consistent(family[i], family[j])
+        for i in range(len(family))
+        for j in range(i + 1, len(family))
+    )
+    if not pairwise:
+        return False
+    hypergraph = Hypergraph.from_schemas([p.schema for p in family])
+    if is_acyclic(hypergraph):
+        return True
+    # Cyclic: exact LP over the join of supports (scaled to integers).
+    from ..core.relations import join_all
+    from ..core.schema import project_values
+
+    join = join_all([p.to_relation() for p in family])
+    rows = sorted(join.rows, key=repr)
+    if not rows:
+        return False
+    union = join.schema
+    a: list[list[Fraction]] = []
+    b: list[Fraction] = []
+    for p in family:
+        for row, value in sorted(p.items(), key=repr):
+            coeffs = [
+                Fraction(1)
+                if project_values(t, union, p.schema) == row
+                else Fraction(0)
+                for t in rows
+            ]
+            a.append(coeffs)
+            b.append(Fraction(value))
+    return solve_lp(a, b).status == "optimal"
+
+
+def contextual_family(hypergraph: Hypergraph) -> list[KRelation]:
+    """Vorob'ev's negative direction, constructively: for a cyclic
+    hypergraph, a pairwise consistent family of distributions with no
+    joint distribution (the normalized Tseitin collection).
+
+    Raises :class:`AcyclicSchemaError` on acyclic hypergraphs, where
+    Vorob'ev's theorem says no such family exists.
+    """
+    bags = counterexample_for_cyclic(hypergraph)  # raises when acyclic
+    return [from_bag(bag) for bag in bags]
+
+
+def _require_distribution(p: KRelation) -> None:
+    if not is_distribution(p):
+        raise MultiplicityError(
+            f"{p!r} is not a probability distribution (Q>=0 annotations "
+            f"summing to 1)"
+        )

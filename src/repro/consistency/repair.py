@@ -1,0 +1,180 @@
+"""Repairing inconsistent bags: minimal updates restoring consistency.
+
+A practical companion to the decision procedures: when ledgers disagree,
+*how little* must change to reconcile them?  For two bags the answer is
+exact and cheap, because Lemma 2(2) localizes inconsistency to the
+common marginal:
+
+* the **repair distance** is the total-variation distance
+  ``sum_z |R[Z](z) - S[Z](z)|`` between the common marginals — every
+  single-tuple insertion or deletion moves exactly one marginal cell by
+  one, so this is a lower bound, and the constructive repair below
+  achieves it;
+* :func:`repair_pair` edits one designated side, cell by cell: surplus
+  mass is removed from existing rows, deficits are filled by cloning an
+  existing row with the right projection (or padding fresh attributes
+  with a default value).
+
+For collections over **acyclic** schemas, :func:`repair_collection`
+repairs child against parent down a join tree.  Agreement along tree
+edges implies agreement for every pair (shared attributes live on the
+whole tree path, by join-tree coherence), so one root-first pass makes
+the collection pairwise consistent — and then Theorem 2 upgrades that to
+global consistency.  Cost optimality across a whole collection is not
+claimed (the single-pair optimum is).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema, project_values
+from ..errors import CyclicSchemaError, InconsistentError
+from ..hypergraphs.acyclicity import join_tree
+from ..hypergraphs.hypergraph import hypergraph_of_bags
+
+
+def repair_distance(r: Bag, s: Bag) -> int:
+    """The total-variation distance of the common marginals: the exact
+    minimal number of single-tuple insertions/deletions (on either side)
+    that restores consistency."""
+    common = r.schema & s.schema
+    left = r.marginal(common)
+    right = s.marginal(common)
+    cells = set(left.support_rows()) | set(right.support_rows())
+    return sum(
+        abs(left.multiplicity(c) - right.multiplicity(c)) for c in cells
+    )
+
+
+def repair_pair(
+    r: Bag, s: Bag, default_value=0
+) -> tuple[Bag, int]:
+    """Repair ``s`` so that the pair becomes consistent; ``r`` is the
+    authoritative side.
+
+    Returns ``(s', cost)`` where cost is the number of single-tuple
+    edits, always equal to :func:`repair_distance`.  Deficit cells are
+    filled by cloning an existing ``s`` row with the matching common
+    projection; if the cell is entirely absent from ``s``, a fresh row
+    is synthesized with ``default_value`` on the non-common attributes.
+    """
+    common = r.schema & s.schema
+    target = r.marginal(common)
+    current = dict(s.items())
+    cost = 0
+
+    def rows_for(cell: tuple) -> list[tuple]:
+        return [
+            row
+            for row in current
+            if project_values(row, s.schema, common) == cell
+        ]
+
+    cells = set(target.support_rows()) | {
+        project_values(row, s.schema, common) for row in current
+    }
+    for cell in sorted(cells, key=repr):
+        want = target.multiplicity(cell)
+        have = sum(
+            current[row]
+            for row in rows_for(cell)
+        )
+        if have > want:
+            surplus = have - want
+            cost += surplus
+            for row in sorted(rows_for(cell), key=repr):
+                if surplus == 0:
+                    break
+                take = min(surplus, current[row])
+                current[row] -= take
+                surplus -= take
+                if current[row] == 0:
+                    del current[row]
+        elif want > have:
+            deficit = want - have
+            cost += deficit
+            candidates = rows_for(cell)
+            if candidates:
+                template = max(candidates, key=lambda row: current[row])
+            else:
+                mapping = dict(zip(common.attrs, cell))
+                for attr in s.schema.attrs:
+                    mapping.setdefault(attr, default_value)
+                template = tuple(mapping[a] for a in s.schema.attrs)
+            current[template] = current.get(template, 0) + deficit
+    repaired = Bag(s.schema, current)
+    expected = repair_distance(r, s)
+    if cost != expected:
+        raise AssertionError(
+            f"repair cost {cost} != repair distance {expected}; "
+            f"construction bug"
+        )
+    return repaired, cost
+
+
+def repair_collection(
+    bags: Sequence[Bag], default_value=0
+) -> tuple[list[Bag], int]:
+    """Repair a collection over an acyclic schema into global
+    consistency with one root-first pass down a join tree.
+
+    Bag 0's schema-edge... more precisely: the bag matched to the join
+    tree root is authoritative; every other bag is repaired against its
+    (already repaired) tree parent.  Returns the repaired collection
+    (order preserved) and the total edit cost.  Raises
+    :class:`CyclicSchemaError` on cyclic schemas, where tree-edge
+    agreement would not imply pairwise consistency.
+
+    Duplicate-schema bags are repaired against the first bag with that
+    schema (made equal to it).
+    """
+    if not bags:
+        raise InconsistentError("empty collection")
+    hypergraph = hypergraph_of_bags(bags)
+    tree = join_tree(hypergraph)  # raises when cyclic
+    # One representative bag per schema (first occurrence wins).
+    representative: dict[Schema, int] = {}
+    for i, bag in enumerate(bags):
+        representative.setdefault(bag.schema, i)
+    repaired_by_schema: dict[Schema, Bag] = {}
+    total_cost = 0
+    # Root-first order over tree nodes.
+    children = tree.children()
+    order = [tree.root]
+    queue = [tree.root]
+    while queue:
+        node = queue.pop(0)
+        for child in sorted(children[node]):
+            order.append(child)
+            queue.append(child)
+    for node in order:
+        schema = tree.edges[node]
+        bag = bags[representative[schema]]
+        parent = tree.parent[node]
+        if parent < 0:
+            repaired_by_schema[schema] = bag
+            continue
+        anchor = repaired_by_schema[tree.edges[parent]]
+        fixed, cost = repair_pair(anchor, bag, default_value)
+        repaired_by_schema[schema] = fixed
+        total_cost += cost
+    out = []
+    for bag in bags:
+        fixed = repaired_by_schema[bag.schema]
+        if bag != fixed:
+            # Count making duplicates equal (unary-size difference is a
+            # coarse but honest cost for the duplicate case).
+            if bags[representative[bag.schema]] is not bag:
+                total_cost += _edit_cost(bag, fixed)
+        out.append(fixed)
+    return out, total_cost
+
+
+def _edit_cost(before: Bag, after: Bag) -> int:
+    rows = set(before.support_rows()) | set(after.support_rows())
+    return sum(
+        abs(before.multiplicity(row) - after.multiplicity(row))
+        for row in rows
+    )

@@ -1,0 +1,162 @@
+"""Consistency of K-relations — the paper's Section 6 open problem.
+
+The concluding remarks ask whether the paper's results extend to
+K-relations over positive semirings under the *strict* notion of
+consistency (exact marginal equality).  This module explores the
+question executably for the semirings where linear-system reasoning is
+available:
+
+* **Booleans** (= relations): classical, delegated to the set case.
+* **Naturals** (= bags): the paper itself, delegated to the bag layer.
+* **Non-negative rationals**: answered positively here.  Lemma 2's
+  closed-form construction ``x_t = R(t[X]) S(t[Y]) / R(t[Z])`` never
+  leaves Q>=0, so two Q>=0-relations are consistent iff their common
+  marginals agree, and the Theorem 2 Step-1 induction goes through
+  verbatim: :func:`acyclic_global_witness_rationals` folds closed-form
+  witnesses along a running-intersection order.
+
+For the *negative* side, the Tseitin counterexamples transfer to every
+positive semiring: a witness's support tuples must satisfy all the
+modular constraints regardless of what ring the annotations live in, and
+:func:`joint_support_is_empty` checks exactly that (the join of the
+supports is empty), which refutes witnesses over *any* semiring with a
+positivity property.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.krelations import KRelation
+from ..core.relations import join_all
+from ..core.schema import Schema, project_values
+from ..core.semirings import BOOLEAN, NATURALS, NONNEG_RATIONALS
+from ..errors import InconsistentError, MultiplicityError
+from ..hypergraphs.acyclicity import running_intersection_order
+from ..hypergraphs.hypergraph import Hypergraph
+
+
+def krelations_consistent(r: KRelation, s: KRelation) -> bool:
+    """Strict consistency of two K-relations over B, N, or Q>=0.
+
+    For all three semirings, equal common marginals are necessary (any
+    witness marginalizes to both sides) and sufficient (Booleans: the
+    join witnesses; naturals: Lemma 2; rationals: the closed form below).
+    """
+    if r.semiring is not s.semiring:
+        raise MultiplicityError(
+            f"cannot compare a {r.semiring.name}-relation with a "
+            f"{s.semiring.name}-relation"
+        )
+    if r.semiring not in (BOOLEAN, NATURALS, NONNEG_RATIONALS):
+        raise MultiplicityError(
+            f"no decision procedure for semiring {r.semiring.name}; "
+            f"this is the paper's open problem"
+        )
+    common = r.schema & s.schema
+    return r.marginal(common) == s.marginal(common)
+
+
+def rational_pairwise_witness(r: KRelation, s: KRelation) -> KRelation:
+    """The closed-form Q>=0 witness (Lemma 2's (2) => (3) construction,
+    which is already a witness over the rationals — no integrality step
+    is needed)."""
+    for k in (r, s):
+        if k.semiring is not NONNEG_RATIONALS:
+            raise MultiplicityError(
+                f"expected Q>=0-relations, got {k.semiring.name}"
+            )
+    common = r.schema & s.schema
+    r_common = r.marginal(common)
+    if r_common != s.marginal(common):
+        raise InconsistentError(
+            "Q>=0-relations disagree on their common marginal"
+        )
+    union = r.schema | s.schema
+    join = r.to_relation().join(s.to_relation())
+    annots: dict[tuple, Fraction] = {}
+    for t in join.rows:
+        x = project_values(t, union, r.schema)
+        y = project_values(t, union, s.schema)
+        z = project_values(t, union, common)
+        annots[t] = (
+            Fraction(r.annotation(x))
+            * Fraction(s.annotation(y))
+            / Fraction(r_common.annotation(z))
+        )
+    return KRelation(union, NONNEG_RATIONALS, annots)
+
+
+def is_krelation_witness(
+    collection: Sequence[KRelation], candidate: KRelation
+) -> bool:
+    """Strict witness check: the candidate marginalizes onto every
+    member."""
+    union = None
+    for k in collection:
+        union = k.schema if union is None else union | k.schema
+    if union is None or candidate.schema != union:
+        return False
+    return all(candidate.marginal(k.schema) == k for k in collection)
+
+
+def acyclic_global_witness_rationals(
+    collection: Sequence[KRelation],
+) -> KRelation:
+    """Theorem 6 transplanted to Q>=0-relations.
+
+    Requires pairwise consistency and an acyclic schema; folds the
+    closed-form witness along a running-intersection ordering.  The
+    existence of this construction answers the Section 6 question
+    positively for the non-negative rational semiring (under strict
+    consistency), mirroring the bag case without any integrality
+    machinery.
+    """
+    if not collection:
+        raise InconsistentError("empty collection")
+    for k in collection:
+        if k.semiring is not NONNEG_RATIONALS:
+            raise MultiplicityError(
+                f"expected Q>=0-relations, got {k.semiring.name}"
+            )
+    for i in range(len(collection)):
+        for j in range(i + 1, len(collection)):
+            if not krelations_consistent(collection[i], collection[j]):
+                raise InconsistentError(
+                    "collection is not pairwise consistent"
+                )
+    by_schema: dict[Schema, KRelation] = {}
+    for k in collection:
+        if k.schema in by_schema and by_schema[k.schema] != k:
+            raise InconsistentError(
+                "two distinct K-relations share a schema"
+            )
+        by_schema.setdefault(k.schema, k)
+    hypergraph = Hypergraph.from_schemas(list(by_schema))
+    rip = running_intersection_order(hypergraph)  # raises when cyclic
+    ordered = [by_schema[edge] for edge in rip.order]
+    witness = ordered[0]
+    for k in ordered[1:]:
+        witness = rational_pairwise_witness(witness, k)
+    if not is_krelation_witness(list(by_schema.values()), witness):
+        raise AssertionError(
+            "rational Theorem 6 construction failed; contradicts the "
+            "Step 1 induction"
+        )
+    return witness
+
+
+def joint_support_is_empty(collection: Sequence[KRelation]) -> bool:
+    """True when the join of the supports is empty — a semiring-agnostic
+    refutation of global consistency.
+
+    Any witness over any semiring with positive supports must place its
+    support inside the join of supports (Lemma 1's argument never uses
+    arithmetic beyond positivity), so an empty join refutes global
+    consistency over *every* positive semiring at once.  The Tseitin
+    collections all have this property, which is why Theorem 2's cyclic
+    direction transfers to the K-relation setting wholesale.
+    """
+    supports = [k.to_relation() for k in collection]
+    return len(join_all(supports)) == 0

@@ -1,0 +1,84 @@
+"""The set-semantics baseline (Section 5.1 and the classical facts).
+
+For relations the landscape the paper contrasts against:
+
+* two relations are consistent iff their projections on the common
+  attributes agree, and the join witnesses consistency;
+* a collection is globally consistent iff the n-ary join projects back
+  onto every input (so for every *fixed* schema the problem is
+  polynomial — the join has polynomially many rows when m is fixed);
+* the join is the largest witness (every witness is contained in it);
+* pairwise consistency does not imply global consistency on cyclic
+  schemas — :func:`bfmy_counterexample` is the paper's three-relation
+  example R(AB) = {00, 11}, S(BC) = {01, 10}, T(AC) = {00, 11}.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..core.relations import Relation, join_all
+from ..core.schema import Schema
+from ..errors import InconsistentError
+
+
+def relations_consistent(r: Relation, s: Relation) -> bool:
+    """Two relations are consistent iff their common projections agree."""
+    common = r.schema & s.schema
+    return r.project(common) == s.project(common)
+
+
+def relations_pairwise_consistent(relations: Sequence[Relation]) -> bool:
+    """Every two relations of the collection are consistent."""
+    return all(
+        relations_consistent(relations[i], relations[j])
+        for i, j in combinations(range(len(relations)), 2)
+    )
+
+
+def relations_globally_consistent(relations: Sequence[Relation]) -> bool:
+    """Global consistency for relations: the join projects back onto
+    every input relation (Section 5.1)."""
+    if not relations:
+        raise InconsistentError("empty collection")
+    joined = join_all(list(relations))
+    return all(
+        joined.project(rel.schema) == rel for rel in relations
+    )
+
+
+def universal_relation(relations: Sequence[Relation]) -> Relation:
+    """The largest witness (the join) when the collection is globally
+    consistent; raises :class:`InconsistentError` otherwise."""
+    if not relations_globally_consistent(relations):
+        raise InconsistentError(
+            "collection is not globally consistent; no universal relation"
+        )
+    return join_all(list(relations))
+
+
+def is_relation_witness(
+    relations: Sequence[Relation], candidate: Relation
+) -> bool:
+    """Certificate check under set semantics."""
+    union = None
+    for rel in relations:
+        union = rel.schema if union is None else union | rel.schema
+    if union is None or candidate.schema != union:
+        return False
+    return all(
+        candidate.project(rel.schema) == rel for rel in relations
+    )
+
+
+def bfmy_counterexample() -> list[Relation]:
+    """The paper's Section 4 example of pairwise consistent but globally
+    inconsistent relations over the triangle schema."""
+    ab = Schema(["A", "B"])
+    bc = Schema(["B", "C"])
+    ac = Schema(["A", "C"])
+    r = Relation.from_pairs(ab, [(0, 0), (1, 1)])
+    s = Relation.from_pairs(bc, [(0, 1), (1, 0)])
+    t = Relation.from_pairs(ac, [(0, 0), (1, 1)])
+    return [r, s, t]

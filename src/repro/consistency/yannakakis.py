@@ -1,0 +1,143 @@
+"""Yannakakis' algorithm: acyclic join evaluation in polynomial time.
+
+The paper's introduction motivates hypergraph acyclicity through
+[Yan81]: relational join evaluation is NP-complete in general (deciding
+whether the join is even non-empty embeds 3-colorability, see
+:mod:`repro.reductions.three_coloring`), but over *acyclic* schemas the
+join can be computed in time polynomial in input + output.  The
+algorithm:
+
+1. **Full reduction** — the two-pass semijoin program along a join tree
+   removes every dangling tuple (:mod:`repro.consistency.full_reducer`).
+2. **Bottom-up join** — joining reduced relations leaf-to-root never
+   creates a tuple that fails to extend to a final output tuple, so
+   every intermediate result is at most |output| * m tuples.
+
+:func:`yannakakis_join` implements both passes; :func:`naive_join` is
+the baseline that joins in input order without reduction (correct, but
+its intermediates can explode on dangling-heavy inputs — the benchmark
+`bench_yannakakis.py` measures exactly that gap).  The instrumented
+variant returns intermediate sizes so the output-sensitivity claim is
+testable rather than folklore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.relations import Relation, join_all
+from ..core.schema import Schema
+from ..errors import CyclicSchemaError
+from ..hypergraphs.acyclicity import join_tree
+from ..hypergraphs.hypergraph import Hypergraph
+from .full_reducer import fully_reduce
+
+
+@dataclass(frozen=True)
+class JoinTrace:
+    """Result of an instrumented join: the output plus the size of every
+    intermediate relation materialized along the way."""
+
+    result: Relation
+    intermediate_sizes: tuple[int, ...]
+
+    @property
+    def max_intermediate(self) -> int:
+        return max(self.intermediate_sizes, default=0)
+
+
+def naive_join(relations: Sequence[Relation]) -> JoinTrace:
+    """Left-deep join in input order, no reduction — the baseline."""
+    if not relations:
+        return JoinTrace(join_all([]), ())
+    current = relations[0]
+    sizes = [len(current)]
+    for relation in relations[1:]:
+        current = current.join(relation)
+        sizes.append(len(current))
+    return JoinTrace(current, tuple(sizes))
+
+
+def yannakakis_join(relations: Sequence[Relation]) -> JoinTrace:
+    """The Yannakakis evaluation: full reduction, then a bottom-up join
+    along the join tree.
+
+    Requires an acyclic schema (raises :class:`CyclicSchemaError`
+    otherwise, mirroring the dichotomy the paper builds on).  After
+    reduction, every tuple of every intermediate extends to an output
+    tuple, so intermediates are bounded by |output| scaled by the number
+    of relations — the polynomial output-sensitivity guarantee.
+    """
+    if not relations:
+        return JoinTrace(join_all([]), ())
+    reduced = fully_reduce(relations)  # raises via join_tree when cyclic
+    by_schema: dict[Schema, Relation] = {}
+    for relation in reduced:
+        # fully_reduce already intersected duplicates; keep one per schema.
+        by_schema[relation.schema] = relation
+    hypergraph = Hypergraph.from_schemas(list(by_schema))
+    tree = join_tree(hypergraph)
+    children = tree.children()
+    sizes: list[int] = []
+
+    def bottom_up(node: int) -> Relation:
+        current = by_schema[tree.edges[node]]
+        for child in children[node]:
+            current = current.join(bottom_up(child))
+            sizes.append(len(current))
+        return current
+
+    result = bottom_up(tree.root)
+    if not sizes:
+        sizes.append(len(result))
+    return JoinTrace(result, tuple(sizes))
+
+
+def join_nonempty_acyclic(relations: Sequence[Relation]) -> bool:
+    """Is the join non-empty?  Over acyclic schemas this needs only the
+    reduction pass: the join is non-empty iff no relation reduced to
+    empty (no materialization at all)."""
+    reduced = fully_reduce(relations)
+    return all(len(relation) > 0 for relation in reduced)
+
+
+def dangling_heavy_instance(
+    n_chains: int, chain_length: int, dangle_factor: int
+) -> list[Relation]:
+    """A worst-case-for-naive path family with branching danglers.
+
+    Live tuples form ``n_chains`` straight chains that survive to the
+    output.  Dead values branch: relation 0 seeds ``dangle_factor`` dead
+    values, every middle relation maps each dead value to all
+    ``dangle_factor`` dead values (a complete dead-dead bipartite
+    block), and the final relation carries no dead values at all.  A
+    naive left-deep join therefore materializes ~``dangle_factor^(L-3)``
+    doomed tuples before the last step kills them, while Yannakakis'
+    backward semijoin pass deletes every dead tuple up front.  The
+    output always has exactly ``n_chains`` tuples; the input stays
+    polynomial (``dangle_factor^2`` rows per middle relation).
+    """
+    if n_chains < 1 or chain_length < 3 or dangle_factor < 0:
+        raise ValueError("need n_chains >= 1, chain_length >= 3, dangle >= 0")
+    attrs = [f"A{i:03d}" for i in range(chain_length)]
+    live = [("live", c) for c in range(n_chains)]
+    dead = [("dead", j) for j in range(dangle_factor)]
+    relations = []
+    last = chain_length - 2
+    for i in range(chain_length - 1):
+        schema = Schema([attrs[i], attrs[i + 1]])
+        pairs: list[tuple] = [(value, value) for value in live]
+        if i == 0:
+            pairs.extend((live[0], d) for d in dead)
+        elif i < last:
+            pairs.extend((dj, dk) for dj in dead for dk in dead)
+        # The final relation carries live tuples only: all dead paths die.
+        rows = []
+        for left_value, right_value in pairs:
+            mapping = {attrs[i]: left_value, attrs[i + 1]: right_value}
+            rows.append(
+                (mapping[schema.attrs[0]], mapping[schema.attrs[1]])
+            )
+        relations.append(Relation.from_pairs(schema, rows))
+    return relations

@@ -1,0 +1,40 @@
+"""Core data model: schemas, tuples, relations (set semantics), bags
+(multiset semantics), and the semiring/K-relation generalization."""
+
+from .bags import Bag, bag_join_all
+from .krelations import KRelation
+from .relations import Relation, join_all
+from .schema import EMPTY_SCHEMA, Attribute, Schema, schema
+from .semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    NATURALS,
+    NONNEG_RATIONALS,
+    TROPICAL,
+    VITERBI,
+    Semiring,
+    check_semiring_laws,
+)
+from .tuples import EMPTY_TUP, Tup
+
+__all__ = [
+    "ALL_SEMIRINGS",
+    "Attribute",
+    "BOOLEAN",
+    "Bag",
+    "EMPTY_SCHEMA",
+    "EMPTY_TUP",
+    "KRelation",
+    "NATURALS",
+    "NONNEG_RATIONALS",
+    "Relation",
+    "Schema",
+    "Semiring",
+    "TROPICAL",
+    "Tup",
+    "VITERBI",
+    "bag_join_all",
+    "check_semiring_laws",
+    "join_all",
+    "schema",
+]

@@ -1,0 +1,192 @@
+"""K-relations: relations annotated with semiring values.
+
+A K-relation over a schema X assigns each X-tuple an element of a semiring
+K, with finite support.  Bags are exactly the Z>=0-relations and relations
+the B-relations (Section 2 of the paper); this module generalizes the bag
+machinery so the paper's open problem — consistency over arbitrary
+positive semirings (Section 6 / [AK20]) — can be explored with the same
+API.
+
+Marginals sum annotations in K; joins multiply them.  For the bag and
+Boolean semirings these coincide with :class:`repro.core.bags.Bag` and
+:class:`repro.core.relations.Relation` semantics, which the test suite
+verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import MultiplicityError, SchemaError
+from .bags import Bag
+from .relations import Relation
+from .schema import Schema, project_values
+from .semirings import BOOLEAN, NATURALS, Semiring
+from .tuples import Tup
+
+
+class KRelation:
+    """An immutable K-relation: tuples annotated with semiring values.
+
+    Tuples whose annotation equals the semiring zero are dropped, so the
+    support is always exactly the key set (this requires no special care
+    only because the provided semirings are positive).
+    """
+
+    __slots__ = ("_schema", "_semiring", "_annots")
+
+    def __init__(
+        self,
+        schema: Schema,
+        semiring: Semiring,
+        annots: Mapping[tuple, Any],
+    ) -> None:
+        self._schema = schema
+        self._semiring = semiring
+        cleaned: dict[tuple, Any] = {}
+        for row, value in annots.items():
+            row = tuple(row)
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {row!r} has arity {len(row)}, schema {schema!r} "
+                    f"has arity {len(schema)}"
+                )
+            if not semiring.validate(value):
+                raise MultiplicityError(
+                    f"value {value!r} is not a valid {semiring.name} element"
+                )
+            if not semiring.is_zero(value):
+                cleaned[row] = value
+        self._annots = cleaned
+
+    # -- conversions -------------------------------------------------------
+
+    @classmethod
+    def from_bag(cls, bag: Bag) -> "KRelation":
+        return cls(bag.schema, NATURALS, dict(bag.items()))
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "KRelation":
+        return cls(
+            relation.schema, BOOLEAN, {row: True for row in relation.rows}
+        )
+
+    def to_bag(self) -> Bag:
+        if self._semiring is not NATURALS:
+            raise MultiplicityError(
+                f"cannot convert a {self._semiring.name}-relation to a bag"
+            )
+        return Bag(self._schema, self._annots)
+
+    def to_relation(self) -> Relation:
+        """The support as a relation (valid for positive semirings)."""
+        return Relation(self._schema, self._annots.keys())
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def semiring(self) -> Semiring:
+        return self._semiring
+
+    def annotation(self, row) -> Any:
+        if isinstance(row, Tup):
+            row = row.values
+        return self._annots.get(tuple(row), self._semiring.zero)
+
+    __call__ = annotation
+
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        return iter(self._annots.items())
+
+    def support_rows(self) -> Iterable[tuple]:
+        return self._annots.keys()
+
+    def __len__(self) -> int:
+        return len(self._annots)
+
+    def __bool__(self) -> bool:
+        return bool(self._annots)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, KRelation):
+            return (
+                self._schema == other._schema
+                and self._semiring is other._semiring
+                and self._annots == other._annots
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._schema, self._semiring.name, frozenset(self._annots.items()))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KRelation({self._semiring.name}, {list(self._schema.attrs)!r}, "
+            f"{len(self._annots)} tuples)"
+        )
+
+    # -- algebra ----------------------------------------------------------
+
+    def marginal(self, target: Schema) -> "KRelation":
+        """Sum annotations over tuples with equal projection on ``target``."""
+        out: dict[tuple, Any] = {}
+        add = self._semiring.add
+        for row, value in self._annots.items():
+            key = project_values(row, self._schema, target)
+            if key in out:
+                out[key] = add(out[key], value)
+            else:
+                out[key] = value
+        return KRelation(target, self._semiring, out)
+
+    def join(self, other: "KRelation") -> "KRelation":
+        """Natural join with annotations multiplied in K."""
+        if self._semiring is not other._semiring:
+            raise MultiplicityError(
+                f"cannot join a {self._semiring.name}-relation with a "
+                f"{other._semiring.name}-relation"
+            )
+        common = self._schema & other._schema
+        combined = self._schema | other._schema
+        mul, add = self._semiring.mul, self._semiring.add
+        buckets: dict[tuple, list[tuple[tuple, Any]]] = {}
+        for row, value in other._annots.items():
+            key = project_values(row, other._schema, common)
+            buckets.setdefault(key, []).append((row, value))
+        left_pos = {a: i for i, a in enumerate(self._schema.attrs)}
+        right_pos = {a: i for i, a in enumerate(other._schema.attrs)}
+        layout = []
+        for attr in combined.attrs:
+            if attr in left_pos:
+                layout.append((0, left_pos[attr]))
+            else:
+                layout.append((1, right_pos[attr]))
+        out: dict[tuple, Any] = {}
+        for lrow, lval in self._annots.items():
+            key = project_values(lrow, self._schema, common)
+            for rrow, rval in buckets.get(key, ()):
+                sides = (lrow, rrow)
+                joined = tuple(sides[side][i] for side, i in layout)
+                product = mul(lval, rval)
+                if joined in out:
+                    out[joined] = add(out[joined], product)
+                else:
+                    out[joined] = product
+        return KRelation(combined, self._semiring, out)
+
+
+def krelations_consistent_boolean(r: KRelation, s: KRelation) -> bool:
+    """Consistency of two B-relations = consistency of their supports.
+
+    For the Boolean semiring the paper's (set-case) criterion applies: two
+    relations are consistent iff they have equal projections on the common
+    attributes.
+    """
+    common = r.schema & s.schema
+    return r.marginal(common) == s.marginal(common)

@@ -1,0 +1,162 @@
+"""Schemas: finite sets of attributes with a canonical order.
+
+The paper works with finite sets of attributes ``X`` and writes ``XY`` for
+the union of ``X`` and ``Y``.  A :class:`Schema` is an immutable, canonically ordered
+set of attribute names.  The canonical order (sorted by the attribute's
+string form, then by the attribute itself where comparable) gives every
+tuple over the schema a fixed positional layout, which lets bags store raw
+value tuples instead of dictionaries.
+
+Attributes are ordinary hashable Python values; strings are the common
+case.  The empty schema is legal and important: Lemma 4 of the paper
+produces bags over the empty schema (the empty tuple with a multiplicity).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Hashable, Iterable, Iterator
+
+from ..errors import SchemaError
+
+Attribute = Hashable
+
+
+def _canonical_sort(attrs: Iterable[Attribute]) -> tuple[Attribute, ...]:
+    """Sort attributes deterministically even for mixed types.
+
+    Sorting key is ``(type name, repr)`` which is total for all hashable
+    values, so schemas over e.g. ints and strings still have a canonical
+    order.
+    """
+    return tuple(sorted(attrs, key=lambda a: (type(a).__name__, repr(a))))
+
+
+class Schema:
+    """An immutable set of attributes with a canonical tuple order.
+
+    Supports the set algebra the paper uses: union (``|`` or
+    :meth:`union`), intersection (``&``), difference (``-``), subset tests
+    (``<=``), and membership.  Iteration yields attributes in canonical
+    order.
+
+    >>> X = Schema(["B", "A"]); Y = Schema(["B", "C"])
+    >>> list(X), list(X | Y), list(X & Y)
+    (['A', 'B'], ['A', 'B', 'C'], ['B'])
+    """
+
+    __slots__ = ("_attrs", "_set", "_hash")
+
+    def __init__(self, attrs: Iterable[Attribute] = ()) -> None:
+        attrs = tuple(attrs)
+        attr_set = frozenset(attrs)
+        if len(attr_set) != len(attrs):
+            raise SchemaError(f"duplicate attributes in schema: {attrs!r}")
+        self._attrs = _canonical_sort(attr_set)
+        self._set = attr_set
+        self._hash = hash(self._attrs)
+
+    @property
+    def attrs(self) -> tuple[Attribute, ...]:
+        """The attributes in canonical order."""
+        return self._attrs
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, attr: Any) -> bool:
+        return attr in self._set
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Schema):
+            return self._set == other._set
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attrs)!r})"
+
+    # -- set algebra ----------------------------------------------------
+
+    def union(self, other: "Schema") -> "Schema":
+        return Schema(self._set | other._set)
+
+    __or__ = union
+
+    def intersection(self, other: "Schema") -> "Schema":
+        return Schema(self._set & other._set)
+
+    __and__ = intersection
+
+    def difference(self, other: "Schema") -> "Schema":
+        return Schema(self._set - other._set)
+
+    __sub__ = difference
+
+    def issubset(self, other: "Schema") -> bool:
+        return self._set <= other._set
+
+    def __le__(self, other: "Schema") -> bool:
+        return self.issubset(other)
+
+    def __lt__(self, other: "Schema") -> bool:
+        return self._set < other._set
+
+    def isdisjoint(self, other: "Schema") -> bool:
+        return self._set.isdisjoint(other._set)
+
+    def index_of(self, attr: Attribute) -> int:
+        """Position of ``attr`` in the canonical order."""
+        try:
+            return self._attrs.index(attr)
+        except ValueError:
+            raise SchemaError(f"attribute {attr!r} not in schema {self!r}")
+
+    def without(self, attr: Attribute) -> "Schema":
+        """The schema with ``attr`` removed (used by vertex deletion)."""
+        if attr not in self._set:
+            raise SchemaError(f"attribute {attr!r} not in schema {self!r}")
+        return Schema(self._set - {attr})
+
+    def as_frozenset(self) -> frozenset:
+        return self._set
+
+
+EMPTY_SCHEMA = Schema()
+
+
+def schema(*attrs: Attribute) -> Schema:
+    """Convenience constructor: ``schema("A", "B")``."""
+    return Schema(attrs)
+
+
+@lru_cache(maxsize=65536)
+def projection_indices(
+    source_attrs: tuple[Attribute, ...], target_attrs: tuple[Attribute, ...]
+) -> tuple[int, ...]:
+    """Positions in a ``source``-ordered value tuple of the ``target`` attrs.
+
+    Cached because marginal computations project the same (schema,
+    subschema) pair over every tuple of a bag.
+    """
+    positions = {attr: i for i, attr in enumerate(source_attrs)}
+    try:
+        return tuple(positions[attr] for attr in target_attrs)
+    except KeyError as exc:
+        raise SchemaError(
+            f"target attributes {target_attrs!r} not a subset of "
+            f"source attributes {source_attrs!r}"
+        ) from exc
+
+
+def project_values(
+    values: tuple, source: Schema, target: Schema
+) -> tuple:
+    """Project a raw value tuple laid out for ``source`` onto ``target``."""
+    idx = projection_indices(source.attrs, target.attrs)
+    return tuple(values[i] for i in idx)

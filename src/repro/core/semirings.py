@@ -1,0 +1,189 @@
+"""Commutative semirings for K-relations.
+
+The paper frames relations and bags uniformly as K-relations: functions
+from tuples into a semiring K.  Relations are B-relations over the Boolean
+semiring and bags are Z>=0-relations over the bag semiring (Section 2).
+The concluding remarks pose the open problem of extending the paper's
+results to other positive semirings; this module provides the semiring
+substrate for that extension (see :mod:`repro.core.krelations`).
+
+A semiring here is ``(K, +, *, 0, 1)`` with commutative monoids for both
+operations and multiplication distributing over addition.  A semiring is
+*positive* if 0 != 1, it has no zero divisors, and ``a + b = 0`` implies
+``a = b = 0`` — the condition under which supports behave like relations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Iterable
+
+
+class Semiring:
+    """A commutative semiring presented by its operations.
+
+    Instances are lightweight records; the standard semirings below are
+    module-level singletons.  ``is_positive`` records whether the semiring
+    is positive in the sense of [AK20]; the K-relation machinery relies on
+    positivity for support computations.
+    """
+
+    __slots__ = ("name", "zero", "one", "add", "mul", "is_positive", "validate")
+
+    def __init__(
+        self,
+        name: str,
+        zero: Any,
+        one: Any,
+        add: Callable[[Any, Any], Any],
+        mul: Callable[[Any, Any], Any],
+        is_positive: bool,
+        validate: Callable[[Any], bool],
+    ) -> None:
+        self.name = name
+        self.zero = zero
+        self.one = one
+        self.add = add
+        self.mul = mul
+        self.is_positive = is_positive
+        self.validate = validate
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def product(self, values: Iterable[Any]) -> Any:
+        total = self.one
+        for value in values:
+            total = self.mul(total, value)
+        return total
+
+    def is_zero(self, value: Any) -> bool:
+        return value == self.zero
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name})"
+
+
+def _is_bool(value: Any) -> bool:
+    return value in (0, 1, False, True)
+
+
+def _is_nonneg_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _is_nonneg_rational(value: Any) -> bool:
+    return isinstance(value, (int, Fraction)) and value >= 0
+
+
+#: The Boolean semiring B = ({0,1}, or, and, 0, 1); B-relations are
+#: ordinary relations.
+BOOLEAN = Semiring(
+    name="Boolean",
+    zero=False,
+    one=True,
+    add=lambda a, b: bool(a) or bool(b),
+    mul=lambda a, b: bool(a) and bool(b),
+    is_positive=True,
+    validate=_is_bool,
+)
+
+#: The bag semiring Z>=0 = ({0,1,2,...}, +, *, 0, 1); Z>=0-relations are
+#: exactly the paper's bags.
+NATURALS = Semiring(
+    name="Naturals",
+    zero=0,
+    one=1,
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    is_positive=True,
+    validate=_is_nonneg_int,
+)
+
+#: Non-negative rationals under (+, *): the semiring in which the paper's
+#: linear program P(R, S) is solved before integrality is restored.
+NONNEG_RATIONALS = Semiring(
+    name="NonNegRationals",
+    zero=Fraction(0),
+    one=Fraction(1),
+    add=lambda a, b: a + b,
+    mul=lambda a, b: a * b,
+    is_positive=True,
+    validate=_is_nonneg_rational,
+)
+
+_INF = float("inf")
+
+#: The tropical (min, +) semiring over non-negative reals with infinity.
+TROPICAL = Semiring(
+    name="Tropical",
+    zero=_INF,
+    one=0.0,
+    add=min,
+    mul=lambda a, b: a + b,
+    is_positive=True,
+    validate=lambda v: isinstance(v, (int, float)) and v >= 0,
+)
+
+#: The Viterbi semiring ([0,1], max, *): confidence scores.
+VITERBI = Semiring(
+    name="Viterbi",
+    zero=0.0,
+    one=1.0,
+    add=max,
+    mul=lambda a, b: a * b,
+    is_positive=True,
+    validate=lambda v: isinstance(v, (int, float)) and 0 <= v <= 1,
+)
+
+ALL_SEMIRINGS = (BOOLEAN, NATURALS, NONNEG_RATIONALS, TROPICAL, VITERBI)
+
+
+def check_semiring_laws(
+    semiring: Semiring, sample: Iterable[Any]
+) -> list[str]:
+    """Check the semiring axioms on a finite sample of elements.
+
+    Returns a list of human-readable violations (empty when the sample
+    exhibits no violation).  Used by the test suite to sanity-check the
+    singletons above and any user-supplied semiring.
+    """
+    sample = list(sample)
+    violations = []
+    add, mul = semiring.add, semiring.mul
+    zero, one = semiring.zero, semiring.one
+    for a in sample:
+        if add(a, zero) != a:
+            violations.append(f"{a!r} + 0 != {a!r}")
+        if mul(a, one) != a:
+            violations.append(f"{a!r} * 1 != {a!r}")
+        if mul(a, zero) != zero:
+            violations.append(f"{a!r} * 0 != 0")
+    for a in sample:
+        for b in sample:
+            if add(a, b) != add(b, a):
+                violations.append(f"+ not commutative on {a!r}, {b!r}")
+            if mul(a, b) != mul(b, a):
+                violations.append(f"* not commutative on {a!r}, {b!r}")
+            for c in sample:
+                if add(add(a, b), c) != add(a, add(b, c)):
+                    violations.append(f"+ not associative on {a!r},{b!r},{c!r}")
+                if mul(mul(a, b), c) != mul(a, mul(b, c)):
+                    violations.append(f"* not associative on {a!r},{b!r},{c!r}")
+                if mul(a, add(b, c)) != add(mul(a, b), mul(a, c)):
+                    violations.append(
+                        f"* does not distribute over + on {a!r},{b!r},{c!r}"
+                    )
+    if semiring.is_positive:
+        if zero == one:
+            violations.append("positive semiring with 0 == 1")
+        for a in sample:
+            for b in sample:
+                if add(a, b) == zero and (a != zero or b != zero):
+                    violations.append(f"positivity: {a!r} + {b!r} = 0")
+                if mul(a, b) == zero and a != zero and b != zero:
+                    violations.append(f"zero divisors: {a!r} * {b!r} = 0")
+    return violations

@@ -1,0 +1,115 @@
+"""Tuples over schemas.
+
+A ``Tup`` is the paper's X-tuple: a function from a finite attribute set X
+to values.  Internally it is a raw value tuple laid out in the schema's
+canonical attribute order, so projection (``t[Y]`` in the paper,
+:meth:`Tup.project` here) is a cached index-gather rather than a dict
+rebuild.
+
+``Tup(Schema(), ())`` is the empty tuple, the unique function with empty
+domain; the paper relies on its existence (``Tup(emptyset)`` is non-empty).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from ..errors import SchemaError
+from .schema import Attribute, Schema, project_values
+
+
+class Tup:
+    """An immutable tuple over a :class:`Schema`.
+
+    Construct from positional values in canonical attribute order, or use
+    :meth:`from_mapping` for named construction:
+
+    >>> X = Schema(["A", "B"])
+    >>> t = Tup(X, (1, 2))
+    >>> t["A"], t["B"]
+    (1, 2)
+    >>> t.project(Schema(["B"]))
+    Tup({'B': 2})
+    """
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(self, schema: Schema, values: tuple) -> None:
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"value tuple {values!r} has arity {len(values)}, "
+                f"schema {schema!r} has arity {len(schema)}"
+            )
+        self._schema = schema
+        self._values = tuple(values)
+        self._hash = hash((schema, self._values))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Attribute, Any]) -> "Tup":
+        """Build a tuple from an attribute-to-value mapping."""
+        schema = Schema(mapping.keys())
+        return cls(schema, tuple(mapping[a] for a in schema.attrs))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        """Raw values in the schema's canonical attribute order."""
+        return self._values
+
+    def __getitem__(self, attr: Attribute) -> Any:
+        return self._values[self._schema.index_of(attr)]
+
+    def project(self, target: Schema) -> "Tup":
+        """The projection t[Y] of this tuple on ``target``; requires
+        ``target`` to be a subset of the tuple's schema."""
+        return Tup(target, project_values(self._values, self._schema, target))
+
+    def joins_with(self, other: "Tup") -> bool:
+        """True if the two tuples agree on their common attributes."""
+        common = self._schema & other._schema
+        return self.project(common) == other.project(common)
+
+    def join(self, other: "Tup") -> "Tup":
+        """The XY-tuple agreeing with both operands (paper's ``xy``).
+
+        Raises :class:`SchemaError` if the tuples disagree on a common
+        attribute.
+        """
+        if not self.joins_with(other):
+            raise SchemaError(f"{self!r} does not join with {other!r}")
+        combined = self._schema | other._schema
+        out = []
+        for attr in combined.attrs:
+            if attr in self._schema:
+                out.append(self[attr])
+            else:
+                out.append(other[attr])
+        return Tup(combined, tuple(out))
+
+    def as_mapping(self) -> dict:
+        return dict(zip(self._schema.attrs, self._values))
+
+    def __iter__(self) -> Iterator:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Tup):
+            return (
+                self._schema == other._schema and self._values == other._values
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Tup({self.as_mapping()!r})"
+
+
+EMPTY_TUP = Tup(Schema(), ())

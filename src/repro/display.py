@@ -1,0 +1,80 @@
+"""Tabular rendering of bags and relations, in the paper's format.
+
+Section 2 renders a bag as::
+
+    A   B   #
+    a1  b1  : 2
+    a2  b2  : 1
+    a3  b3  : 5
+
+:func:`bag_table` reproduces that layout; :func:`relation_table` does the
+same without the multiplicity column; :func:`collection_summary` prints a
+one-line-per-bag digest of a collection with the Section 5.2 size
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .core.bags import Bag
+from .core.relations import Relation
+
+
+def _column_widths(header: Sequence[str], rows: Sequence[Sequence[str]]) -> list[int]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    return widths
+
+
+def bag_table(bag: Bag) -> str:
+    """The paper's tabular form of a bag (deterministic row order)."""
+    header = [str(a) for a in bag.schema.attrs] + ["#"]
+    rows = []
+    for tup, mult in bag.tuples():
+        rows.append([str(v) for v in tup.values] + [f": {mult}"])
+    if not rows:
+        rows = [["(empty)"] + [""] * (len(header) - 1)]
+    widths = _column_widths(header, rows)
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def relation_table(relation: Relation) -> str:
+    """Tabular form of a relation (set semantics; no multiplicity
+    column)."""
+    header = [str(a) for a in relation.schema.attrs]
+    rows = [[str(v) for v in tup.values] for tup in relation]
+    if not rows:
+        rows = [["(empty)"] + [""] * (len(header) - 1)]
+    widths = _column_widths(header, rows)
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def collection_summary(bags: Sequence[Bag]) -> str:
+    """One line per bag: schema, support size, unary/binary sizes, and
+    multiplicity bound (the Section 5.2 measures)."""
+    lines = []
+    for i, bag in enumerate(bags):
+        attrs = ",".join(str(a) for a in bag.schema.attrs)
+        lines.append(
+            f"R{i + 1}({attrs}): supp={bag.support_size} "
+            f"u={bag.unary_size} b={bag.binary_size:.1f} "
+            f"mu={bag.multiplicity_bound}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the bag-consistency library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the main
+failure modes of the paper's algorithms: malformed schemas, mismatched
+schemas between operands, inconsistent inputs handed to witness
+constructors, and structural requirements (e.g. an algorithm that requires
+an acyclic hypergraph receiving a cyclic one).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a tuple's values do not match its schema's
+    arity, or when a marginal is requested on attributes that are not a
+    subset of the bag's schema.
+    """
+
+
+class MultiplicityError(ReproError):
+    """A bag multiplicity is invalid (negative or non-integer)."""
+
+
+class InconsistentError(ReproError):
+    """A witness was requested for bags that are not consistent."""
+
+
+class CyclicSchemaError(ReproError):
+    """An acyclic-only algorithm received a cyclic hypergraph."""
+
+
+class AcyclicSchemaError(ReproError):
+    """A cyclic-only construction received an acyclic hypergraph.
+
+    The Tseitin-style counterexample construction of Theorem 2 only exists
+    for cyclic schemas; asking for a counterexample over an acyclic schema
+    is a caller error (Theorem 2 proves none exists).
+    """
+
+
+class NotRegularError(ReproError):
+    """The Tseitin construction requires a k-uniform, d-regular hypergraph
+    with d >= 2."""
+
+
+class SolverError(ReproError):
+    """An internal solver failed (e.g. the simplex method detected an
+    unbounded program where only feasibility questions were expected)."""
+
+
+class SearchLimitExceeded(ReproError):
+    """An exact (worst-case exponential) search exceeded its node budget.
+
+    The global consistency problem for bags over cyclic schemas is
+    NP-complete (Theorem 4), so the exact search is allowed to give up after
+    a caller-specified number of nodes rather than run forever.
+    """
+
+
+class ReductionError(ReproError):
+    """A polynomial-time reduction received an instance outside its domain."""

@@ -1,0 +1,23 @@
+"""Flow substrate: capacitated networks and integral max-flow (Dinic)."""
+
+from .maxflow import (
+    CutResult,
+    FlowResult,
+    max_flow,
+    min_cut,
+    saturated_flow,
+    verify_cut,
+    verify_flow,
+)
+from .network import FlowNetwork
+
+__all__ = [
+    "CutResult",
+    "FlowNetwork",
+    "FlowResult",
+    "max_flow",
+    "min_cut",
+    "saturated_flow",
+    "verify_cut",
+    "verify_flow",
+]

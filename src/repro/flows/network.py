@@ -1,0 +1,100 @@
+"""Capacitated flow networks.
+
+A network ``N = (V, E, c, s, t)`` per Section 3 of the paper: a directed
+graph with non-negative integer capacities and distinguished source and
+sink.  Capacities are arbitrary-precision Python integers, so the
+"multiplicities in binary" regime costs nothing.
+
+The class is a thin mutable builder; the max-flow solver
+(:mod:`repro.flows.maxflow`) consumes it and reports per-edge flows keyed
+by ``(u, v)`` pairs, which the consistency layer maps back to join
+tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+
+
+class FlowNetwork:
+    """A directed network with integer capacities and a source and sink.
+
+    Parallel edges are merged by summing capacities (the consistency
+    networks never create them, but merging keeps the invariant simple).
+    Self-loops are rejected.
+    """
+
+    __slots__ = ("_source", "_sink", "_capacity", "_nodes")
+
+    def __init__(self, source: Node, sink: Node) -> None:
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        self._source = source
+        self._sink = sink
+        self._capacity: dict[tuple[Node, Node], int] = {}
+        self._nodes: set = {source, sink}
+
+    @property
+    def source(self) -> Node:
+        return self._source
+
+    @property
+    def sink(self) -> Node:
+        return self._sink
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def add_edge(self, u: Node, v: Node, capacity: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop on {u!r}")
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise ValueError(f"capacity must be an int, got {capacity!r}")
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity} on ({u!r},{v!r})")
+        self._nodes.add(u)
+        self._nodes.add(v)
+        key = (u, v)
+        self._capacity[key] = self._capacity.get(key, 0) + capacity
+
+    def capacity(self, u: Node, v: Node) -> int:
+        return self._capacity.get((u, v), 0)
+
+    def edges(self) -> Iterator[tuple[Node, Node, int]]:
+        for (u, v), c in self._capacity.items():
+            yield u, v, c
+
+    def edge_count(self) -> int:
+        return len(self._capacity)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove an edge (used by the minimal-witness self-reducibility
+        loop of Corollary 4)."""
+        del self._capacity[(u, v)]
+
+    def copy(self) -> "FlowNetwork":
+        clone = FlowNetwork(self._source, self._sink)
+        clone._capacity = dict(self._capacity)
+        clone._nodes = set(self._nodes)
+        return clone
+
+    def source_capacity(self) -> int:
+        """Total capacity leaving the source."""
+        return sum(
+            c for (u, _), c in self._capacity.items() if u == self._source
+        )
+
+    def sink_capacity(self) -> int:
+        """Total capacity entering the sink."""
+        return sum(
+            c for (_, v), c in self._capacity.items() if v == self._sink
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowNetwork({len(self._nodes)} nodes, "
+            f"{len(self._capacity)} edges)"
+        )

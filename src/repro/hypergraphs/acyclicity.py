@@ -1,0 +1,258 @@
+"""Hypergraph acyclicity: GYO reduction, join trees, RIP orderings.
+
+Implements the structural layer of Theorem 1 / Theorem 2 (statements
+(a)-(d)):
+
+* :func:`gyo_reduction` — the Graham/Yu-Ozsoyoglu reduction: repeatedly
+  delete vertices that occur in at most one hyperedge and hyperedges
+  contained in other hyperedges.  The hypergraph is acyclic iff the
+  reduction leaves at most one (emptied) edge.
+* :func:`join_tree` — a join tree built from the GYO parent pointers
+  (each edge, when deleted because it became covered, hangs off a covering
+  edge).
+* :func:`running_intersection_order` — a listing X1..Xm such that each Xi
+  meets the union of its predecessors inside a single earlier edge Xj
+  (with the witness j returned), obtained as a root-first traversal of
+  the join tree.
+* :func:`is_acyclic` — the top-level decider (GYO route).
+
+All three artifacts are independently *verifiable*:
+:func:`verify_join_tree` checks the coherence (connected-subtree)
+property and :func:`verify_running_intersection` checks the RIP directly;
+the test suite cross-validates them against the chordal+conformal
+characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schema import Schema
+from ..errors import CyclicSchemaError
+from .hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class GYOResult:
+    """Outcome of the GYO reduction.
+
+    ``survivors`` — indices of edges never removed (at most one iff the
+    hypergraph is acyclic); ``parent`` — for each removed edge index, the
+    index of the edge that covered it at removal time; ``removal_order``
+    — removed edge indices in removal order.
+    """
+
+    survivors: tuple[int, ...]
+    parent: dict[int, int]
+    removal_order: tuple[int, ...]
+
+    @property
+    def acyclic(self) -> bool:
+        return len(self.survivors) <= 1
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction, keeping the bookkeeping needed downstream."""
+    current: dict[int, set] = {
+        i: set(edge.attrs) for i, edge in enumerate(hypergraph.edges)
+    }
+    parent: dict[int, int] = {}
+    removal_order: list[int] = []
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: strip vertices occurring in at most one edge.
+        counts: dict[object, int] = {}
+        for vs in current.values():
+            for v in vs:
+                counts[v] = counts.get(v, 0) + 1
+        lonely = {v for v, c in counts.items() if c <= 1}
+        if lonely:
+            for vs in current.values():
+                if vs & lonely:
+                    vs -= lonely
+                    changed = True
+        # Rule 2: remove one edge covered by another (distinct index).
+        indices = sorted(current)
+        removed = None
+        for i in indices:
+            for j in indices:
+                if i == j:
+                    continue
+                if current[i] <= current[j]:
+                    removed = (i, j)
+                    break
+            if removed:
+                break
+        if removed:
+            i, j = removed
+            parent[i] = j
+            removal_order.append(i)
+            del current[i]
+            changed = True
+    return GYOResult(
+        survivors=tuple(sorted(current)),
+        parent=parent,
+        removal_order=tuple(removal_order),
+    )
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is acyclic (GYO reduction route)."""
+    return gyo_reduction(hypergraph).acyclic
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A rooted join tree over the hyperedges of an acyclic hypergraph.
+
+    ``edges`` lists the hyperedges; ``parent[i]`` is the index of the
+    parent of edge i (the root r has ``parent[r] == -1``).
+    """
+
+    edges: tuple[Schema, ...]
+    parent: tuple[int, ...]
+    root: int
+
+    def children(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {i: [] for i in range(len(self.edges))}
+        for i, p in enumerate(self.parent):
+            if p >= 0:
+                out[p].append(i)
+        return out
+
+    def tree_edges(self) -> list[tuple[int, int]]:
+        return [(p, i) for i, p in enumerate(self.parent) if p >= 0]
+
+
+def join_tree(hypergraph: Hypergraph) -> JoinTree:
+    """A join tree for an acyclic hypergraph (Theorem 1(d)/2(d)).
+
+    Raises :class:`CyclicSchemaError` for cyclic hypergraphs.
+    """
+    if len(hypergraph.edges) == 0:
+        raise CyclicSchemaError("cannot build a join tree with no edges")
+    result = gyo_reduction(hypergraph)
+    if not result.acyclic:
+        raise CyclicSchemaError(
+            f"hypergraph is cyclic; no join tree exists: {hypergraph!r}"
+        )
+    m = len(hypergraph.edges)
+    root = result.survivors[0]
+    parents = [-1] * m
+    for i, p in result.parent.items():
+        parents[i] = p
+    return JoinTree(tuple(hypergraph.edges), tuple(parents), root)
+
+
+def verify_join_tree(tree: JoinTree) -> bool:
+    """Coherence check: for every vertex, the tree nodes containing it
+    induce a connected subtree (the definition in Section 4)."""
+    m = len(tree.edges)
+    root_and_rest = sorted(
+        [tree.root] + [i for i in range(m) if tree.parent[i] >= 0]
+    )
+    if root_and_rest != list(range(m)):
+        return False
+    adjacency: dict[int, set[int]] = {i: set() for i in range(m)}
+    for p, c in tree.tree_edges():
+        adjacency[p].add(c)
+        adjacency[c].add(p)
+    vertices = set()
+    for edge in tree.edges:
+        vertices.update(edge.attrs)
+    for v in vertices:
+        holders = {i for i, e in enumerate(tree.edges) if v in e}
+        start = next(iter(holders))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt in holders and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        if seen != holders:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class RIPOrder:
+    """A running-intersection listing of hyperedges.
+
+    ``order[i]`` is the hyperedge in position i; ``witness[i]`` is a
+    position j < i with ``order[i] & (order[0] | ... | order[i-1])``
+    contained in ``order[j]`` (``witness[0] == -1``).
+    """
+
+    order: tuple[Schema, ...]
+    witness: tuple[int, ...]
+
+
+def running_intersection_order(hypergraph: Hypergraph) -> RIPOrder:
+    """A running-intersection ordering for an acyclic hypergraph.
+
+    Obtained by listing the join tree root-first (BFS); the RIP witness of
+    each edge is its tree parent.  Raises :class:`CyclicSchemaError` for
+    cyclic hypergraphs (Theorem 1(c): none exists).
+    """
+    tree = join_tree(hypergraph)
+    children = tree.children()
+    order_indices: list[int] = []
+    position: dict[int, int] = {}
+    queue = [tree.root]
+    while queue:
+        node = queue.pop(0)
+        position[node] = len(order_indices)
+        order_indices.append(node)
+        queue.extend(sorted(children[node]))
+    witness = []
+    for node in order_indices:
+        p = tree.parent[node]
+        witness.append(-1 if p < 0 else position[p])
+    return RIPOrder(
+        tuple(tree.edges[i] for i in order_indices), tuple(witness)
+    )
+
+
+def verify_running_intersection(rip: RIPOrder) -> bool:
+    """Direct check of the running intersection property on a listing."""
+    union: set = set()
+    for i, edge in enumerate(rip.order):
+        attrs = set(edge.attrs)
+        inter = attrs & union
+        if i == 0:
+            if rip.witness[0] != -1:
+                return False
+        else:
+            j = rip.witness[i]
+            if not (0 <= j < i):
+                return False
+            if not inter <= set(rip.order[j].attrs):
+                return False
+        union |= attrs
+    return True
+
+
+def has_running_intersection_property(hypergraph: Hypergraph) -> bool:
+    """Theorem 1(c)/2(c) as a decider (via the join-tree construction)."""
+    try:
+        rip = running_intersection_order(hypergraph)
+    except CyclicSchemaError:
+        return False
+    return verify_running_intersection(rip)
+
+
+def is_acyclic_via_chordal_conformal(hypergraph: Hypergraph) -> bool:
+    """Theorem 1(b)/2(b) as a decider: acyclic iff conformal and chordal.
+
+    An independent second route to acyclicity, cross-checked against GYO
+    in the test suite.
+    """
+    from .chordality import is_chordal_graph
+    from .conformality import is_conformal
+
+    return is_conformal(hypergraph) and is_chordal_graph(
+        hypergraph.primal_graph()
+    )

@@ -1,0 +1,182 @@
+"""Chordality: Lex-BFS, perfect elimination orderings, chordless cycles.
+
+A hypergraph is *chordal* when its primal graph is chordal, i.e. every
+cycle of length at least four has a chord (Section 4).  The classical
+linear-time route [RTL76, TY84] is implemented here:
+
+1. :func:`lex_bfs` computes a lexicographic breadth-first search ordering.
+2. A graph is chordal iff the reverse Lex-BFS order is a *perfect
+   elimination ordering* (PEO), which :func:`check_peo` verifies.
+3. When the PEO check fails, :func:`find_chordless_cycle` extracts an
+   explicit chordless cycle of length >= 4 — the certificate Lemma 3(1)
+   needs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .graphs import Graph, Vertex
+
+
+def lex_bfs(graph: Graph) -> list[Vertex]:
+    """A lexicographic BFS ordering of the graph's vertices.
+
+    Implemented with partition refinement over a list of buckets; runs in
+    near-linear time for the graph sizes this library targets.
+    """
+    if not graph.vertices:
+        return []
+    # Buckets of vertices sharing the same label, most-recently-refined first.
+    buckets: list[list[Vertex]] = [
+        sorted(graph.vertices, key=repr)
+    ]
+    order: list[Vertex] = []
+    while buckets:
+        head = buckets[0]
+        v = head.pop(0)
+        if not head:
+            buckets.pop(0)
+        order.append(v)
+        neighbors = graph.neighbors(v)
+        new_buckets: list[list[Vertex]] = []
+        for bucket in buckets:
+            inside = [u for u in bucket if u in neighbors]
+            outside = [u for u in bucket if u not in neighbors]
+            if inside:
+                new_buckets.append(inside)
+            if outside:
+                new_buckets.append(outside)
+        buckets = new_buckets
+    return order
+
+
+def check_peo(graph: Graph, order: list[Vertex]) -> Vertex | None:
+    """Check whether ``reversed(order)`` is a perfect elimination ordering.
+
+    Returns None if it is (the graph is chordal), otherwise a vertex at
+    which the check fails.  Uses the standard single-representative trick:
+    for each vertex v (processed in reverse order), all earlier neighbors
+    of v must be adjacent to the latest earlier neighbor of v.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    for v in reversed(order):
+        earlier = [u for u in graph.neighbors(v) if position[u] < position[v]]
+        if not earlier:
+            continue
+        pivot = max(earlier, key=lambda u: position[u])
+        for u in earlier:
+            if u != pivot and not graph.has_edge(u, pivot):
+                return v
+    return None
+
+
+def is_chordal_graph(graph: Graph) -> bool:
+    """True iff the graph is chordal (Lex-BFS + PEO verification)."""
+    return check_peo(graph, lex_bfs(graph)) is None
+
+
+def find_chordless_cycle(graph: Graph) -> list[Vertex] | None:
+    """An explicit chordless cycle of length >= 4, or None if chordal.
+
+    When the PEO check fails at v with non-adjacent earlier neighbors u, w,
+    a chordless cycle through u, v, w exists: take a shortest u-w path in
+    the graph with N[v] - {u, w} removed, then close it through v.  A
+    shortest such path has no chords among its interior, and minimality is
+    restored by shrinking over any chord found (defensive, shortest paths
+    already avoid most chords).
+    """
+    order = lex_bfs(graph)
+    position = {v: i for i, v in enumerate(order)}
+    for v in reversed(order):
+        earlier = [u for u in graph.neighbors(v) if position[u] < position[v]]
+        if len(earlier) < 2:
+            continue
+        pivot = max(earlier, key=lambda u: position[u])
+        for u in earlier:
+            if u == pivot or graph.has_edge(u, pivot):
+                continue
+            cycle = _chordless_cycle_through(graph, v, u, pivot)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def _chordless_cycle_through(
+    graph: Graph, v: Vertex, u: Vertex, w: Vertex
+) -> list[Vertex] | None:
+    """A chordless cycle through non-adjacent u, w using v as the bridge.
+
+    Searches for a shortest u-w path avoiding N[v] - {u, w}; appending v
+    closes a cycle of length >= 4.  Any chord of the closed cycle is then
+    eliminated by shortcutting, which preserves that the cycle passes
+    through some failure witness and keeps length >= 4 because u, w are
+    non-adjacent and interior vertices are non-adjacent to v.
+    """
+    forbidden = (graph.neighbors(v) | {v}) - {u, w}
+    # BFS from u to w in the graph minus `forbidden`.
+    parents: dict[Vertex, Vertex | None] = {u: None}
+    frontier = [u]
+    while frontier and w not in parents:
+        nxt = []
+        for a in frontier:
+            for b in graph.neighbors(a):
+                if b in forbidden or b in parents:
+                    continue
+                parents[b] = a
+                nxt.append(b)
+        frontier = nxt
+    if w not in parents:
+        return None
+    path = [w]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    path.reverse()  # u ... w
+    cycle = path + [v]
+    return _shrink_to_chordless(graph, cycle)
+
+
+def _shrink_to_chordless(graph: Graph, cycle: list[Vertex]) -> list[Vertex] | None:
+    """Remove chords by shortcutting until the cycle is chordless.
+
+    Returns None if shrinking collapses below length 4 (can happen only if
+    the original cycle was not a genuine obstruction, which the callers'
+    preconditions exclude; kept defensive).
+    """
+    changed = True
+    while changed:
+        changed = False
+        n = len(cycle)
+        if n < 4:
+            return None
+        for i in range(n):
+            for j in range(i + 2, n):
+                if i == 0 and j == n - 1:
+                    continue  # consecutive around the cycle
+                if graph.has_edge(cycle[i], cycle[j]):
+                    # Shortcut: keep the shorter arc plus the chord.
+                    arc_a = cycle[i : j + 1]
+                    arc_b = cycle[j:] + cycle[: i + 1]
+                    cycle = arc_a if len(arc_a) >= len(arc_b) else arc_b
+                    changed = True
+                    break
+            if changed:
+                break
+    return cycle if len(cycle) >= 4 else None
+
+
+def verify_chordless_cycle(graph: Graph, cycle: list[Vertex]) -> bool:
+    """Certificate check: ``cycle`` is a chordless cycle of length >= 4."""
+    n = len(cycle)
+    if n < 4 or len(set(cycle)) != n:
+        return False
+    for i in range(n):
+        if not graph.has_edge(cycle[i], cycle[(i + 1) % n]):
+            return False
+    for i in range(n):
+        for j in range(i + 2, n):
+            if i == 0 and j == n - 1:
+                continue
+            if graph.has_edge(cycle[i], cycle[j]):
+                return False
+    return True

@@ -1,0 +1,119 @@
+"""Conformality: Gilmore's criterion and the clique-cover definition.
+
+A hypergraph is *conformal* if every clique of its primal graph is
+contained in some hyperedge (Section 4).  Two deciders are provided:
+
+* :func:`is_conformal` — Gilmore's theorem (Berge, *Hypergraphs*, p. 31):
+  H is conformal iff for every three hyperedges e1, e2, e3 some hyperedge
+  contains ``(e1 & e2) | (e2 & e3) | (e3 & e1)``.  Polynomial: O(m^3)
+  candidate sets, each checked in O(m * n).
+* :func:`is_conformal_by_cliques` — the definition, via maximal-clique
+  enumeration (worst-case exponential; used as the oracle in tests).
+
+For non-conformal hypergraphs, :func:`find_uncovered_clique` produces an
+explicit primal clique contained in no hyperedge — the certificate behind
+Lemma 3(2).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.schema import Schema
+from .hypergraph import Hypergraph
+
+
+def _covered(hypergraph: Hypergraph, vertex_set: frozenset) -> bool:
+    return any(
+        vertex_set <= edge.as_frozenset() for edge in hypergraph.edges
+    )
+
+
+def is_conformal(hypergraph: Hypergraph) -> bool:
+    """Gilmore's O(m^3) conformality test."""
+    edges = [e.as_frozenset() for e in hypergraph.edges]
+    if not edges:
+        return True
+    m = len(edges)
+    for i in range(m):
+        for j in range(i, m):
+            for k in range(j, m):
+                candidate = (
+                    (edges[i] & edges[j])
+                    | (edges[j] & edges[k])
+                    | (edges[k] & edges[i])
+                )
+                if not _covered(hypergraph, candidate):
+                    return False
+    return True
+
+
+def is_conformal_by_cliques(hypergraph: Hypergraph) -> bool:
+    """Definitional test: every maximal clique of the primal graph lies in
+    some hyperedge.  Exponential worst case — test oracle only."""
+    primal = hypergraph.primal_graph()
+    return all(
+        _covered(hypergraph, clique) for clique in primal.maximal_cliques()
+    )
+
+
+def find_uncovered_clique(hypergraph: Hypergraph) -> frozenset | None:
+    """An inclusion-minimal primal clique not covered by any hyperedge,
+    or None if the hypergraph is conformal.
+
+    Starts from a violating Gilmore triple (whose candidate set is a primal
+    clique: every pair inside it meets within one of the three edges) and
+    shrinks it minimally so that every proper subset is covered.  Minimal
+    uncovered cliques are what the H_n obstruction of Lemma 3(2) is made
+    of.
+    """
+    edges = [e.as_frozenset() for e in hypergraph.edges]
+    m = len(edges)
+    witness: frozenset | None = None
+    for i in range(m):
+        for j in range(i, m):
+            for k in range(j, m):
+                candidate = (
+                    (edges[i] & edges[j])
+                    | (edges[j] & edges[k])
+                    | (edges[k] & edges[i])
+                )
+                if not _covered(hypergraph, candidate):
+                    witness = candidate
+                    break
+            if witness:
+                break
+        if witness:
+            break
+    if witness is None:
+        return None
+    # Shrink to an inclusion-minimal uncovered set; it remains a clique
+    # because subsets of cliques are cliques.
+    shrunk = set(witness)
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(shrunk, key=repr):
+            smaller = frozenset(shrunk - {v})
+            if smaller and not _covered(hypergraph, smaller):
+                shrunk = set(smaller)
+                changed = True
+                break
+    return frozenset(shrunk)
+
+
+def verify_uncovered_clique(
+    hypergraph: Hypergraph, clique: frozenset
+) -> bool:
+    """Certificate check: ``clique`` is a primal-graph clique covered by no
+    hyperedge, and every proper subset of it is covered."""
+    primal = hypergraph.primal_graph()
+    if not primal.is_clique(clique):
+        return False
+    if _covered(hypergraph, clique):
+        return False
+    for size in range(1, len(clique)):
+        for subset in combinations(sorted(clique, key=repr), size):
+            if not _covered(hypergraph, frozenset(subset)):
+                return False
+    return True

@@ -1,0 +1,156 @@
+"""Named hypergraph families and random generators.
+
+The paper's running examples (Section 4):
+
+* ``P_n`` — the path: edges {A1,A2}, ..., {A(n-1),An}; acyclic for n >= 2.
+* ``C_n`` — the cycle: the path plus {An,A1}; cyclic for n >= 3, the
+  minimal non-chordal obstruction for n >= 4.
+* ``H_n`` — all (n-1)-subsets of n vertices; cyclic for n >= 3, the
+  minimal non-conformal obstruction.  ``H_3 == C_3`` (the triangle).
+
+Random generators produce arbitrary hypergraphs (for cross-decider
+property tests) and guaranteed-acyclic hypergraphs (grown edge-by-edge so
+the running intersection property holds by construction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.schema import Schema
+from .hypergraph import Hypergraph
+
+
+def _attrs(n: int, prefix: str = "A") -> list[str]:
+    return [f"{prefix}{i}" for i in range(1, n + 1)]
+
+
+def path_hypergraph(n: int, prefix: str = "A") -> Hypergraph:
+    """P_n: the path hypergraph on n >= 2 vertices (acyclic)."""
+    if n < 2:
+        raise ValueError(f"P_n requires n >= 2, got {n}")
+    vs = _attrs(n, prefix)
+    return Hypergraph(vs, [(vs[i], vs[i + 1]) for i in range(n - 1)])
+
+
+def cycle_hypergraph(n: int, prefix: str = "A") -> Hypergraph:
+    """C_n: the cycle hypergraph on n >= 3 vertices (cyclic)."""
+    if n < 3:
+        raise ValueError(f"C_n requires n >= 3, got {n}")
+    vs = _attrs(n, prefix)
+    edges = [(vs[i], vs[(i + 1) % n]) for i in range(n)]
+    return Hypergraph(vs, edges)
+
+
+def hn_hypergraph(n: int, prefix: str = "A") -> Hypergraph:
+    """H_n: all (n-1)-element subsets of n >= 3 vertices (cyclic)."""
+    if n < 3:
+        raise ValueError(f"H_n requires n >= 3, got {n}")
+    vs = _attrs(n, prefix)
+    edges = [tuple(v for v in vs if v != out) for out in vs]
+    return Hypergraph(vs, edges)
+
+
+def triangle_hypergraph(prefix: str = "A") -> Hypergraph:
+    """C_3 = H_3, the triangle {A1,A2},{A2,A3},{A3,A1} — the schema of
+    3-dimensional contingency tables (Lemma 6)."""
+    return cycle_hypergraph(3, prefix)
+
+
+def star_hypergraph(n: int, prefix: str = "A") -> Hypergraph:
+    """A star: edges {Hub, A_i}; always acyclic."""
+    if n < 1:
+        raise ValueError(f"star requires n >= 1 leaves, got {n}")
+    hub = f"{prefix}0"
+    vs = [hub] + _attrs(n, prefix)
+    return Hypergraph(vs, [(hub, v) for v in vs[1:]])
+
+
+def chain_of_cliques(lengths: Sequence[int], prefix: str = "A") -> Hypergraph:
+    """An acyclic chain of overlapping hyperedges: edge i has
+    ``lengths[i]`` vertices and shares exactly one vertex with edge i+1.
+    Useful for scaling benchmarks over acyclic schemas with wide edges."""
+    if not lengths or any(size < 2 for size in lengths):
+        raise ValueError("each edge needs at least 2 vertices")
+    edges = []
+    counter = 0
+    link = f"{prefix}{counter}"
+    for size in lengths:
+        fresh = [f"{prefix}{counter + k}" for k in range(1, size)]
+        edges.append([link] + fresh)
+        counter += size - 1
+        link = f"{prefix}{counter}"
+    return Hypergraph(None, edges)
+
+
+def random_hypergraph(
+    n_vertices: int,
+    n_edges: int,
+    max_arity: int,
+    rng: random.Random,
+) -> Hypergraph:
+    """A uniformly arbitrary hypergraph (may be cyclic or acyclic)."""
+    if n_vertices < 1 or n_edges < 1 or max_arity < 1:
+        raise ValueError("need at least one vertex, edge and arity")
+    vs = _attrs(n_vertices)
+    edges = []
+    for _ in range(n_edges):
+        arity = rng.randint(1, min(max_arity, n_vertices))
+        edges.append(tuple(rng.sample(vs, arity)))
+    return Hypergraph(vs, edges)
+
+
+def random_acyclic_hypergraph(
+    n_edges: int,
+    max_arity: int,
+    rng: random.Random,
+    max_shared: int | None = None,
+) -> Hypergraph:
+    """An acyclic hypergraph grown edge by edge.
+
+    Each new edge takes a random subset of one existing edge's vertices
+    plus fresh vertices, so the listing satisfies the running intersection
+    property by construction (hence the result is acyclic by Theorem 1).
+    """
+    if n_edges < 1 or max_arity < 2:
+        raise ValueError("need n_edges >= 1 and max_arity >= 2")
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"A{counter}"
+
+    first_arity = rng.randint(1, max_arity)
+    edges: list[tuple[str, ...]] = [
+        tuple(fresh() for _ in range(first_arity))
+    ]
+    for _ in range(n_edges - 1):
+        anchor = list(rng.choice(edges))
+        cap = len(anchor) if max_shared is None else min(max_shared, len(anchor))
+        shared = rng.randint(0, cap)
+        arity = rng.randint(max(1, shared), max_arity)
+        inherited = rng.sample(anchor, shared)
+        new_edge = inherited + [fresh() for _ in range(arity - shared)]
+        if not new_edge:
+            new_edge = [fresh()]
+        edges.append(tuple(new_edge))
+    return Hypergraph(None, edges)
+
+
+def grid_hypergraph(rows: int, cols: int) -> Hypergraph:
+    """A rows x cols grid of binary edges (cyclic when both >= 2);
+    a stress family for obstruction finding."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    def name(r: int, c: int) -> str:
+        return f"G{r}_{c}"
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((name(r, c), name(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((name(r, c), name(r + 1, c)))
+    return Hypergraph(None, edges)

@@ -1,0 +1,165 @@
+"""Minimal undirected graphs.
+
+The hypergraph algorithms of the paper (chordality, conformality,
+obstruction finding) all factor through the *primal graph* of a
+hypergraph.  This module provides the small undirected-graph substrate
+they need: adjacency queries, induced subgraphs, connectivity,
+clique checks, and maximal-clique enumeration (Bron-Kerbosch), kept
+dependency-free so decision procedures never rely on external libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+
+
+class Graph:
+    """An immutable simple undirected graph."""
+
+    __slots__ = ("_vertices", "_adj")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._vertices = frozenset(vertices)
+        adj: dict[Vertex, set] = {v: set() for v in self._vertices}
+        for u, v in edges:
+            if u == v:
+                continue
+            if u not in adj or v not in adj:
+                raise ValueError(f"edge ({u!r}, {v!r}) uses unknown vertex")
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj = {v: frozenset(ns) for v, ns in adj.items()}
+
+    @property
+    def vertices(self) -> frozenset:
+        return self._vertices
+
+    def neighbors(self, v: Vertex) -> frozenset:
+        return self._adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return v in self._adj.get(u, frozenset())
+
+    def edges(self) -> Iterator[frozenset]:
+        seen = set()
+        for u, ns in self._adj.items():
+            for v in ns:
+                edge = frozenset((u, v))
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def edge_count(self) -> int:
+        return sum(len(ns) for ns in self._adj.values()) // 2
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        keep = frozenset(keep) & self._vertices
+        edges = [
+            (u, v)
+            for u in keep
+            for v in self._adj[u]
+            if v in keep and repr(u) < repr(v)
+        ]
+        # repr-ordering may miss edges whose reprs tie; fall back to a set.
+        all_edges = {
+            frozenset((u, v))
+            for u in keep
+            for v in self._adj[u]
+            if v in keep
+        }
+        return Graph(keep, [tuple(e) for e in all_edges])
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        vs = list(vertices)
+        return all(
+            self.has_edge(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def is_connected(self) -> bool:
+        if not self._vertices:
+            return True
+        start = next(iter(self._vertices))
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen == self._vertices
+
+    def connected_components(self) -> list[frozenset]:
+        remaining = set(self._vertices)
+        components = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            components.append(frozenset(seen))
+            remaining -= seen
+        return components
+
+    def maximal_cliques(self) -> Iterator[frozenset]:
+        """Bron-Kerbosch with pivoting.
+
+        Worst-case exponential; used as the definitional cross-check for
+        the polynomial conformality test (Gilmore's theorem) and only on
+        small graphs in tests.
+        """
+
+        def expand(r: set, p: set, x: set) -> Iterator[frozenset]:
+            if not p and not x:
+                yield frozenset(r)
+                return
+            pivot = max(p | x, key=lambda v: len(self._adj[v] & p))
+            for v in list(p - self._adj[pivot]):
+                yield from expand(
+                    r | {v}, p & self._adj[v], x & self._adj[v]
+                )
+                p.remove(v)
+                x.add(v)
+
+        yield from expand(set(), set(self._vertices), set())
+
+    def is_cycle_graph(self) -> bool:
+        """True if the graph is a single simple cycle on >= 3 vertices."""
+        if len(self._vertices) < 3:
+            return False
+        return (
+            all(self.degree(v) == 2 for v in self._vertices)
+            and self.is_connected()
+        )
+
+    def complement(self) -> "Graph":
+        vs = list(self._vertices)
+        edges = [
+            (vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+            if not self.has_edge(vs[i], vs[j])
+        ]
+        return Graph(vs, edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({len(self._vertices)} vertices, "
+            f"{self.edge_count()} edges)"
+        )

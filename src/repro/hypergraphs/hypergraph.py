@@ -1,0 +1,225 @@
+"""Hypergraphs and the safe-deletion operations of the paper.
+
+A hypergraph ``H = (V, E)`` has a finite vertex set and a set of non-empty
+hyperedges (Section 4).  The operations implemented here are exactly the
+ones the paper's proofs use:
+
+* the *primal graph* (vertices adjacent iff they co-occur in a hyperedge),
+* the *induced* hypergraph ``H[W]`` (non-empty traces ``X & W``),
+* the *reduction* ``R(H)`` (drop hyperedges covered by other hyperedges),
+* vertex deletion ``H \\ u`` (induced on ``V - {u}``) and covered-edge
+  deletion ``H \\ e``, the two *safe-deletion* operations of Lemma 4,
+* k-uniformity and d-regularity (the preconditions of the Tseitin-style
+  construction in Theorem 2's Step 2),
+* shape recognizers for the minimal obstructions ``C_n`` (cycles) and
+  ``H_n`` (all (n-1)-subsets), used to validate Lemma 3 witnesses.
+
+Hyperedges are :class:`~repro.core.schema.Schema` objects so hypergraphs
+and database schemas interconvert freely, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..core.schema import Attribute, Schema
+from ..errors import SchemaError
+from .graphs import Graph
+
+
+class Hypergraph:
+    """An immutable hypergraph whose hyperedges are schemas.
+
+    The edge set is deduplicated but input order of first occurrence is
+    preserved, so listings are deterministic.  Isolated vertices (in no
+    hyperedge) are allowed and retained.
+    """
+
+    __slots__ = ("_vertices", "_edges")
+
+    def __init__(
+        self,
+        vertices: Iterable[Attribute] | None = None,
+        edges: Iterable[Iterable[Attribute]] = (),
+    ) -> None:
+        schemas: list[Schema] = []
+        seen: set[Schema] = set()
+        for edge in edges:
+            schema = edge if isinstance(edge, Schema) else Schema(edge)
+            if len(schema) == 0:
+                raise SchemaError("hyperedges must be non-empty")
+            if schema not in seen:
+                seen.add(schema)
+                schemas.append(schema)
+        covered = set()
+        for schema in schemas:
+            covered.update(schema.attrs)
+        if vertices is None:
+            vertex_set = frozenset(covered)
+        else:
+            vertex_set = frozenset(vertices)
+            if not covered <= vertex_set:
+                raise SchemaError(
+                    f"edges mention vertices outside the vertex set: "
+                    f"{covered - vertex_set!r}"
+                )
+        self._vertices = vertex_set
+        self._edges = tuple(schemas)
+
+    @classmethod
+    def from_schemas(cls, schemas: Iterable[Schema]) -> "Hypergraph":
+        """The hypergraph of a database schema: one hyperedge per relation
+        schema (duplicates collapse)."""
+        return cls(None, schemas)
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def vertices(self) -> frozenset:
+        return self._vertices
+
+    @property
+    def edges(self) -> tuple[Schema, ...]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Schema]:
+        return iter(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Hypergraph):
+            return (
+                self._vertices == other._vertices
+                and set(self._edges) == set(other._edges)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._vertices, frozenset(self._edges)))
+
+    def __repr__(self) -> str:
+        edges = [sorted(map(repr, e.attrs)) for e in self._edges]
+        return f"Hypergraph({len(self._vertices)} vertices, edges={edges!r})"
+
+    # -- structure ---------------------------------------------------------
+
+    def primal_graph(self) -> Graph:
+        """The Gaifman/primal graph: u ~ v iff they share a hyperedge."""
+        edges = []
+        for schema in self._edges:
+            attrs = schema.attrs
+            for i in range(len(attrs)):
+                for j in range(i + 1, len(attrs)):
+                    edges.append((attrs[i], attrs[j]))
+        return Graph(self._vertices, edges)
+
+    def induced(self, keep: Iterable[Attribute]) -> "Hypergraph":
+        """The induced hypergraph H[W]: traces X & W, empty traces dropped."""
+        keep_set = frozenset(keep)
+        traces = []
+        for schema in self._edges:
+            trace = frozenset(schema.attrs) & keep_set
+            if trace:
+                traces.append(Schema(trace))
+        return Hypergraph(keep_set & self._vertices | keep_set, traces)
+
+    def reduction(self) -> "Hypergraph":
+        """R(H): keep only hyperedges not strictly contained in another."""
+        kept = []
+        for schema in self._edges:
+            if not any(
+                schema != other and schema.issubset(other)
+                for other in self._edges
+            ):
+                kept.append(schema)
+        return Hypergraph(self._vertices, kept)
+
+    def is_reduced(self) -> bool:
+        return len(self.reduction()) == len(self._edges)
+
+    def delete_vertex(self, vertex: Attribute) -> "Hypergraph":
+        """The safe deletion H \\ u (vertex deletion)."""
+        if vertex not in self._vertices:
+            raise SchemaError(f"vertex {vertex!r} not in hypergraph")
+        return self.induced(self._vertices - {vertex})
+
+    def covered_edges(self) -> list[Schema]:
+        """Hyperedges e with e <= f for some distinct hyperedge f."""
+        return [
+            schema
+            for schema in self._edges
+            if any(
+                schema != other and schema.issubset(other)
+                for other in self._edges
+            )
+        ]
+
+    def delete_covered_edge(self, edge: Schema) -> "Hypergraph":
+        """The safe deletion H \\ e (only legal when e is covered)."""
+        if edge not in self._edges:
+            raise SchemaError(f"edge {edge!r} not in hypergraph")
+        if edge not in self.covered_edges():
+            raise SchemaError(
+                f"edge {edge!r} is not covered; deleting it is not safe"
+            )
+        return Hypergraph(
+            self._vertices, [e for e in self._edges if e != edge]
+        )
+
+    # -- uniformity / regularity (Theorem 2, Step 2) ------------------------
+
+    def uniformity(self) -> int | None:
+        """k if every hyperedge has exactly k vertices, else None."""
+        sizes = {len(e) for e in self._edges}
+        if len(sizes) == 1:
+            return sizes.pop()
+        return None
+
+    def regularity(self) -> int | None:
+        """d if every vertex lies in exactly d hyperedges, else None."""
+        counts = {v: 0 for v in self._vertices}
+        for schema in self._edges:
+            for attr in schema.attrs:
+                counts[attr] += 1
+        degrees = set(counts.values())
+        if len(degrees) == 1:
+            return degrees.pop()
+        return None
+
+    def is_k_uniform(self, k: int) -> bool:
+        return self.uniformity() == k
+
+    def is_d_regular(self, d: int) -> bool:
+        return self.regularity() == d
+
+    # -- obstruction shapes (Lemma 3) ---------------------------------------
+
+    def is_cycle_shape(self) -> bool:
+        """True if H is (isomorphic to) C_n for n >= 3: all edges binary and
+        the primal graph is one simple cycle covering all vertices."""
+        if len(self._vertices) < 3:
+            return False
+        if any(len(e) != 2 for e in self._edges):
+            return False
+        if len(self._edges) != len(self._vertices):
+            return False
+        return self.primal_graph().is_cycle_graph()
+
+    def is_hn_shape(self) -> bool:
+        """True if H is (isomorphic to) H_n for n >= 3: the hyperedges are
+        exactly all (n-1)-subsets of the n vertices."""
+        n = len(self._vertices)
+        if n < 3:
+            return False
+        expected = {
+            Schema(self._vertices - {v}) for v in self._vertices
+        }
+        return set(self._edges) == expected
+
+
+def hypergraph_of_bags(bags: Sequence) -> Hypergraph:
+    """The hypergraph whose hyperedges are the schemas of a collection of
+    bags (or relations); duplicate schemas collapse, as in the paper."""
+    return Hypergraph.from_schemas([bag.schema for bag in bags])

@@ -1,0 +1,128 @@
+"""Lemma 3: minimal cyclic obstructions inside a cyclic hypergraph.
+
+For a hypergraph H that is not chordal, there is a vertex set W with
+|W| >= 4 such that the reduced induced hypergraph ``R(H[W])`` is the
+cycle ``C_|W|``; for H not conformal, there is W with |W| >= 3 such that
+``R(H[W])`` is ``H_|W|`` (all (|W|-1)-subsets).  Moreover both W and a
+sequence of safe deletions transforming H into ``R(H[W])`` are computable
+in polynomial time.
+
+This module implements the witness-finding algorithm the paper sketches:
+iteratively delete vertices whose removal keeps the induced hypergraph
+non-chordal (resp. non-conformal) until no deletion is possible; the
+survivors form W.  The resulting ``R(H[W])`` is verified against the
+expected shape, so a successful return is a checked certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..core.schema import Attribute
+from ..errors import AcyclicSchemaError
+from .acyclicity import is_acyclic
+from .chordality import is_chordal_graph
+from .conformality import is_conformal
+from .hypergraph import Hypergraph
+
+ObstructionKind = Literal["cycle", "hn"]
+
+
+@dataclass(frozen=True)
+class Obstruction:
+    """A Lemma 3 obstruction certificate.
+
+    ``kind`` is "cycle" when ``R(H[W])`` is isomorphic to C_|W| (H was not
+    chordal) and "hn" when it is isomorphic to H_|W| (H was not
+    conformal).  ``reduced_induced`` is R(H[W]) itself.
+    """
+
+    kind: ObstructionKind
+    vertices: frozenset
+    reduced_induced: Hypergraph
+
+
+def find_nonchordal_witness(hypergraph: Hypergraph) -> frozenset | None:
+    """A minimal W whose induced primal graph is non-chordal, or None.
+
+    Paper's algorithm: while some vertex can be deleted leaving a
+    non-chordal induced hypergraph, delete it.  The survivors induce a
+    chordless cycle, so ``R(H[W])`` is isomorphic to ``C_|W|``.
+    """
+    if is_chordal_graph(hypergraph.primal_graph()):
+        return None
+    keep = set(hypergraph.vertices)
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(keep, key=repr):
+            candidate = keep - {v}
+            primal = hypergraph.induced(candidate).primal_graph()
+            if not is_chordal_graph(primal):
+                keep = candidate
+                changed = True
+                break
+    return frozenset(keep)
+
+
+def find_nonconformal_witness(hypergraph: Hypergraph) -> frozenset | None:
+    """A minimal W whose induced hypergraph is non-conformal, or None.
+
+    By [Bra16] (cited in Lemma 3), ``R(H[W])`` for the surviving W is
+    isomorphic to ``H_|W|``.
+    """
+    if is_conformal(hypergraph):
+        return None
+    keep = set(hypergraph.vertices)
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(keep, key=repr):
+            candidate = keep - {v}
+            if not is_conformal(hypergraph.induced(candidate)):
+                keep = candidate
+                changed = True
+                break
+    return frozenset(keep)
+
+
+def find_obstruction(hypergraph: Hypergraph) -> Obstruction:
+    """The Lemma 3 certificate for a cyclic hypergraph.
+
+    Prefers the non-conformal (H_n) obstruction when both exist, so the
+    triangle C_3 = H_3 is reported uniformly as "hn"; falls back to the
+    non-chordal (cycle) obstruction.  Raises
+    :class:`AcyclicSchemaError` when the hypergraph is acyclic (by
+    Theorem 1(b) an acyclic hypergraph is chordal and conformal, so no
+    obstruction exists).
+
+    The returned certificate is verified: the reduced induced hypergraph
+    must have exactly the claimed shape.
+    """
+    if is_acyclic(hypergraph):
+        raise AcyclicSchemaError(
+            f"no obstruction exists: {hypergraph!r} is acyclic"
+        )
+    w_conf = find_nonconformal_witness(hypergraph)
+    if w_conf is not None:
+        reduced = hypergraph.induced(w_conf).reduction()
+        if not reduced.is_hn_shape():
+            raise AssertionError(
+                f"Lemma 3(2) violated: R(H[W]) for W={sorted(map(repr, w_conf))} "
+                f"is not an H_n: {reduced!r}"
+            )
+        return Obstruction("hn", w_conf, reduced)
+    w_chord = find_nonchordal_witness(hypergraph)
+    if w_chord is None:
+        raise AssertionError(
+            "cyclic hypergraph is both chordal and conformal; "
+            "contradicts Theorem 1(b)"
+        )
+    reduced = hypergraph.induced(w_chord).reduction()
+    if not reduced.is_cycle_shape() or len(w_chord) < 4:
+        raise AssertionError(
+            f"Lemma 3(1) violated: R(H[W]) for W={sorted(map(repr, w_chord))} "
+            f"is not a C_n with n >= 4: {reduced!r}"
+        )
+    return Obstruction("cycle", w_chord, reduced)

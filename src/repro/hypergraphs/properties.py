@@ -1,0 +1,132 @@
+"""Additional hypergraph structure: connectivity, duals, incidence.
+
+Support utilities the main algorithms and downstream users lean on:
+
+* connectivity and connected components (GYO and join trees handle
+  disconnected hypergraphs, but diagnostics want the decomposition);
+* the dual hypergraph (vertices <-> edges), under which conformality
+  and Helly-type properties swap roles in the classical theory;
+* the vertex-edge incidence matrix, the bridge to the linear-algebraic
+  arguments of Section 3 (for a *graph*, its transpose is exactly the
+  matrix whose total unimodularity the paper invokes);
+* edge/vertex degree statistics used by the uniformity/regularity
+  preconditions of the Tseitin construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.schema import Attribute, Schema
+from .hypergraph import Hypergraph
+
+
+def is_connected(hypergraph: Hypergraph) -> bool:
+    """Connected: every two vertices linked by a chain of overlapping
+    hyperedges (equivalently, the primal graph is connected, plus no
+    isolated vertices split off)."""
+    if not hypergraph.vertices:
+        return True
+    return len(connected_components(hypergraph)) == 1
+
+
+def connected_components(hypergraph: Hypergraph) -> list[frozenset]:
+    """Vertex sets of the connected components (isolated vertices form
+    singleton components)."""
+    parent: dict = {v: v for v in hypergraph.vertices}
+
+    def find(v):
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(u, v):
+        parent[find(u)] = find(v)
+
+    for edge in hypergraph.edges:
+        attrs = edge.attrs
+        for other in attrs[1:]:
+            union(attrs[0], other)
+    groups: dict = {}
+    for v in hypergraph.vertices:
+        groups.setdefault(find(v), set()).add(v)
+    return sorted(
+        (frozenset(g) for g in groups.values()), key=lambda s: sorted(map(repr, s))
+    )
+
+
+def component_hypergraphs(hypergraph: Hypergraph) -> list[Hypergraph]:
+    """The induced hypergraph of each connected component."""
+    return [
+        hypergraph.induced(component)
+        for component in connected_components(hypergraph)
+    ]
+
+
+def dual_hypergraph(hypergraph: Hypergraph) -> Hypergraph:
+    """The dual: one vertex per hyperedge, one hyperedge per original
+    vertex (the set of edges containing it).
+
+    Edge labels are the indices of the original edges in listing order.
+    Vertices in no edge contribute nothing (their dual edge would be
+    empty), and vertices with identical incidence signatures collapse to
+    one dual edge, since hyperedge sets are deduplicated.
+    """
+    edges = []
+    for v in sorted(hypergraph.vertices, key=repr):
+        containing = tuple(
+            i for i, edge in enumerate(hypergraph.edges) if v in edge
+        )
+        if containing:
+            edges.append(containing)
+    return Hypergraph(range(len(hypergraph.edges)), edges)
+
+
+def incidence_matrix(hypergraph: Hypergraph) -> list[list[Fraction]]:
+    """The vertex-edge incidence matrix: rows indexed by vertices in
+    canonical order, columns by hyperedges in listing order."""
+    vertices = sorted(hypergraph.vertices, key=repr)
+    return [
+        [
+            Fraction(1) if v in edge else Fraction(0)
+            for edge in hypergraph.edges
+        ]
+        for v in vertices
+    ]
+
+
+def vertex_degrees(hypergraph: Hypergraph) -> dict:
+    """How many hyperedges contain each vertex (d-regularity reads off
+    this)."""
+    degrees = {v: 0 for v in hypergraph.vertices}
+    for edge in hypergraph.edges:
+        for v in edge.attrs:
+            degrees[v] += 1
+    return degrees
+
+
+def edge_sizes(hypergraph: Hypergraph) -> list[int]:
+    """Hyperedge cardinalities in listing order (k-uniformity reads off
+    this)."""
+    return [len(edge) for edge in hypergraph.edges]
+
+
+def is_simple(hypergraph: Hypergraph) -> bool:
+    """No hyperedge contained in another (i.e. H equals its reduction);
+    Berge calls such hypergraphs simple (or Sperner families)."""
+    return hypergraph.is_reduced()
+
+
+def acyclicity_is_componentwise(hypergraph: Hypergraph) -> bool:
+    """Sanity lemma used by tests: H is acyclic iff every connected
+    component is (GYO never interacts across components)."""
+    from .acyclicity import is_acyclic
+
+    whole = is_acyclic(hypergraph)
+    parts = all(
+        is_acyclic(component)
+        for component in component_hypergraphs(hypergraph)
+        if len(component.edges) > 0
+    )
+    return whole == parts

@@ -1,0 +1,70 @@
+"""Exact optimization substrate: rational linear algebra, two-phase
+simplex, total-unimodularity checks, integer feasibility search, and
+Carathéodory sparsification."""
+
+from .caratheodory import (
+    eisenbrand_shmonin_bound,
+    minimize_support,
+    restrict_system,
+    sparsify_conic,
+)
+from .caratheodory import lemma5_step
+from .integer_feasibility import (
+    DEFAULT_NODE_BUDGET,
+    ZeroOneSystem,
+    count_solutions,
+    enumerate_solutions,
+    find_solution,
+    is_feasible,
+    iter_solutions,
+)
+from .simplex import farkas_certificate, verify_farkas
+from .matrix import (
+    determinant,
+    mat_vec,
+    nullspace_vector,
+    rank,
+    rref,
+    solve,
+    to_fraction_matrix,
+    to_fraction_vector,
+    transpose,
+)
+from .simplex import LPResult, is_feasible as lp_is_feasible, solve_lp
+from .unimodular import (
+    is_bipartite_incidence_structure,
+    is_totally_unimodular_bruteforce,
+    is_zero_one_matrix,
+)
+
+__all__ = [
+    "DEFAULT_NODE_BUDGET",
+    "LPResult",
+    "ZeroOneSystem",
+    "count_solutions",
+    "determinant",
+    "eisenbrand_shmonin_bound",
+    "enumerate_solutions",
+    "farkas_certificate",
+    "find_solution",
+    "is_bipartite_incidence_structure",
+    "is_feasible",
+    "iter_solutions",
+    "lemma5_step",
+    "verify_farkas",
+    "is_totally_unimodular_bruteforce",
+    "is_zero_one_matrix",
+    "lp_is_feasible",
+    "mat_vec",
+    "minimize_support",
+    "nullspace_vector",
+    "rank",
+    "restrict_system",
+    "rref",
+    "solve",
+    "solve_lp",
+    "sparsify_conic",
+    "to_fraction_matrix",
+    "to_fraction_vector",
+    "transpose",
+]

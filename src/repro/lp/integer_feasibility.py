@@ -1,0 +1,216 @@
+"""Exact search for non-negative integer solutions of 0/1 equation systems.
+
+The paper's program P(R1, ..., Rm) (Equation 14) asks for non-negative
+integers x_t, one per join tuple, whose sums along each marginal
+constraint hit prescribed values.  For m >= 3 the constraint matrix is
+not totally unimodular and deciding integer feasibility is NP-complete
+for cyclic schemas (Theorem 4), so this module implements a worst-case
+exponential but *exact* branch-and-prune search.  It is the library's
+oracle: every polynomial algorithm is validated against it on small
+instances, and it is the honest solver for the NP-hard side of the
+dichotomy (used by the benchmarks that exhibit the dichotomy's shape).
+
+The search is depth-first over variables with three prunings:
+
+* residuals never go negative;
+* a constraint with no unassigned variables must have residual zero;
+* a constraint's residual can never exceed the sum over its unassigned
+  variables of their upper bounds (each variable is bounded by the
+  minimum residual among its constraints);
+
+plus forced-value propagation: the last unassigned variable of a
+constraint must equal that constraint's residual exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import SearchLimitExceeded
+
+DEFAULT_NODE_BUDGET = 5_000_000
+
+
+@dataclass(frozen=True)
+class ZeroOneSystem:
+    """A sparse 0/1 equation system ``Ax = b`` over x >= 0 integer.
+
+    ``var_constraints[j]`` lists the constraint indices with a 1 in
+    column j; ``rhs[i]`` is the (non-negative integer) right-hand side of
+    constraint i.
+    """
+
+    n_vars: int
+    var_constraints: tuple[tuple[int, ...], ...]
+    rhs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.var_constraints) != self.n_vars:
+            raise ValueError("var_constraints length must equal n_vars")
+        if any(b < 0 for b in self.rhs):
+            raise ValueError("rhs must be non-negative")
+
+    def constraint_vars(self) -> list[list[int]]:
+        out: list[list[int]] = [[] for _ in self.rhs]
+        for j, constraints in enumerate(self.var_constraints):
+            for c in constraints:
+                out[c].append(j)
+        return out
+
+    def check_solution(self, solution: Sequence[int]) -> bool:
+        """Exact verification that ``solution`` satisfies the system."""
+        if len(solution) != self.n_vars or any(x < 0 for x in solution):
+            return False
+        totals = [0] * len(self.rhs)
+        for j, x in enumerate(solution):
+            if x:
+                for c in self.var_constraints[j]:
+                    totals[c] += x
+        return totals == list(self.rhs)
+
+
+class _Search:
+    """DFS state shared across the enumeration generator."""
+
+    def __init__(self, system: ZeroOneSystem, node_budget: int | None) -> None:
+        self.system = system
+        self.node_budget = node_budget
+        self.nodes = 0
+        cons_vars = system.constraint_vars()
+        # Static variable order: tightest constraints first.  A variable's
+        # key is the size of the smallest constraint containing it.
+        def key(j: int) -> tuple:
+            sizes = [len(cons_vars[c]) for c in system.var_constraints[j]]
+            return (min(sizes) if sizes else 1 << 30, -len(sizes), j)
+
+        self.order = sorted(range(system.n_vars), key=key)
+        self.residual = list(system.rhs)
+        self.remaining = [len(vs) for vs in cons_vars]
+        self.assignment = [0] * system.n_vars
+
+    def _tick(self) -> None:
+        self.nodes += 1
+        if self.node_budget is not None and self.nodes > self.node_budget:
+            raise SearchLimitExceeded(
+                f"integer search exceeded {self.node_budget} nodes"
+            )
+
+    def _upper_bound(self, var: int) -> int:
+        constraints = self.system.var_constraints[var]
+        if not constraints:
+            return 0  # an unconstrained variable gains nothing by being > 0
+        return min(self.residual[c] for c in constraints)
+
+    def _prune(self, depth: int) -> bool:
+        """True if the current partial assignment cannot be completed.
+
+        Checks, for every constraint, that the residual is attainable by
+        the unassigned variables' upper bounds.
+        """
+        unassigned = self.order[depth:]
+        # Sum of upper bounds contributed to each constraint.
+        contribution = [0] * len(self.residual)
+        for var in unassigned:
+            ub = self._upper_bound(var)
+            if ub:
+                for c in self.system.var_constraints[var]:
+                    contribution[c] += ub
+        for c, residual in enumerate(self.residual):
+            if residual > contribution[c]:
+                return True
+        return False
+
+    def enumerate(self, depth: int) -> Iterator[list[int]]:
+        self._tick()
+        if depth == len(self.order):
+            if all(r == 0 for r in self.residual):
+                yield list(self.assignment)
+            return
+        if self._prune(depth):
+            return
+        var = self.order[depth]
+        constraints = self.system.var_constraints[var]
+        ub = self._upper_bound(var)
+        # Forced value: a constraint in which `var` is the last unassigned
+        # variable pins the value to its residual.
+        forced: int | None = None
+        for c in constraints:
+            if self.remaining[c] == 1:
+                if forced is None:
+                    forced = self.residual[c]
+                elif forced != self.residual[c]:
+                    return  # two constraints disagree
+        if forced is not None and forced > ub:
+            return
+        values = (forced,) if forced is not None else range(ub, -1, -1)
+        for c in constraints:
+            self.remaining[c] -= 1
+        for value in values:
+            self.assignment[var] = value
+            for c in constraints:
+                self.residual[c] -= value
+            yield from self.enumerate(depth + 1)
+            for c in constraints:
+                self.residual[c] += value
+        self.assignment[var] = 0
+        for c in constraints:
+            self.remaining[c] += 1
+
+
+def find_solution(
+    system: ZeroOneSystem, node_budget: int | None = DEFAULT_NODE_BUDGET
+) -> list[int] | None:
+    """One non-negative integer solution, or None if infeasible.
+
+    Raises :class:`SearchLimitExceeded` if the node budget runs out
+    before the search is complete — the honest outcome for an NP-hard
+    problem.
+    """
+    search = _Search(system, node_budget)
+    for solution in search.enumerate(0):
+        return solution
+    return None
+
+
+def enumerate_solutions(
+    system: ZeroOneSystem,
+    limit: int | None = None,
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> list[list[int]]:
+    """All solutions (up to ``limit``), e.g. to count the witnesses of the
+    Section 3 family (exactly 2^(n-1) of them)."""
+    out: list[list[int]] = []
+    for solution in iter_solutions(system, node_budget):
+        out.append(solution)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def iter_solutions(
+    system: ZeroOneSystem,
+    node_budget: int | None = DEFAULT_NODE_BUDGET,
+) -> Iterator[list[int]]:
+    """Lazily stream all non-negative integer solutions.
+
+    Each yielded list is a fresh copy; consuming a prefix costs only the
+    search work needed to reach it, so 'find the first k witnesses' does
+    not pay for the full (potentially exponential) enumeration.
+    """
+    search = _Search(system, node_budget)
+    for solution in search.enumerate(0):
+        yield list(solution)
+
+
+def count_solutions(
+    system: ZeroOneSystem, node_budget: int | None = DEFAULT_NODE_BUDGET
+) -> int:
+    search = _Search(system, node_budget)
+    return sum(1 for _ in search.enumerate(0))
+
+
+def is_feasible(
+    system: ZeroOneSystem, node_budget: int | None = DEFAULT_NODE_BUDGET
+) -> bool:
+    return find_solution(system, node_budget) is not None

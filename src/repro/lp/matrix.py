@@ -1,0 +1,157 @@
+"""Exact rational linear algebra.
+
+Dense matrices over ``fractions.Fraction`` with the operations the
+consistency layer needs: reduced row echelon form, rank, solving
+``Ax = b``, and nullspace bases.  Exactness matters: the paper's
+feasibility questions (Lemma 2(3), the Hoffman-Kruskal integrality
+argument, Carathéodory sparsification in Theorem 5) are all decided over
+the rationals, and floating point would turn certificates into guesses.
+
+Matrices are lists of lists of Fractions; all functions are pure
+(inputs are copied, never mutated).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Row = list[Fraction]
+Matrix = list[Row]
+
+
+def to_fraction_matrix(rows: Iterable[Sequence]) -> Matrix:
+    """Deep-copy any numeric matrix into Fractions."""
+    return [[Fraction(x) for x in row] for row in rows]
+
+
+def to_fraction_vector(values: Iterable) -> Row:
+    return [Fraction(x) for x in values]
+
+
+def identity(n: int) -> Matrix:
+    return [
+        [Fraction(1) if i == j else Fraction(0) for j in range(n)]
+        for i in range(n)
+    ]
+
+
+def mat_vec(matrix: Matrix, vector: Sequence[Fraction]) -> Row:
+    return [
+        sum((row[j] * vector[j] for j in range(len(vector))), Fraction(0))
+        for row in matrix
+    ]
+
+
+def transpose(matrix: Matrix) -> Matrix:
+    if not matrix:
+        return []
+    return [list(col) for col in zip(*matrix)]
+
+
+def rref(matrix: Iterable[Sequence]) -> tuple[Matrix, list[int]]:
+    """Reduced row echelon form and the list of pivot column indices."""
+    m = to_fraction_matrix(matrix)
+    if not m:
+        return [], []
+    rows, cols = len(m), len(m[0])
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        pivot_row = None
+        for i in range(r, rows):
+            if m[i][c] != 0:
+                pivot_row = i
+                break
+        if pivot_row is None:
+            continue
+        m[r], m[pivot_row] = m[pivot_row], m[r]
+        pivot = m[r][c]
+        m[r] = [x / pivot for x in m[r]]
+        for i in range(rows):
+            if i != r and m[i][c] != 0:
+                factor = m[i][c]
+                m[i] = [a - factor * b for a, b in zip(m[i], m[r])]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def rank(matrix: Iterable[Sequence]) -> int:
+    _, pivots = rref(matrix)
+    return len(pivots)
+
+
+def solve(matrix: Iterable[Sequence], rhs: Sequence) -> Row | None:
+    """One solution of ``Ax = b`` over the rationals, or None if
+    inconsistent (free variables are set to zero)."""
+    a = to_fraction_matrix(matrix)
+    b = to_fraction_vector(rhs)
+    if len(a) != len(b):
+        raise ValueError("matrix and rhs dimensions disagree")
+    if not a:
+        return []
+    cols = len(a[0])
+    augmented = [row + [b[i]] for i, row in enumerate(a)]
+    reduced, pivots = rref(augmented)
+    # Inconsistent iff a pivot lands in the rhs column.
+    if cols in pivots:
+        return None
+    solution = [Fraction(0)] * cols
+    for r, c in enumerate(pivots):
+        solution[c] = reduced[r][cols]
+    return solution
+
+
+def nullspace_vector(matrix: Iterable[Sequence]) -> Row | None:
+    """A non-zero vector y with ``Ay = 0``, or None if the columns are
+    linearly independent.
+
+    The Carathéodory sparsification step (Theorem 5) repeatedly asks for
+    such a vector restricted to the support columns of a solution.
+    """
+    a = to_fraction_matrix(matrix)
+    if not a or not a[0]:
+        return None
+    cols = len(a[0])
+    reduced, pivots = rref(a)
+    pivot_set = set(pivots)
+    free = [c for c in range(cols) if c not in pivot_set]
+    if not free:
+        return None
+    # Set the first free variable to 1, all other free vars to 0.
+    target = free[0]
+    y = [Fraction(0)] * cols
+    y[target] = Fraction(1)
+    for r, c in enumerate(pivots):
+        y[c] = -reduced[r][target]
+    return y
+
+
+def determinant(matrix: Iterable[Sequence]) -> Fraction:
+    """Exact determinant by fraction-free-ish Gaussian elimination."""
+    m = to_fraction_matrix(matrix)
+    n = len(m)
+    if any(len(row) != n for row in m):
+        raise ValueError("determinant requires a square matrix")
+    det = Fraction(1)
+    for c in range(n):
+        pivot_row = None
+        for r in range(c, n):
+            if m[r][c] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            return Fraction(0)
+        if pivot_row != c:
+            m[c], m[pivot_row] = m[pivot_row], m[c]
+            det = -det
+        det *= m[c][c]
+        inv = Fraction(1) / m[c][c]
+        for r in range(c + 1, n):
+            if m[r][c] != 0:
+                factor = m[r][c] * inv
+                m[r] = [a - factor * b for a, b in zip(m[r], m[c])]
+    return det

@@ -1,0 +1,36 @@
+"""Polynomial-time reductions: HLY80 3-colorability, Irving-Jerrum 3DCT,
+and the Lemma 6 / Lemma 7 chains that spread NP-hardness along the C_n
+and H_n families."""
+
+from . import cycle_chain, hn_chain
+from .three_coloring import (
+    COLORS,
+    coloring_relations,
+    decode_coloring,
+    is_proper_coloring,
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_consistency,
+)
+from .three_dct import (
+    ThreeDCT,
+    decide_3dct,
+    project_table,
+    random_consistent_instance,
+    random_instance,
+)
+
+__all__ = [
+    "COLORS",
+    "ThreeDCT",
+    "coloring_relations",
+    "cycle_chain",
+    "decide_3dct",
+    "decode_coloring",
+    "hn_chain",
+    "is_proper_coloring",
+    "is_three_colorable_bruteforce",
+    "is_three_colorable_via_consistency",
+    "project_table",
+    "random_consistent_instance",
+    "random_instance",
+]

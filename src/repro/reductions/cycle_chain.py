@@ -1,0 +1,131 @@
+"""Lemma 6: the reduction GCPB(C_{n-1}) <=p GCPB(C_n).
+
+An instance over the (n-1)-cycle — bags R1(A1A2), ..., R_{n-1}(A_{n-1}A1)
+— maps to an instance over the n-cycle by re-schematizing the closing
+bag onto (A_{n-1}, A_n) for a fresh attribute A_n (a copy of A1's role)
+and appending a *diagonal* bag over (A_n, A1) whose entry at (a, a) is
+the multiplicity of a in R_{n-1}[A1].  The diagonal pins A_n = A_1, so
+witnesses transfer in both directions; together with the NP-hardness of
+GCPB(C3) (3DCT) this makes GCPB(C_n) NP-complete for every n >= 3
+(Theorem 4's cyclic half for the C_n family).
+
+All three maps are provided: the instance map
+(:func:`reduce_cycle_instance`) and the witness maps in both directions
+(:func:`map_witness_forward`, :func:`map_witness_backward`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import ReductionError
+
+
+def _cycle_attrs(m: int, prefix: str = "A") -> list[str]:
+    return [f"{prefix}{i}" for i in range(1, m + 1)]
+
+
+def check_cycle_instance(
+    bags: Sequence[Bag], prefix: str = "A"
+) -> list[str]:
+    """Validate that ``bags`` is a GCPB(C_m) instance (schemas are the
+    consecutive pairs of A1..Am, closing at (Am, A1)); returns the
+    attribute list."""
+    m = len(bags)
+    if m < 3:
+        raise ReductionError(f"a cycle instance needs >= 3 bags, got {m}")
+    attrs = _cycle_attrs(m, prefix)
+    for i, bag in enumerate(bags):
+        expected = Schema([attrs[i], attrs[(i + 1) % m]])
+        if bag.schema != expected:
+            raise ReductionError(
+                f"bag {i} has schema {bag.schema!r}, expected {expected!r}"
+            )
+    return attrs
+
+
+def reduce_cycle_instance(
+    bags: Sequence[Bag], prefix: str = "A"
+) -> list[Bag]:
+    """The Lemma 6 instance map: GCPB(C_{n-1}) -> GCPB(C_n)."""
+    attrs = check_cycle_instance(bags, prefix)
+    m = len(bags)  # instance over C_m, producing C_{m+1}
+    closing = bags[-1]  # schema {A_m, A_1}
+    a_first, a_last = attrs[0], attrs[-1]
+    a_new = f"{prefix}{m + 1}"
+    # Identical copy of the closing bag with A1 renamed to the fresh A_{m+1}.
+    copied = Bag.from_mappings(
+        [
+            (
+                {
+                    a_last: tup[a_last],
+                    a_new: tup[a_first],
+                },
+                mult,
+            )
+            for tup, mult in closing.tuples()
+        ],
+        schema=Schema([a_last, a_new]),
+    )
+    # Diagonal bag over (A_{m+1}, A_1) carrying the A1-marginal of the
+    # closing bag.
+    a1_marginal = closing.marginal(Schema([a_first]))
+    diagonal = Bag.from_mappings(
+        [
+            ({a_new: tup[a_first], a_first: tup[a_first]}, mult)
+            for tup, mult in a1_marginal.tuples()
+        ],
+        schema=Schema([a_new, a_first]),
+    )
+    return list(bags[:-1]) + [copied, diagonal]
+
+
+def map_witness_forward(
+    witness: Bag, n_source: int, prefix: str = "A"
+) -> Bag:
+    """Map a witness over A1..A_{n_source} to one over A1..A_{n_source+1}
+    by pinning the fresh attribute to A1's value."""
+    attrs = _cycle_attrs(n_source, prefix)
+    expected = Schema(attrs)
+    if witness.schema != expected:
+        raise ReductionError(
+            f"witness schema {witness.schema!r}, expected {expected!r}"
+        )
+    a_new = f"{prefix}{n_source + 1}"
+    rows = []
+    for tup, mult in witness.tuples():
+        mapping = tup.as_mapping()
+        mapping[a_new] = mapping[attrs[0]]
+        rows.append((mapping, mult))
+    return Bag.from_mappings(rows, schema=Schema(attrs + [a_new]))
+
+
+def map_witness_backward(
+    witness: Bag, n_target: int, prefix: str = "A"
+) -> Bag:
+    """Map a witness over A1..A_{n_target+1} back to A1..A_{n_target}.
+
+    Only tuples with A_{n_target+1} = A_1 can carry multiplicity in a
+    genuine witness (the diagonal bag forces it); the map drops the
+    fresh attribute.
+    """
+    attrs = _cycle_attrs(n_target + 1, prefix)
+    expected = Schema(attrs)
+    if witness.schema != expected:
+        raise ReductionError(
+            f"witness schema {witness.schema!r}, expected {expected!r}"
+        )
+    a_first, a_new = attrs[0], attrs[-1]
+    rows = []
+    for tup, mult in witness.tuples():
+        mapping = tup.as_mapping()
+        if mapping[a_new] != mapping[a_first]:
+            raise ReductionError(
+                "witness has off-diagonal mass on (A_new, A_1); it cannot "
+                "witness the reduced instance"
+            )
+        del mapping[a_new]
+        rows.append((mapping, mult))
+    return Bag.from_mappings(rows, schema=Schema(attrs[:-1]))

@@ -1,0 +1,152 @@
+"""Lemma 7: the reduction GCPB(H_{n-1}) <=p GCPB(H_n).
+
+``H_n`` has the (n-1)-element subsets of {A1, ..., An} as hyperedges.
+Given bags R1(X1), ..., R_{n-1}(X_{n-1}) with Xi = {A1..A_{n-1}} - {Ai},
+the reduction introduces a fresh two-valued attribute A_n and builds
+bags S1(Y1), ..., S_n(Y_n) with Yi = {A1..An} - {Ai}:
+
+* for i < n:  Si(t, 1) = Ri(t) and Si(t, 2) = M * D_i - Ri(t) for every
+  tuple t over the active-domain grid of Xi, where D_i is the size of
+  A_i's active domain and M the maximum input multiplicity;
+* Sn(t) = M for every grid tuple t over {A1..A_{n-1}}.
+
+Witnesses map by S(t, 1) = R(t), S(t, 2) = M - R(t) forward and
+R(t) = S(t, 1) backward.  Combined with GCPB(H3) = GCPB(C3) NP-complete,
+this makes GCPB(H_n) NP-complete for every n >= 3 (Theorem 4's cyclic
+half for the H_n family).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import ReductionError
+
+
+def _hn_attrs(n: int, prefix: str = "A") -> list[str]:
+    return [f"{prefix}{i}" for i in range(1, n + 1)]
+
+
+def check_hn_instance(bags: Sequence[Bag], prefix: str = "A") -> list[str]:
+    """Validate that ``bags`` is a GCPB(H_m) instance; m = len(bags)."""
+    m = len(bags)
+    if m < 3:
+        raise ReductionError(f"an H_m instance needs >= 3 bags, got {m}")
+    attrs = _hn_attrs(m, prefix)
+    for i, bag in enumerate(bags):
+        expected = Schema([a for j, a in enumerate(attrs) if j != i])
+        if bag.schema != expected:
+            raise ReductionError(
+                f"bag {i} has schema {bag.schema!r}, expected {expected!r}"
+            )
+    return attrs
+
+
+def active_domains(
+    bags: Sequence[Bag], attrs: Sequence[str]
+) -> dict[str, list]:
+    """Active domain of each attribute across all supports, sorted for
+    determinism.  Raises when an attribute never occurs (an empty active
+    domain makes the grid construction vacuous)."""
+    domains: dict[str, set] = {a: set() for a in attrs}
+    for bag in bags:
+        for attr in bag.schema.attrs:
+            domains[attr].update(bag.active_domain(attr))
+    out = {}
+    for attr in attrs:
+        if not domains[attr]:
+            raise ReductionError(
+                f"attribute {attr!r} has empty active domain; the "
+                f"grid-based reduction is undefined"
+            )
+        out[attr] = sorted(domains[attr], key=repr)
+    return out
+
+
+def _grid(schema: Schema, domains: dict[str, list]):
+    """All tuples over the schema's active-domain grid, as mappings."""
+    attrs = schema.attrs
+    for values in product(*(domains[a] for a in attrs)):
+        yield dict(zip(attrs, values))
+
+
+def reduce_hn_instance(
+    bags: Sequence[Bag], prefix: str = "A", fresh_domain=(1, 2)
+) -> list[Bag]:
+    """The Lemma 7 instance map: GCPB(H_{n-1}) -> GCPB(H_n)."""
+    attrs = check_hn_instance(bags, prefix)
+    n_minus_1 = len(bags)
+    a_new = f"{prefix}{n_minus_1 + 1}"
+    one, two = fresh_domain
+    domains = active_domains(bags, attrs)
+    max_mult = max(bag.multiplicity_bound for bag in bags)
+    if max_mult == 0:
+        raise ReductionError("all input bags are empty; reduction undefined")
+    out: list[Bag] = []
+    for i, bag in enumerate(bags):
+        d_i = len(domains[attrs[i]])
+        schema = bag.schema | Schema([a_new])
+        rows = []
+        for grid_tuple in _grid(bag.schema, domains):
+            raw_row = tuple(grid_tuple[a] for a in bag.schema.attrs)
+            mult = bag.multiplicity(raw_row)
+            rows.append(({**grid_tuple, a_new: one}, mult))
+            rows.append(({**grid_tuple, a_new: two}, max_mult * d_i - mult))
+        out.append(Bag.from_mappings(rows, schema=schema))
+    # S_n over {A1..A_{n-1}}: constant M on the grid.
+    full = Schema(attrs)
+    rows = [
+        (grid_tuple, max_mult) for grid_tuple in _grid(full, domains)
+    ]
+    out.append(Bag.from_mappings(rows, schema=full))
+    return out
+
+
+def map_witness_forward(
+    witness: Bag,
+    bags: Sequence[Bag],
+    prefix: str = "A",
+    fresh_domain=(1, 2),
+) -> Bag:
+    """S(t, 1) = R(t), S(t, 2) = M - R(t) over the active-domain grid."""
+    attrs = check_hn_instance(bags, prefix)
+    expected = Schema(attrs)
+    if witness.schema != expected:
+        raise ReductionError(
+            f"witness schema {witness.schema!r}, expected {expected!r}"
+        )
+    a_new = f"{prefix}{len(bags) + 1}"
+    one, two = fresh_domain
+    domains = active_domains(bags, attrs)
+    max_mult = max(bag.multiplicity_bound for bag in bags)
+    rows = []
+    for grid_tuple in _grid(expected, domains):
+        raw = tuple(grid_tuple[a] for a in expected.attrs)
+        mult = witness.multiplicity(raw)
+        if mult > max_mult:
+            raise ReductionError(
+                "witness multiplicity exceeds the input maximum; it "
+                "cannot be a witness of the original instance"
+            )
+        rows.append(({**grid_tuple, a_new: one}, mult))
+        rows.append(({**grid_tuple, a_new: two}, max_mult - mult))
+    return Bag.from_mappings(rows, schema=expected | Schema([a_new]))
+
+
+def map_witness_backward(
+    witness: Bag, n_target: int, prefix: str = "A", fresh_domain=(1, 2)
+) -> Bag:
+    """R(t) = S(t, 1): restrict to the A_n = 1 slice and project it off."""
+    attrs = _hn_attrs(n_target + 1, prefix)
+    expected = Schema(attrs)
+    if witness.schema != expected:
+        raise ReductionError(
+            f"witness schema {witness.schema!r}, expected {expected!r}"
+        )
+    a_new = attrs[-1]
+    one = fresh_domain[0]
+    sliced = witness.restrict(lambda tup: tup[a_new] == one)
+    return sliced.marginal(Schema(attrs[:-1]))

@@ -1,0 +1,112 @@
+"""HLY80: 3-colorability reduces to global consistency of relations.
+
+Honeyman, Ladner, and Yannakakis showed the universal relation problem
+NP-complete by reducing from 3-Colorability with binary relations of six
+tuples each (Section 5.1 of the paper).  For a graph G, each edge (u, v)
+becomes a relation over schema {u, v} holding all six ordered pairs of
+distinct colors.  The collection is globally consistent iff G is
+3-colorable:
+
+* a witness tuple is a proper coloring (its projection on every edge
+  avoids the diagonal);
+* conversely, the set of *all* proper colorings projects onto all six
+  pairs on every edge, because color permutations act transitively on
+  ordered pairs of distinct colors.
+
+:func:`is_three_colorable_bruteforce` is the independent oracle the tests
+compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..core.relations import Relation
+from ..core.schema import Schema
+from ..errors import ReductionError
+
+COLORS = ("r", "g", "b")
+
+
+def coloring_relations(
+    edges: Iterable[tuple[Hashable, Hashable]],
+) -> list[Relation]:
+    """The HLY80 instance: one six-tuple binary relation per graph edge."""
+    relations = []
+    for u, v in edges:
+        if u == v:
+            raise ReductionError(f"self-loop on {u!r}: never 3-colorable")
+        schema = Schema([u, v])
+        rows = [
+            (
+                {u: c1, v: c2}[schema.attrs[0]],
+                {u: c1, v: c2}[schema.attrs[1]],
+            )
+            for c1 in COLORS
+            for c2 in COLORS
+            if c1 != c2
+        ]
+        relations.append(Relation.from_pairs(schema, rows))
+    return relations
+
+
+def decode_coloring(
+    witness: Relation,
+) -> dict:
+    """A proper coloring read off any single witness tuple."""
+    if not witness:
+        raise ReductionError("empty witness encodes no coloring")
+    tup = next(iter(witness))
+    return tup.as_mapping()
+
+
+def is_proper_coloring(
+    edges: Iterable[tuple[Hashable, Hashable]], coloring: dict
+) -> bool:
+    return all(coloring[u] != coloring[v] for u, v in edges)
+
+
+def is_three_colorable_bruteforce(
+    vertices: Sequence[Hashable],
+    edges: Sequence[tuple[Hashable, Hashable]],
+) -> bool:
+    """Backtracking 3-coloring — the independent oracle."""
+    adjacency: dict[Hashable, set] = {v: set() for v in vertices}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    order = sorted(adjacency, key=lambda v: (-len(adjacency[v]), repr(v)))
+    coloring: dict = {}
+
+    def assign(i: int) -> bool:
+        if i == len(order):
+            return True
+        vertex = order[i]
+        for color in COLORS:
+            if all(
+                coloring.get(nb) != color for nb in adjacency[vertex]
+            ):
+                coloring[vertex] = color
+                if assign(i + 1):
+                    return True
+                del coloring[vertex]
+        return False
+
+    return assign(0)
+
+
+def is_three_colorable_via_consistency(
+    edges: Sequence[tuple[Hashable, Hashable]],
+) -> bool:
+    """Decide 3-colorability through the reduction: the HLY80 relations
+    are globally consistent iff the graph is 3-colorable.
+
+    Uses the join-and-project decision for relations (exponential when
+    the schema is part of the input — exactly the NP-hardness the
+    reduction establishes).
+    """
+    from ..consistency.setcase import relations_globally_consistent
+
+    if not edges:
+        return True
+    return relations_globally_consistent(coloring_relations(edges))

@@ -1,0 +1,163 @@
+"""3-dimensional contingency tables (Irving-Jerrum) and GCPB(C3).
+
+The consistency problem for 3-dimensional statistical data tables
+(3DCT): given row sums R(i, k), column sums C(j, k) and file sums
+F(i, j), is there a non-negative integer table X(i, j, k) with those
+two-dimensional marginals?  Irving and Jerrum proved it NP-complete;
+Lemma 6 of the paper observes that GCPB(C3) — global consistency of
+three bags over the triangle schema {X,Y}, {Y,Z}, {Z,X} — generalizes it
+directly, which seeds the NP-hardness side of the dichotomy
+(Theorem 4).
+
+:class:`ThreeDCT` carries the three marginal tables;
+:meth:`ThreeDCT.to_bags` is the translation into a GCPB(C3) instance,
+and :func:`project_table` builds consistent instances from hidden
+tables (the planted-witness generator used by tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import random
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import ReductionError
+
+ATTR_X = "X"
+ATTR_Y = "Y"
+ATTR_Z = "Z"
+
+
+@dataclass(frozen=True)
+class ThreeDCT:
+    """A 3DCT instance over index sets [n] x [n] x [n].
+
+    ``row_sums[(i, k)]``, ``col_sums[(j, k)]`` and ``file_sums[(i, j)]``
+    are the prescribed marginals R, C, F of the Irving-Jerrum problem;
+    missing keys mean zero.
+    """
+
+    n: int
+    row_sums: Mapping[tuple[int, int], int]
+    col_sums: Mapping[tuple[int, int], int]
+    file_sums: Mapping[tuple[int, int], int]
+
+    def __post_init__(self) -> None:
+        for name, table in (
+            ("row_sums", self.row_sums),
+            ("col_sums", self.col_sums),
+            ("file_sums", self.file_sums),
+        ):
+            for (a, b), value in table.items():
+                if not (1 <= a <= self.n and 1 <= b <= self.n):
+                    raise ReductionError(
+                        f"{name} index ({a},{b}) outside [1,{self.n}]^2"
+                    )
+                if value < 0:
+                    raise ReductionError(f"{name} has negative entry")
+
+    def to_bags(self) -> list[Bag]:
+        """The GCPB(C3) instance: bags over XZ, YZ, XY with the marginal
+        tables as multiplicities (zero entries omitted)."""
+        xz = Schema([ATTR_X, ATTR_Z])
+        yz = Schema([ATTR_Y, ATTR_Z])
+        xy = Schema([ATTR_X, ATTR_Y])
+        r = Bag.from_mappings(
+            [
+                ({ATTR_X: i, ATTR_Z: k}, v)
+                for (i, k), v in self.row_sums.items()
+                if v
+            ],
+            schema=xz,
+        )
+        c = Bag.from_mappings(
+            [
+                ({ATTR_Y: j, ATTR_Z: k}, v)
+                for (j, k), v in self.col_sums.items()
+                if v
+            ],
+            schema=yz,
+        )
+        f = Bag.from_mappings(
+            [
+                ({ATTR_X: i, ATTR_Y: j}, v)
+                for (i, j), v in self.file_sums.items()
+                if v
+            ],
+            schema=xy,
+        )
+        return [r, c, f]
+
+    def total(self) -> tuple[int, int, int]:
+        """Grand totals of the three tables (equal for consistent
+        instances)."""
+        return (
+            sum(self.row_sums.values()),
+            sum(self.col_sums.values()),
+            sum(self.file_sums.values()),
+        )
+
+
+def project_table(
+    n: int, table: Mapping[tuple[int, int, int], int]
+) -> ThreeDCT:
+    """The (always consistent) 3DCT instance obtained by marginalizing a
+    concrete table X(i, j, k) — the planted-witness generator."""
+    rows: dict[tuple[int, int], int] = {}
+    cols: dict[tuple[int, int], int] = {}
+    files: dict[tuple[int, int], int] = {}
+    for (i, j, k), value in table.items():
+        if value < 0:
+            raise ReductionError("table entries must be non-negative")
+        if not value:
+            continue
+        rows[(i, k)] = rows.get((i, k), 0) + value
+        cols[(j, k)] = cols.get((j, k), 0) + value
+        files[(i, j)] = files.get((i, j), 0) + value
+    return ThreeDCT(n, rows, cols, files)
+
+
+def random_consistent_instance(
+    n: int, rng: random.Random, density: float = 0.5, max_entry: int = 5
+) -> ThreeDCT:
+    """A consistent instance planted from a random table."""
+    table = {
+        (i, j, k): rng.randint(1, max_entry)
+        for i in range(1, n + 1)
+        for j in range(1, n + 1)
+        for k in range(1, n + 1)
+        if rng.random() < density
+    }
+    return project_table(n, table)
+
+
+def random_instance(
+    n: int, rng: random.Random, total: int = 20
+) -> ThreeDCT:
+    """Marginal tables with equal grand totals but no planted witness —
+    instances that may or may not be consistent."""
+
+    def random_table() -> dict[tuple[int, int], int]:
+        table: dict[tuple[int, int], int] = {}
+        for _ in range(total):
+            key = (rng.randint(1, n), rng.randint(1, n))
+            table[key] = table.get(key, 0) + 1
+        return table
+
+    return ThreeDCT(n, random_table(), random_table(), random_table())
+
+
+def decide_3dct(
+    instance: ThreeDCT, node_budget: int | None = None
+) -> bool:
+    """Decide a 3DCT instance through GCPB(C3) (Lemma 6's translation)."""
+    from ..consistency.global_ import decide_global_consistency
+    from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
+
+    budget = DEFAULT_NODE_BUDGET if node_budget is None else node_budget
+    return decide_global_consistency(
+        instance.to_bags(), method="search", node_budget=budget
+    )

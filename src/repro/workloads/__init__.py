@@ -1,0 +1,24 @@
+"""Workload generators: planted consistent collections, perturbed
+inconsistent instances, and the paper's named example families."""
+
+from .generators import (
+    example1_instance,
+    inconsistent_pair,
+    perturb_bag,
+    planted_collection,
+    planted_pair,
+    random_bag,
+    random_collection_over,
+    witness_family_pair,
+)
+
+__all__ = [
+    "example1_instance",
+    "inconsistent_pair",
+    "perturb_bag",
+    "planted_collection",
+    "planted_pair",
+    "random_bag",
+    "random_collection_over",
+    "witness_family_pair",
+]

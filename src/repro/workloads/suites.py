@@ -1,0 +1,191 @@
+"""Named instance suites: a registry of the workload families.
+
+Benchmarks, examples, and external users reference instance families by
+name + size instead of copy-pasting construction code.  Each suite knows
+its expected answer (consistent / inconsistent / depends), so harnesses
+can assert correctness alongside timing.
+
+    >>> suite = get_suite("tseitin-cycle")
+    >>> bags = suite.build(4, seed=0)
+    >>> suite.expected
+    'inconsistent'
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Literal, Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..hypergraphs.families import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+
+Expected = Literal["consistent", "inconsistent", "depends"]
+
+
+@dataclass(frozen=True)
+class InstanceSuite:
+    """A named family of GCPB instances.
+
+    ``build(size, seed)`` returns a collection of bags; ``expected``
+    states the global-consistency answer for every member ("depends"
+    when it varies by seed/size).
+    """
+
+    name: str
+    description: str
+    expected: Expected
+    schema_kind: Literal["acyclic", "cyclic"]
+    min_size: int
+    builder: Callable[[int, int], list[Bag]]
+
+    def build(self, size: int, seed: int = 0) -> list[Bag]:
+        if size < self.min_size:
+            raise ValueError(
+                f"suite {self.name!r} needs size >= {self.min_size}"
+            )
+        return self.builder(size, seed)
+
+
+def _planted_path(size: int, seed: int) -> list[Bag]:
+    from .generators import random_collection_over
+
+    return random_collection_over(
+        path_hypergraph(size + 1), random.Random(seed), n_tuples=5
+    )
+
+
+def _planted_triangle(size: int, seed: int) -> list[Bag]:
+    from .generators import random_collection_over
+
+    return random_collection_over(
+        triangle_hypergraph(), random.Random(seed),
+        domain_size=size, n_tuples=size * size,
+    )
+
+
+def _tseitin_cycle(size: int, seed: int) -> list[Bag]:
+    from ..consistency.local_global import tseitin_collection
+
+    return tseitin_collection(list(cycle_hypergraph(size).edges))
+
+
+def _tseitin_hn(size: int, seed: int) -> list[Bag]:
+    from ..consistency.local_global import tseitin_collection
+
+    return tseitin_collection(list(hn_hypergraph(size).edges))
+
+
+def _example1(size: int, seed: int) -> list[Bag]:
+    from .generators import example1_instance
+
+    return example1_instance(size)[0]
+
+
+def _witness_family(size: int, seed: int) -> list[Bag]:
+    from .generators import witness_family_pair
+
+    return list(witness_family_pair(size))
+
+
+def _perturbed_path(size: int, seed: int) -> list[Bag]:
+    from .generators import perturb_bag, random_collection_over
+
+    rng = random.Random(seed)
+    bags = random_collection_over(
+        path_hypergraph(size + 1), rng, n_tuples=5
+    )
+    victim = rng.randrange(len(bags))
+    bags[victim] = perturb_bag(bags[victim], rng)
+    return bags
+
+
+_SUITES: dict[str, InstanceSuite] = {}
+
+
+def _register(suite: InstanceSuite) -> None:
+    _SUITES[suite.name] = suite
+
+
+_register(InstanceSuite(
+    name="planted-path",
+    description="Marginals of a hidden witness over the path P_{n+1}; "
+                "globally consistent by construction.",
+    expected="consistent",
+    schema_kind="acyclic",
+    min_size=2,
+    builder=_planted_path,
+))
+_register(InstanceSuite(
+    name="planted-triangle",
+    description="Marginals of a hidden witness over the triangle with "
+                "domain size n; consistent but on a cyclic schema.",
+    expected="consistent",
+    schema_kind="cyclic",
+    min_size=2,
+    builder=_planted_triangle,
+))
+_register(InstanceSuite(
+    name="tseitin-cycle",
+    description="The Theorem 2 counterexample over C_n: pairwise "
+                "consistent, globally inconsistent.",
+    expected="inconsistent",
+    schema_kind="cyclic",
+    min_size=3,
+    builder=_tseitin_cycle,
+))
+_register(InstanceSuite(
+    name="tseitin-hn",
+    description="The Theorem 2 counterexample over H_n.",
+    expected="inconsistent",
+    schema_kind="cyclic",
+    min_size=3,
+    builder=_tseitin_hn,
+))
+_register(InstanceSuite(
+    name="example1",
+    description="Example 1: path bags with multiplicity 2^n; "
+                "consistent, join witness exponential.",
+    expected="consistent",
+    schema_kind="acyclic",
+    min_size=2,
+    builder=_example1,
+))
+_register(InstanceSuite(
+    name="witness-family",
+    description="Section 3's R_{n-1}, S_{n-1}: consistent with exactly "
+                "2^(n-1) witnesses.",
+    expected="consistent",
+    schema_kind="acyclic",
+    min_size=2,
+    builder=_witness_family,
+))
+_register(InstanceSuite(
+    name="perturbed-path",
+    description="A planted path collection with one bumped "
+                "multiplicity; pairwise inconsistent.",
+    expected="inconsistent",
+    schema_kind="acyclic",
+    min_size=2,
+    builder=_perturbed_path,
+))
+
+
+def get_suite(name: str) -> InstanceSuite:
+    """Look up a suite by name; raises KeyError with the catalogue."""
+    try:
+        return _SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {sorted(_SUITES)}"
+        )
+
+
+def list_suites() -> list[InstanceSuite]:
+    return [_SUITES[name] for name in sorted(_SUITES)]

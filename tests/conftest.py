@@ -1,0 +1,124 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The strategies generate small instances on purpose: the exact integer
+search and the definitional (exponential) oracles are part of most
+cross-checks, so instance sizes are kept where the oracles are instant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import Bag, Relation, Schema
+from repro.hypergraphs import Hypergraph
+
+ATTR_POOL = ("A", "B", "C", "D", "E")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20210621)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def schemas(
+    min_size: int = 0, max_size: int = 4, pool: tuple = ATTR_POOL
+) -> st.SearchStrategy[Schema]:
+    return st.sets(
+        st.sampled_from(pool), min_size=min_size, max_size=max_size
+    ).map(Schema)
+
+
+@st.composite
+def bags_over(
+    draw,
+    schema: Schema,
+    domain: tuple = (0, 1, 2),
+    max_tuples: int = 4,
+    max_multiplicity: int = 4,
+) -> Bag:
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.tuples(
+                    *[st.sampled_from(domain) for _ in schema.attrs]
+                ),
+                st.integers(1, max_multiplicity),
+            ),
+            max_size=max_tuples,
+        )
+    )
+    return Bag.from_pairs(schema, rows)
+
+
+@st.composite
+def bags(draw, min_attrs: int = 0, max_attrs: int = 3) -> Bag:
+    schema = draw(schemas(min_attrs, max_attrs))
+    return draw(bags_over(schema))
+
+
+@st.composite
+def relations_over(
+    draw, schema: Schema, domain: tuple = (0, 1, 2), max_tuples: int = 5
+) -> Relation:
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.sampled_from(domain) for _ in schema.attrs]),
+            max_size=max_tuples,
+        )
+    )
+    return Relation.from_pairs(schema, rows)
+
+
+@st.composite
+def schema_pairs(draw) -> tuple[Schema, Schema]:
+    """Two schemas with a guaranteed-nonempty union."""
+    left = draw(schemas(1, 3))
+    right = draw(schemas(1, 3))
+    return left, right
+
+
+@st.composite
+def consistent_bag_pairs(draw) -> tuple[Bag, Bag, Bag]:
+    """(plant, R, S): marginals of a common witness — consistent by
+    construction."""
+    left, right = draw(schema_pairs())
+    union = left | right
+    plant = draw(bags_over(union, max_tuples=5))
+    return plant, plant.marginal(left), plant.marginal(right)
+
+
+@st.composite
+def planted_collections(
+    draw, min_bags: int = 2, max_bags: int = 4
+) -> tuple[Bag, list[Bag]]:
+    """A hidden witness and its marginals over a few random schemas."""
+    n = draw(st.integers(min_bags, max_bags))
+    schema_list = [draw(schemas(1, 3)) for _ in range(n)]
+    union = Schema([])
+    for schema in schema_list:
+        union = union | schema
+    plant = draw(bags_over(union, max_tuples=5))
+    return plant, [plant.marginal(s) for s in schema_list]
+
+
+@st.composite
+def hypergraphs(
+    draw,
+    min_edges: int = 1,
+    max_edges: int = 5,
+    max_arity: int = 3,
+    pool: tuple = ATTR_POOL,
+) -> Hypergraph:
+    n = draw(st.integers(min_edges, max_edges))
+    edges = [
+        draw(st.sets(st.sampled_from(pool), min_size=1, max_size=max_arity))
+        for _ in range(n)
+    ]
+    return Hypergraph(None, edges)

@@ -1,0 +1,131 @@
+"""Inconsistency certificates: produced iff inconsistent, always
+verifiable."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.certificates import (
+    CutCertificate,
+    FarkasCertificate,
+    MarginalCertificate,
+    SearchRefutation,
+    collection_certificate,
+    cut_certificate,
+    pairwise_certificate,
+    verify_certificate,
+)
+from repro.consistency.local_global import tseitin_collection
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.hypergraphs.families import cycle_hypergraph, triangle_hypergraph
+from repro.workloads.generators import inconsistent_pair, planted_collection
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestPairwiseCertificates:
+    def test_none_for_consistent(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        assert pairwise_certificate(bags[0], bags[1]) is None
+
+    def test_found_and_verifiable_for_inconsistent(self, rng):
+        for _ in range(10):
+            r, s = inconsistent_pair(AB, BC, rng)
+            cert = pairwise_certificate(r, s)
+            assert cert is not None
+            assert verify_certificate([r, s], cert)
+
+    def test_certificate_names_the_cell(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        cert = pairwise_certificate(r, s)
+        assert cert.cell == (2,)
+        assert cert.left_value == 3 and cert.right_value == 1
+
+    def test_tampered_certificate_rejected(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        cert = pairwise_certificate(r, s)
+        forged = MarginalCertificate(
+            cert.left_index, cert.right_index, cert.common, cert.cell,
+            1, 1,
+        )
+        assert not verify_certificate([r, s], forged)
+
+    @settings(deadline=None, max_examples=30)
+    @given(consistent_bag_pairs())
+    def test_no_false_positives(self, data):
+        _, r, s = data
+        assert pairwise_certificate(r, s) is None
+
+
+class TestCutCertificates:
+    def test_none_for_consistent(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        assert cut_certificate(bags[0], bags[1]) is None
+
+    def test_found_for_inconsistent(self, rng):
+        for _ in range(5):
+            r, s = inconsistent_pair(AB, BC, rng)
+            cert = cut_certificate(r, s)
+            assert cert is not None
+            assert verify_certificate([r, s], cert)
+
+    def test_deficient_cut_on_value_mismatch(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3), ((1, 3), 2)])
+        s = Bag.from_pairs(BC, [((2, 9), 2), ((3, 9), 3)])
+        # totals match (5 = 5) but the B-marginals disagree (3,2 vs 2,3).
+        cert = cut_certificate(r, s)
+        assert cert is not None
+        assert cert.cut.capacity < cert.supply
+        assert verify_certificate([r, s], cert)
+
+
+class TestCollectionCertificates:
+    def test_none_for_consistent_collection(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        assert collection_certificate(bags) is None
+
+    def test_pairwise_failure_reported_with_indices(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        broken = list(bags) + [Bag.from_pairs(Schema(["C", "D"]),
+                                              [((0, 0), 999)])]
+        cert = collection_certificate(broken)
+        assert isinstance(cert, MarginalCertificate)
+        assert verify_certificate(broken, cert)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_tseitin_gets_farkas_certificate(self, n):
+        bags = tseitin_collection(list(cycle_hypergraph(n).edges))
+        cert = collection_certificate(bags)
+        assert isinstance(cert, FarkasCertificate)
+        assert verify_certificate(bags, cert)
+
+    def test_farkas_certificate_is_rational_and_succinct(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        cert = collection_certificate(bags)
+        assert len(cert.multipliers) == sum(b.support_size for b in bags)
+
+    def test_tampered_farkas_rejected(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        cert = collection_certificate(bags)
+        forged = FarkasCertificate(
+            tuple(-m for m in cert.multipliers), cert.labels
+        )
+        assert not verify_certificate(bags, forged)
+
+    def test_search_refutation_verifies(self):
+        """Force the SearchRefutation path with a trivially consistent
+        LP: impossible to do honestly with a tiny instance unless we
+        find an LP-feasible/ILP-infeasible one, so instead check that a
+        SearchRefutation on a genuinely infeasible instance verifies."""
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        marker = SearchRefutation(nodes_allowed=100000)
+        assert verify_certificate(bags, marker)
+
+    def test_search_refutation_fails_on_consistent(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        marker = SearchRefutation(nodes_allowed=100000)
+        assert not verify_certificate(bags, marker)

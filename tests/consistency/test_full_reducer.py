@@ -1,0 +1,154 @@
+"""Full reducers: the classical set-case machinery and the Section 6
+bag obstacle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.full_reducer import (
+    bag_full_reducer_counterexample,
+    bag_semijoin_candidate,
+    full_reducer_program,
+    fully_reduce,
+    is_fully_reduced,
+    semijoin,
+)
+from repro.consistency.setcase import relations_pairwise_consistent
+from repro.consistency.witness import is_witness
+from repro.core.relations import Relation, join_all
+from repro.core.schema import Schema
+from repro.errors import CyclicSchemaError
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    path_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from tests.conftest import planted_collections
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+class TestSemijoin:
+    def test_basic(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 9)])
+        s = Relation.from_pairs(BC, [(2, 5)])
+        assert semijoin(r, s) == Relation.from_pairs(AB, [(1, 2)])
+
+    def test_disjoint_schemas(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(Schema(["Z"]), [(7,)])
+        # Common schema empty: both project to the empty tuple.
+        assert semijoin(r, s) == r
+
+    def test_empty_right_empties_left(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.empty(BC)
+        assert len(semijoin(r, s)) == 0
+
+    def test_idempotent(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 9)])
+        s = Relation.from_pairs(BC, [(2, 5)])
+        once = semijoin(r, s)
+        assert semijoin(once, s) == once
+
+
+class TestFullReducerProgram:
+    def test_path_program_covers_both_passes(self):
+        h = path_hypergraph(4)
+        program = full_reducer_program(h)
+        # m-1 upward + m-1 downward steps.
+        assert len(program) == 2 * (len(h.edges) - 1)
+
+    def test_cyclic_raises(self):
+        with pytest.raises(CyclicSchemaError):
+            full_reducer_program(cycle_hypergraph(4))
+
+    def test_star_program(self):
+        program = full_reducer_program(star_hypergraph(4))
+        assert len(program) == 6
+
+
+class TestFullyReduce:
+    def test_dangling_tuples_removed(self):
+        r = Relation.from_pairs(AB, [(1, 2), (9, 9)])  # (9,9) dangles
+        s = Relation.from_pairs(BC, [(2, 5)])
+        t = Relation.from_pairs(CD, [(5, 0)])
+        reduced = fully_reduce([r, s, t])
+        assert reduced[0] == Relation.from_pairs(AB, [(1, 2)])
+        assert is_fully_reduced(reduced)
+
+    def test_reduced_collection_is_join_projections(self):
+        r = Relation.from_pairs(AB, [(1, 2), (9, 9)])
+        s = Relation.from_pairs(BC, [(2, 5), (9, 1)])
+        reduced = fully_reduce([r, s])
+        joined = join_all(reduced)
+        for rel in reduced:
+            assert joined.project(rel.schema) == rel
+
+    def test_already_reduced_is_fixpoint(self):
+        plant = Relation.from_pairs(
+            Schema(["A", "B", "C"]), [(1, 2, 3), (4, 2, 3)]
+        )
+        rels = [plant.project(AB), plant.project(BC)]
+        assert fully_reduce(rels) == rels
+
+    def test_duplicate_schemas_intersected(self):
+        r1 = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+        r2 = Relation.from_pairs(AB, [(1, 2), (5, 6)])
+        reduced = fully_reduce([r1, r2])
+        assert reduced[0] == reduced[1] == Relation.from_pairs(AB, [(1, 2)])
+
+    @settings(deadline=None, max_examples=25)
+    @given(planted_collections(max_bags=3))
+    def test_reduction_yields_fully_reduced_on_acyclic(self, data):
+        from repro.hypergraphs.acyclicity import is_acyclic
+        from repro.hypergraphs.hypergraph import hypergraph_of_bags
+
+        _, bags = data
+        rels = [b.support() for b in bags]
+        if not is_acyclic(hypergraph_of_bags(rels)):
+            return
+        reduced = fully_reduce(rels)
+        assert is_fully_reduced(reduced)
+        # Reduction only removes tuples.
+        for before, after in zip(rels, reduced):
+            assert after <= before
+
+
+class TestBagObstacle:
+    """Section 6: no semijoin-style full reducer is known for bags; the
+    natural candidate demonstrably fails."""
+
+    def test_candidate_keeps_consistent_pair_unchanged(self):
+        r, s = bag_full_reducer_counterexample()
+        assert bag_semijoin_candidate(r, s) == r
+        assert bag_semijoin_candidate(s, r) == s
+
+    def test_reduced_bag_join_is_not_a_witness(self):
+        """Even at the semijoin fixpoint, the bag join over-counts —
+        the executable form of the paper's obstacle."""
+        r, s = bag_full_reducer_counterexample()
+        reduced_r = bag_semijoin_candidate(r, s)
+        reduced_s = bag_semijoin_candidate(s, r)
+        assert not is_witness([reduced_r, reduced_s],
+                              reduced_r.bag_join(reduced_s))
+
+    def test_candidate_does_remove_dangling_support(self):
+        from repro.core.bags import Bag
+
+        r = Bag.from_pairs(AB, [((1, 2), 3), ((9, 9), 5)])
+        s = Bag.from_pairs(BC, [((2, 0), 3)])
+        reduced = bag_semijoin_candidate(r, s)
+        assert reduced.multiplicity((9, 9)) == 0
+        assert reduced.multiplicity((1, 2)) == 3
+
+    def test_set_case_contrast(self):
+        """The same supports under set semantics ARE fixed by the full
+        reducer and witnessed by the join — the contrast that makes the
+        open problem interesting."""
+        r, s = bag_full_reducer_counterexample()
+        rels = fully_reduce([r.support(), s.support()])
+        assert is_fully_reduced(rels)
+        assert relations_pairwise_consistent(rels)

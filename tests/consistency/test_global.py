@@ -1,0 +1,195 @@
+"""Theorems 2 (Step 1), 4 and 6: global consistency of collections."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.global_ import (
+    acyclic_global_witness,
+    decide_global_consistency,
+    global_witness,
+    k_wise_consistent,
+    pairwise_consistent,
+)
+from repro.consistency.local_global import tseitin_collection
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import CyclicSchemaError, InconsistentError
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+from repro.workloads.generators import planted_collection, random_collection_over
+from tests.conftest import planted_collections
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+class TestPairwise:
+    def test_planted_collections_are_pairwise_consistent(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng)
+        assert pairwise_consistent(bags)
+
+    def test_single_bag_is_pairwise_consistent(self):
+        assert pairwise_consistent([Bag.from_pairs(AB, [((1, 2), 1)])])
+
+    def test_inconsistent_pair_detected(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        assert not pairwise_consistent([r, s])
+
+
+class TestKWise:
+    def test_tseitin_is_pairwise_but_not_3wise(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        assert k_wise_consistent(bags, 2)
+        assert not k_wise_consistent(bags, 3)
+
+    def test_planted_is_k_wise_for_all_k(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng, n_tuples=3)
+        for k in range(1, len(bags) + 1):
+            assert k_wise_consistent(bags, k)
+
+    def test_k_larger_than_m_means_global(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        assert k_wise_consistent(bags, 10) == decide_global_consistency(bags)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_wise_consistent([], 0)
+
+
+class TestTheorem6AcyclicWitness:
+    def test_path_collection_witnessed(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng)
+        witness = acyclic_global_witness(bags)
+        assert is_witness(bags, witness)
+
+    def test_support_bound(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng)
+        witness = acyclic_global_witness(bags)
+        assert witness.support_size <= sum(b.support_size for b in bags)
+
+    def test_cyclic_schema_raises(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        with pytest.raises((CyclicSchemaError, InconsistentError)):
+            acyclic_global_witness(bags)
+
+    def test_pairwise_inconsistent_raises(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        with pytest.raises(InconsistentError):
+            acyclic_global_witness([r, s])
+
+    def test_duplicate_equal_schemas_are_fine(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        witness = acyclic_global_witness(bags + [bags[0]])
+        assert is_witness(bags, witness)
+
+    def test_duplicate_unequal_schemas_raise(self):
+        r1 = Bag.from_pairs(AB, [((1, 2), 1)])
+        r2 = Bag.from_pairs(AB, [((3, 4), 1)])
+        with pytest.raises(InconsistentError):
+            acyclic_global_witness([r1, r2])
+
+    def test_covered_schema_collection(self, rng):
+        """A collection whose schemas include a covered edge (B) still
+        works: GYO handles covered edges."""
+        _, bags = planted_collection([AB, BC, Schema(["B"])], rng)
+        witness = acyclic_global_witness(bags)
+        assert is_witness(bags, witness)
+
+    def test_wide_acyclic_schema(self, rng):
+        schemas = [Schema(["A", "B", "C"]), Schema(["B", "C", "D"]),
+                   Schema(["D", "E"])]
+        _, bags = planted_collection(schemas, rng)
+        witness = acyclic_global_witness(bags)
+        assert is_witness(bags, witness)
+
+    @settings(deadline=None)
+    @given(planted_collections(max_bags=3))
+    def test_random_planted_acyclic_collections(self, data):
+        from repro.hypergraphs.acyclicity import is_acyclic
+        from repro.hypergraphs.hypergraph import hypergraph_of_bags
+
+        _, bags = data
+        if not is_acyclic(hypergraph_of_bags(bags)):
+            return
+        try:
+            witness = acyclic_global_witness(bags)
+        except InconsistentError:
+            pytest.fail("planted collections are pairwise consistent")
+        assert is_witness(bags, witness)
+
+
+class TestDecision:
+    def test_acyclic_planted_is_consistent(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng)
+        assert decide_global_consistency(bags)
+
+    def test_cyclic_planted_is_consistent_via_search(self, rng):
+        bags = random_collection_over(triangle_hypergraph(), rng, n_tuples=3)
+        result = global_witness(bags)
+        assert result.consistent
+        assert result.method == "search"
+        assert is_witness(bags, result.witness)
+
+    def test_tseitin_detected_inconsistent(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        result = global_witness(bags)
+        assert not result.consistent
+        assert result.witness is None
+
+    def test_tseitin_c4_detected_inconsistent(self):
+        bags = tseitin_collection(list(cycle_hypergraph(4).edges))
+        assert not decide_global_consistency(bags)
+
+    def test_method_acyclic_on_cyclic_raises(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        with pytest.raises(CyclicSchemaError):
+            decide_global_consistency(bags, method="acyclic")
+
+    def test_method_search_works_on_acyclic(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        assert decide_global_consistency(bags, method="search")
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InconsistentError):
+            decide_global_consistency([])
+
+    def test_lp_presolve_short_circuits(self):
+        """An instance whose join of supports is empty dies in the LP
+        presolve (or earlier)."""
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        result = global_witness(bags, lp_presolve=True)
+        assert not result.consistent
+
+    def test_auto_matches_search_on_cyclic(self, rng):
+        for _ in range(5):
+            bags = random_collection_over(
+                triangle_hypergraph(), rng, n_tuples=2
+            )
+            assert decide_global_consistency(
+                bags, method="auto"
+            ) == decide_global_consistency(bags, method="search")
+
+
+class TestTheorem2Step1Agreement:
+    """On acyclic schemas, pairwise consistency alone must match the
+    exact search — that is Theorem 2's content, checked instance-wise."""
+
+    @settings(deadline=None)
+    @given(planted_collections(min_bags=2, max_bags=3))
+    def test_pairwise_equals_search_on_acyclic(self, data):
+        from repro.hypergraphs.acyclicity import is_acyclic
+        from repro.hypergraphs.hypergraph import hypergraph_of_bags
+
+        _, bags = data
+        if not is_acyclic(hypergraph_of_bags(bags)):
+            return
+        fast = decide_global_consistency(bags, method="auto")
+        slow = decide_global_consistency(bags, method="search")
+        assert fast == slow

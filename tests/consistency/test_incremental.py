@@ -1,0 +1,150 @@
+"""Incremental consistency maintenance (Lemma 2(2) under updates)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.incremental import (
+    IncrementalCollectionChecker,
+    IncrementalPairChecker,
+)
+from repro.consistency.pairwise import are_consistent
+from repro.consistency.global_ import pairwise_consistent
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import MultiplicityError, SchemaError
+from repro.workloads.generators import planted_collection, planted_pair
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CA = Schema(["A", "C"])
+
+
+class TestPairChecker:
+    def test_initial_state_matches_oracle(self, rng):
+        _, r, s = planted_pair(AB, BC, rng)
+        checker = IncrementalPairChecker(r, s)
+        assert checker.consistent == are_consistent(r, s)
+
+    def test_insert_breaks_then_repair(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        checker = IncrementalPairChecker(r, s)
+        assert checker.consistent
+        checker.update_left((3, 2), 1)
+        assert not checker.consistent
+        checker.update_right((2, 0), 1)
+        assert checker.consistent
+
+    def test_disagreeing_cells_diagnostic(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        checker = IncrementalPairChecker(r, s)
+        assert checker.disagreeing_cells() == {(2,): 2}
+
+    def test_delete_to_empty(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        checker = IncrementalPairChecker(r, s)
+        checker.update_left((1, 2), -1)
+        checker.update_right((2, 9), -1)
+        assert checker.consistent
+        assert not checker.left() and not checker.right()
+
+    def test_negative_multiplicity_rejected(self):
+        checker = IncrementalPairChecker(Bag.empty(AB), Bag.empty(BC))
+        with pytest.raises(MultiplicityError):
+            checker.update_left((1, 2), -1)
+
+    def test_arity_checked(self):
+        checker = IncrementalPairChecker(Bag.empty(AB), Bag.empty(BC))
+        with pytest.raises(SchemaError):
+            checker.update_left((1,), 1)
+
+    def test_snapshots_track_updates(self):
+        checker = IncrementalPairChecker(Bag.empty(AB), Bag.empty(BC))
+        checker.update_left((1, 2), 5)
+        assert checker.left() == Bag.from_pairs(AB, [((1, 2), 5)])
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["L", "R"]),
+                st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                st.integers(1, 2),
+            ),
+            max_size=12,
+        )
+    )
+    def test_always_matches_from_scratch_oracle(self, updates):
+        checker = IncrementalPairChecker(Bag.empty(AB), Bag.empty(BC))
+        for side, row, amount in updates:
+            if side == "L":
+                checker.update_left(row, amount)
+            else:
+                checker.update_right(row, amount)
+            assert checker.consistent == are_consistent(
+                checker.left(), checker.right()
+            )
+
+
+class TestCollectionChecker:
+    def test_acyclic_upgrade_to_global(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        checker = IncrementalCollectionChecker(bags)
+        assert checker.acyclic
+        assert checker.globally_consistent_by_theorem2
+
+    def test_cyclic_upgrade_raises(self, rng):
+        _, bags = planted_collection([AB, BC, CA], rng, n_tuples=3)
+        checker = IncrementalCollectionChecker(bags)
+        assert not checker.acyclic
+        assert checker.pairwise_consistent
+        with pytest.raises(SchemaError):
+            checker.globally_consistent_by_theorem2
+
+    def test_update_propagates_to_all_pairs(self, rng):
+        _, bags = planted_collection([AB, BC, Schema(["C", "D"])], rng,
+                                     n_tuples=3)
+        checker = IncrementalCollectionChecker(bags)
+        checker.update(1, (0, 0), 3)  # bag over BC
+        assert checker.pairwise_consistent == pairwise_consistent(
+            [checker.bag(i) for i in range(3)]
+        )
+
+    def test_inconsistent_pairs_reported(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        t = Bag.from_pairs(Schema(["C", "D"]), [((9, 0), 2)])  # total 2 != 1
+        checker = IncrementalCollectionChecker([r, s, t])
+        assert checker.inconsistent_pairs() == [(0, 2), (1, 2)]
+
+    def test_repair_clears_report(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        t = Bag.from_pairs(Schema(["C", "D"]), [((9, 0), 2)])
+        checker = IncrementalCollectionChecker([r, s, t])
+        checker.update(2, (9, 0), -1)
+        assert checker.inconsistent_pairs() == []
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                st.integers(1, 2),
+            ),
+            max_size=10,
+        )
+    )
+    def test_matches_batch_oracle_under_random_updates(self, updates):
+        bags = [Bag.empty(AB), Bag.empty(BC), Bag.empty(CA)]
+        checker = IncrementalCollectionChecker(bags)
+        for index, row, amount in updates:
+            checker.update(index, row, amount)
+            current = [checker.bag(i) for i in range(3)]
+            assert checker.pairwise_consistent == pairwise_consistent(current)

@@ -1,0 +1,175 @@
+"""Theorem 2: the local-to-global consistency property for bags holds
+iff the schema hypergraph is acyclic — both directions, executably."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.global_ import pairwise_consistent
+from repro.consistency.local_global import (
+    counterexample_for_cyclic,
+    find_local_to_global_counterexample,
+    has_local_to_global_property_for_bags,
+    tseitin_collection,
+    verify_counterexample,
+)
+from repro.core.schema import Schema
+from repro.errors import AcyclicSchemaError, NotRegularError
+from repro.hypergraphs.acyclicity import is_acyclic
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    grid_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    star_hypergraph,
+    triangle_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from tests.conftest import hypergraphs
+
+
+class TestTseitinConstruction:
+    def test_triangle_collection_shape(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        assert len(bags) == 3
+        # d = 2, k = 2: each bag holds the parity-constrained pairs.
+        for i, bag in enumerate(bags):
+            assert bag.support_size == 2
+            assert bag.is_relation()
+
+    def test_charged_edge_has_odd_parity(self):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        last = bags[-1]
+        for tup, _ in last.tuples():
+            assert sum(tup.values) % 2 == 1
+        for bag in bags[:-1]:
+            for tup, _ in bag.tuples():
+                assert sum(tup.values) % 2 == 0
+
+    def test_charged_index_parameter(self):
+        bags = tseitin_collection(
+            list(triangle_hypergraph().edges), charged_index=0
+        )
+        for tup, _ in bags[0].tuples():
+            assert sum(tup.values) % 2 == 1
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_cycle_collections_are_counterexamples(self, n):
+        bags = tseitin_collection(list(cycle_hypergraph(n).edges))
+        assert verify_counterexample(bags)
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_hn_collections_are_counterexamples(self, n):
+        bags = tseitin_collection(list(hn_hypergraph(n).edges))
+        assert verify_counterexample(bags)
+
+    def test_hn5_pairwise_only(self):
+        """H5 is d=4-regular: bigger supports; check pairwise consistency
+        (the global search would be slow)."""
+        bags = tseitin_collection(list(hn_hypergraph(5).edges))
+        assert pairwise_consistent(bags)
+
+    def test_marginals_are_uniform(self):
+        """The proof's key computation: each pairwise marginal is uniform
+        with value d^(k - |Z| - 1)."""
+        bags = tseitin_collection(list(hn_hypergraph(4).edges))
+        h = hn_hypergraph(4)
+        k = h.uniformity()
+        d = h.regularity()
+        for i in range(len(bags)):
+            for j in range(i + 1, len(bags)):
+                common = bags[i].schema & bags[j].schema
+                marg = bags[i].marginal(common)
+                expected = d ** (k - len(common) - 1)
+                assert all(m == expected for _, m in marg.items())
+
+    def test_non_uniform_rejected(self):
+        with pytest.raises(NotRegularError):
+            tseitin_collection([Schema(["A", "B"]), Schema(["B", "C", "D"])])
+
+    def test_non_regular_rejected(self):
+        with pytest.raises(NotRegularError):
+            tseitin_collection(list(path_hypergraph(4).edges))
+
+    def test_duplicate_schemas_rejected(self):
+        ab = Schema(["A", "B"])
+        with pytest.raises(NotRegularError):
+            tseitin_collection([ab, ab])
+
+
+class TestCounterexamplePipeline:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            triangle_hypergraph,
+            lambda: cycle_hypergraph(4),
+            lambda: cycle_hypergraph(5),
+            lambda: hn_hypergraph(4),
+            lambda: grid_hypergraph(2, 2),
+        ],
+        ids=["C3", "C4", "C5", "H4", "grid2x2"],
+    )
+    def test_cyclic_hypergraphs_get_counterexamples(self, factory):
+        h = factory()
+        bags = counterexample_for_cyclic(h)
+        assert [b.schema for b in bags] == list(h.edges)
+        assert verify_counterexample(bags)
+
+    def test_acyclic_raises(self):
+        with pytest.raises(AcyclicSchemaError):
+            counterexample_for_cyclic(path_hypergraph(4))
+
+    def test_find_returns_none_on_acyclic(self):
+        assert find_local_to_global_counterexample(star_hypergraph(3)) is None
+
+    def test_find_returns_collection_on_cyclic(self):
+        bags = find_local_to_global_counterexample(cycle_hypergraph(4))
+        assert bags is not None and verify_counterexample(bags)
+
+    def test_cycle_with_pendant_edges(self):
+        """A cyclic hypergraph that is not itself an obstruction: the
+        pipeline must lift through genuine deletions."""
+        h = Hypergraph(
+            None,
+            [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A4", "A1"),
+             ("A4", "B"), ("B", "C")],
+        )
+        bags = counterexample_for_cyclic(h)
+        assert [b.schema for b in bags] == list(h.edges)
+        assert verify_counterexample(bags)
+
+    def test_wide_edge_cyclic_hypergraph(self):
+        h = Hypergraph(
+            None, [("A", "B", "X"), ("B", "C", "Y"), ("A", "C", "Z")]
+        )
+        assert not is_acyclic(h)
+        bags = counterexample_for_cyclic(h)
+        assert verify_counterexample(bags)
+
+    def test_property_decider_matches_acyclicity(self):
+        assert has_local_to_global_property_for_bags(path_hypergraph(5))
+        assert not has_local_to_global_property_for_bags(cycle_hypergraph(5))
+
+
+class TestTheorem2BothDirections:
+    @settings(deadline=None, max_examples=25)
+    @given(hypergraphs(max_edges=4, max_arity=3))
+    def test_counterexample_exists_iff_cyclic(self, h):
+        bags = find_local_to_global_counterexample(h)
+        if is_acyclic(h):
+            assert bags is None
+        else:
+            assert bags is not None
+            assert pairwise_consistent(bags)
+
+    def test_counterexamples_are_also_relation_counterexamples(self):
+        """The Tseitin bags are 0/1, so they defeat set semantics too
+        (the hard direction of Theorem 1(e))."""
+        from repro.consistency.setcase import (
+            relations_globally_consistent,
+            relations_pairwise_consistent,
+        )
+
+        bags = tseitin_collection(list(cycle_hypergraph(4).edges))
+        relations = [b.support() for b in bags]
+        assert relations_pairwise_consistent(relations)
+        assert not relations_globally_consistent(relations)

@@ -1,0 +1,128 @@
+"""Optimal witnesses (the Section 3 LP remark made executable)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.optimize import (
+    concentrated_witness,
+    multiplicity_range,
+    optimal_witness,
+    spread_witness,
+)
+from repro.consistency.program import ConsistencyProgram
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import InconsistentError
+from repro.lp.integer_feasibility import enumerate_solutions
+from repro.workloads.generators import witness_family_pair
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def paper_pair():
+    r = Bag.from_pairs(AB, [((1, 2), 1), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 1), 1), ((2, 2), 1)])
+    return r, s
+
+
+class TestOptimalWitness:
+    def test_result_is_integral_witness(self):
+        r, s = paper_pair()
+        w = optimal_witness(r, s, lambda t: 1)
+        assert is_witness([r, s], w)
+        assert all(isinstance(m, int) for _, m in w.items())
+
+    def test_zero_objective_gives_any_witness(self):
+        r, s = paper_pair()
+        w = optimal_witness(r, s, lambda t: 0)
+        assert is_witness([r, s], w)
+
+    def test_objective_steers_choice(self):
+        """Charging tuple (1,2,2) heavily must select the witness that
+        avoids it (T2 in the paper)."""
+        r, s = paper_pair()
+        w = optimal_witness(r, s, lambda t: 100 if t.values == (1, 2, 2) else 0)
+        assert w.multiplicity((1, 2, 2)) == 0
+
+    def test_optimum_matches_enumeration(self):
+        """LP optimum == brute-force optimum over all witnesses."""
+        r, s = witness_family_pair(3)
+        program = ConsistencyProgram.build([r, s])
+
+        def cost_of(solution):
+            return sum(
+                i * v for i, v in enumerate(solution)
+            )
+
+        brute = min(
+            cost_of(sol) for sol in enumerate_solutions(program.system)
+        )
+        index = {row: i for i, row in enumerate(program.join_rows)}
+        w = optimal_witness(r, s, lambda t: index[t.values])
+        mine = sum(index[row] * m for row, m in w.items())
+        assert mine == brute
+
+    def test_inconsistent_raises(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        with pytest.raises(InconsistentError):
+            optimal_witness(r, s, lambda t: 1)
+
+    @settings(deadline=None, max_examples=25)
+    @given(consistent_bag_pairs())
+    def test_random_pairs_yield_witnesses(self, data):
+        _, r, s = data
+        w = optimal_witness(r, s, lambda t: 1)
+        assert is_witness([r, s], w)
+
+
+class TestMultiplicityRange:
+    def test_paper_pair_ranges(self):
+        """Each join tuple of R1/S1 takes multiplicity 0 in one witness
+        and 1 in the other."""
+        r, s = paper_pair()
+        for row in [(1, 2, 1), (1, 2, 2), (2, 2, 1), (2, 2, 2)]:
+            assert multiplicity_range(r, s, row) == (0, 1)
+
+    def test_pinned_tuple(self):
+        """A tuple forced by the marginals has a degenerate range."""
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 5)])
+        assert multiplicity_range(r, s, (1, 2, 9)) == (5, 5)
+
+    def test_outside_join_raises_keyerror(self):
+        r, s = paper_pair()
+        with pytest.raises(KeyError):
+            multiplicity_range(r, s, (9, 9, 9))
+
+    def test_range_bounds_match_enumeration(self):
+        r, s = witness_family_pair(3)
+        program = ConsistencyProgram.build([r, s])
+        solutions = enumerate_solutions(program.system)
+        for i, row in enumerate(program.join_rows):
+            low, high = multiplicity_range(r, s, row)
+            values = [sol[i] for sol in solutions]
+            assert low == min(values)
+            assert high == max(values)
+
+
+class TestConvenienceObjectives:
+    def test_concentrated_is_a_witness(self):
+        r, s = paper_pair()
+        assert is_witness([r, s], concentrated_witness(r, s))
+
+    def test_spread_is_a_witness(self):
+        r, s = paper_pair()
+        assert is_witness([r, s], spread_witness(r, s))
+
+    def test_spread_returns_closed_form_when_integral(self):
+        """When the proportional solution is integral it is returned
+        exactly: here every marginal division is exact."""
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((3, 2), 2)])
+        s = Bag.from_pairs(BC, [((2, 1), 2), ((2, 2), 2)])
+        w = spread_witness(r, s)
+        assert is_witness([r, s], w)
+        assert w.support_size == 4  # full join support: maximal spread

@@ -1,0 +1,210 @@
+"""Lemma 2 and Corollary 1: two-bag consistency, five equivalent ways."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.pairwise import (
+    are_consistent,
+    build_network,
+    consistency_witness,
+    consistent_via_flow,
+    consistent_via_integer_search,
+    consistent_via_lp,
+    consistent_via_marginals,
+    consistent_via_witness_search,
+    rational_witness,
+)
+from repro.consistency.program import ConsistencyProgram
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema, project_values
+from repro.errors import InconsistentError
+from tests.conftest import consistent_bag_pairs
+from repro.workloads.generators import inconsistent_pair
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def paper_pair():
+    """R1(AB), S1(BC) from Section 3 — consistent with exactly two
+    witnesses."""
+    r = Bag.from_pairs(AB, [((1, 2), 1), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 1), 1), ((2, 2), 1)])
+    return r, s
+
+
+class TestLemma2OnPaperPair:
+    def test_all_five_deciders_say_consistent(self):
+        r, s = paper_pair()
+        assert consistent_via_marginals(r, s)
+        assert consistent_via_lp(r, s)
+        assert consistent_via_integer_search(r, s)
+        assert consistent_via_flow(r, s)
+        assert consistent_via_witness_search(r, s) is not None
+
+    def test_all_five_deciders_say_inconsistent(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])  # totals disagree
+        assert not consistent_via_marginals(r, s)
+        assert not consistent_via_lp(r, s)
+        assert not consistent_via_integer_search(r, s)
+        assert not consistent_via_flow(r, s)
+        assert consistent_via_witness_search(r, s) is None
+
+
+class TestWitness:
+    def test_witness_is_valid(self):
+        r, s = paper_pair()
+        w = consistency_witness(r, s)
+        assert is_witness([r, s], w)
+
+    def test_witness_raises_on_inconsistent(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((9, 9), 3)])
+        with pytest.raises(InconsistentError):
+            consistency_witness(r, s)
+
+    def test_disjoint_schemas_witnessed_by_product(self):
+        r = Bag.from_pairs(Schema(["A"]), [((0,), 2)])
+        s = Bag.from_pairs(Schema(["B"]), [((5,), 2)])
+        w = consistency_witness(r, s)
+        assert is_witness([r, s], w)
+
+    def test_disjoint_schemas_inconsistent_when_totals_differ(self):
+        r = Bag.from_pairs(Schema(["A"]), [((0,), 2)])
+        s = Bag.from_pairs(Schema(["B"]), [((5,), 3)])
+        assert not are_consistent(r, s)
+
+    def test_same_schema_consistent_iff_equal(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        assert are_consistent(r, r)
+        other = Bag.from_pairs(AB, [((1, 2), 2)])
+        assert not are_consistent(r, other)
+
+    def test_empty_bags_are_consistent(self):
+        assert are_consistent(Bag.empty(AB), Bag.empty(BC))
+        w = consistency_witness(Bag.empty(AB), Bag.empty(BC))
+        assert w == Bag.empty(AB | BC)
+
+    def test_empty_vs_nonempty_inconsistent(self):
+        r = Bag.empty(AB)
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        assert not are_consistent(r, s)
+
+
+class TestSection3BagJoinFailure:
+    """Section 3: unlike relations, the bag join need not witness the
+    consistency of two consistent bags."""
+
+    def test_bag_join_is_not_a_witness_for_the_paper_pair(self):
+        r, s = paper_pair()
+        joined = r.bag_join(s)
+        assert not is_witness([r, s], joined)
+
+    def test_every_witness_support_is_proper_subset_of_join(self):
+        r, s = paper_pair()
+        join_support = r.support().join(s.support())
+        program = ConsistencyProgram.build([r, s])
+        from repro.lp.integer_feasibility import enumerate_solutions
+
+        solutions = enumerate_solutions(program.system)
+        assert len(solutions) == 2  # T1 and T2 from the paper
+        for sol in solutions:
+            w = program.witness_from_solution(sol)
+            assert w.support().rows < join_support.rows
+
+    def test_relations_join_does_witness_set_consistency(self):
+        """The same supports, under set semantics, ARE witnessed by the
+        join (the contrast the paper draws)."""
+        from repro.consistency.setcase import (
+            is_relation_witness,
+            relations_consistent,
+        )
+
+        r, s = paper_pair()
+        rr, ss = r.support(), s.support()
+        assert relations_consistent(rr, ss)
+        assert is_relation_witness([rr, ss], rr.join(ss))
+
+
+class TestRationalWitness:
+    def test_closed_form_satisfies_program(self):
+        r, s = paper_pair()
+        x = rational_witness(r, s)
+        # Verify the marginal equations directly.
+        union = r.schema | s.schema
+        for bag in (r, s):
+            for row, mult in bag.items():
+                total = sum(
+                    (
+                        value
+                        for t, value in x.items()
+                        if project_values(t, union, bag.schema) == row
+                    ),
+                    Fraction(0),
+                )
+                assert total == mult
+
+    def test_closed_form_values(self):
+        r, s = paper_pair()
+        x = rational_witness(r, s)
+        # Every join tuple gets 1*1/2 = 1/2.
+        assert set(x.values()) == {Fraction(1, 2)}
+
+    def test_raises_on_inconsistent(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        with pytest.raises(InconsistentError):
+            rational_witness(r, s)
+
+
+class TestNetwork:
+    def test_network_shape(self):
+        r, s = paper_pair()
+        net = build_network(r, s)
+        # 1 source + 2 R-tuples + 2 S-tuples + 1 sink.
+        assert len(net.nodes) == 6
+        assert net.source_capacity() == r.unary_size
+        assert net.sink_capacity() == s.unary_size
+
+    def test_middle_edges_match_join(self):
+        r, s = paper_pair()
+        net = build_network(r, s)
+        middles = [
+            (u, v)
+            for u, v, _ in net.edges()
+            if u != net.source and v != net.sink
+        ]
+        assert len(middles) == len(r.support().join(s.support()))
+
+
+@settings(deadline=None)
+@given(consistent_bag_pairs())
+def test_lemma2_deciders_agree_on_consistent_pairs(data):
+    _, r, s = data
+    assert consistent_via_marginals(r, s)
+    assert consistent_via_lp(r, s)
+    assert consistent_via_integer_search(r, s)
+    assert consistent_via_flow(r, s)
+    w = consistent_via_witness_search(r, s)
+    assert w is not None and is_witness([r, s], w)
+
+
+@settings(deadline=None)
+@given(consistent_bag_pairs())
+def test_flow_witness_verifies_on_random_pairs(data):
+    _, r, s = data
+    w = consistency_witness(r, s)
+    assert is_witness([r, s], w)
+
+
+def test_lemma2_deciders_agree_on_inconsistent_pairs(rng):
+    for _ in range(10):
+        r, s = inconsistent_pair(AB, BC, rng)
+        expected = consistent_via_marginals(r, s)
+        assert consistent_via_lp(r, s) == expected
+        assert consistent_via_flow(r, s) == expected
+        assert consistent_via_integer_search(r, s) == expected

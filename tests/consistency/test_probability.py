@@ -1,0 +1,150 @@
+"""Vorob'ev's theorem for probability distributions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.consistency.probability import (
+    contextual_family,
+    distribution,
+    distributions_consistent,
+    from_bag,
+    glue_pair,
+    has_joint_distribution,
+    is_distribution,
+    joint_distribution_acyclic,
+)
+from repro.core.bags import Bag
+from repro.core.krelations import KRelation
+from repro.core.schema import Schema
+from repro.core.semirings import NATURALS, NONNEG_RATIONALS
+from repro.errors import AcyclicSchemaError, MultiplicityError
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+def uniform(schema: Schema, rows) -> KRelation:
+    rows = list(rows)
+    return distribution(
+        {tuple(r): Fraction(1, len(rows)) for r in rows}, schema=schema
+    )
+
+
+class TestBasics:
+    def test_is_distribution(self):
+        p = uniform(AB, [(0, 0), (1, 1)])
+        assert is_distribution(p)
+
+    def test_unnormalized_rejected_by_is_distribution(self):
+        k = KRelation(AB, NONNEG_RATIONALS, {(0, 0): Fraction(2)})
+        assert not is_distribution(k)
+
+    def test_bags_are_not_distributions(self):
+        k = KRelation(AB, NATURALS, {(0, 0): 1})
+        assert not is_distribution(k)
+
+    def test_distribution_normalizes(self):
+        p = distribution({(0, 0): 3, (1, 1): 1}, schema=AB)
+        assert p.annotation((0, 0)) == Fraction(3, 4)
+
+    def test_distribution_rejects_zero_total(self):
+        with pytest.raises(MultiplicityError):
+            distribution({(0, 0): 0}, schema=AB)
+
+    def test_from_bag_empirical(self):
+        bag = Bag.from_pairs(AB, [((0, 0), 3), ((1, 1), 1)])
+        p = from_bag(bag)
+        assert is_distribution(p)
+        assert p.annotation((0, 0)) == Fraction(3, 4)
+
+    def test_from_empty_bag_rejected(self):
+        with pytest.raises(MultiplicityError):
+            from_bag(Bag.empty(AB))
+
+
+class TestPairwise:
+    def test_consistent_pair_glues(self):
+        p = uniform(AB, [(0, 0), (1, 1)])
+        q = uniform(BC, [(0, 5), (1, 6)])
+        assert distributions_consistent(p, q)
+        joint = glue_pair(p, q)
+        assert is_distribution(joint)
+        assert joint.marginal(AB) == p
+        assert joint.marginal(BC) == q
+
+    def test_inconsistent_pair(self):
+        p = uniform(AB, [(0, 0)])
+        q = uniform(BC, [(1, 5)])
+        assert not distributions_consistent(p, q)
+
+    def test_glue_is_conditional_independence(self):
+        """p(a, b, c) = p(a,b) p(b,c) / p(b): check one cell."""
+        p = distribution(
+            {(0, 0): Fraction(1, 2), (1, 0): Fraction(1, 4),
+             (1, 1): Fraction(1, 4)},
+            schema=AB,
+        )
+        q = distribution(
+            {(0, 5): Fraction(1, 2), (0, 6): Fraction(1, 4),
+             (1, 7): Fraction(1, 4)},
+            schema=BC,
+        )
+        assert distributions_consistent(p, q)
+        joint = glue_pair(p, q)
+        # p(A=0,B=0,C=5) = p(0,0) * q(0,5) / marginal_B(0)
+        expected = Fraction(1, 2) * Fraction(1, 2) / Fraction(3, 4)
+        assert joint.annotation((0, 0, 5)) == expected
+
+    def test_non_distribution_rejected(self):
+        p = KRelation(AB, NATURALS, {(0, 0): 1})
+        q = uniform(BC, [(0, 5)])
+        with pytest.raises(MultiplicityError):
+            distributions_consistent(p, q)
+
+
+class TestVorobevPositive:
+    def test_chain_family_has_joint(self):
+        p = uniform(AB, [(0, 0), (1, 1)])
+        q = uniform(BC, [(0, 5), (1, 6)])
+        r = uniform(CD, [(5, 9), (6, 9)])
+        joint = joint_distribution_acyclic([p, q, r])
+        assert is_distribution(joint)
+        for marginal in (p, q, r):
+            assert joint.marginal(marginal.schema) == marginal
+        assert has_joint_distribution([p, q, r])
+
+
+class TestVorobevNegative:
+    @pytest.mark.parametrize(
+        "factory", [triangle_hypergraph, lambda: cycle_hypergraph(4)],
+        ids=["C3", "C4"],
+    )
+    def test_contextual_family_exists_on_cyclic(self, factory):
+        family = contextual_family(factory())
+        assert all(is_distribution(p) for p in family)
+        # Pairwise consistent...
+        for i in range(len(family)):
+            for j in range(i + 1, len(family)):
+                assert distributions_consistent(family[i], family[j])
+        # ...but no joint distribution.
+        assert not has_joint_distribution(family)
+
+    def test_no_contextual_family_on_acyclic(self):
+        with pytest.raises(AcyclicSchemaError):
+            contextual_family(path_hypergraph(4))
+
+    def test_has_joint_on_cyclic_consistent_family(self, rng):
+        """Cyclic schema does not doom every family: a planted family
+        still has a joint distribution (decided by exact LP)."""
+        from repro.workloads.generators import random_collection_over
+
+        bags = random_collection_over(triangle_hypergraph(), rng, n_tuples=3)
+        family = [from_bag(b) for b in bags]
+        assert has_joint_distribution(family)

@@ -1,0 +1,130 @@
+"""Unit tests for the consistency programs P(R, S) and P(R1..Rm)."""
+
+import pytest
+from hypothesis import given
+
+from repro.consistency.program import ConsistencyProgram
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import SchemaError
+from repro.lp.unimodular import (
+    is_bipartite_incidence_structure,
+    is_totally_unimodular_bruteforce,
+)
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CA = Schema(["A", "C"])
+
+
+def sample_pair():
+    r = Bag.from_pairs(AB, [((1, 2), 1), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 1), 1), ((2, 2), 1)])
+    return r, s
+
+
+class TestBuild:
+    def test_variables_are_join_tuples(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        assert len(program.join_rows) == 4  # 2 x 2 join
+
+    def test_constraint_count(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        assert len(program.constraint_labels) == 4
+        assert program.system.rhs == (1, 1, 1, 1)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(SchemaError):
+            ConsistencyProgram.build([])
+
+    def test_empty_bag_with_nonempty_bag_infeasible_structure(self):
+        r = Bag.empty(AB)
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        program = ConsistencyProgram.build([r, s])
+        # Join of supports is empty, yet one constraint needs mass.
+        assert len(program.join_rows) == 0
+        assert any(b > 0 for b in program.system.rhs)
+
+    def test_all_empty_bags_trivially_feasible(self):
+        program = ConsistencyProgram.build([Bag.empty(AB), Bag.empty(BC)])
+        assert len(program.system.rhs) == 0
+
+
+class TestConversions:
+    def test_witness_solution_roundtrip(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        witness = Bag.from_pairs(
+            Schema(["A", "B", "C"]), [((1, 2, 2), 1), ((2, 2, 1), 1)]
+        )
+        vec = program.solution_from_witness(witness)
+        assert program.witness_from_solution(vec) == witness
+
+    def test_solution_outside_join_rejected(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        alien = Bag.from_pairs(
+            Schema(["A", "B", "C"]), [((9, 9, 9), 1)]
+        )
+        with pytest.raises(SchemaError):
+            program.solution_from_witness(alien)
+
+    def test_wrong_schema_rejected(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        with pytest.raises(SchemaError):
+            program.solution_from_witness(Bag.empty(AB))
+
+    def test_wrong_vector_length_rejected(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        with pytest.raises(ValueError):
+            program.witness_from_solution([1])
+
+
+class TestSection3Structure:
+    """Section 3: the P(R, S) matrix is a bipartite incidence matrix,
+    hence totally unimodular."""
+
+    def test_two_bag_matrix_is_bipartite_incidence(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        split = program.bipartite_split()
+        assert split is not None
+        assert is_bipartite_incidence_structure(
+            program.dense_matrix(), split
+        )
+
+    def test_two_bag_matrix_is_tu(self):
+        r, s = sample_pair()
+        program = ConsistencyProgram.build([r, s])
+        assert is_totally_unimodular_bruteforce(
+            program.dense_matrix(), max_order=4
+        )
+
+    def test_three_bag_matrix_loses_bipartite_structure(self):
+        """For m = 3 each column has three 1s, so the two-part incidence
+        structure of Section 3 is gone (Section 5.2's warning that the
+        matrix is no longer necessarily TU)."""
+        r = Bag.from_pairs(AB, [((0, 0), 1), ((0, 1), 1), ((1, 0), 1), ((1, 1), 1)])
+        s = Bag.from_pairs(BC, [((0, 0), 1), ((0, 1), 1), ((1, 0), 1), ((1, 1), 1)])
+        t = Bag.from_pairs(CA, [((0, 0), 1), ((0, 1), 1), ((1, 0), 1), ((1, 1), 1)])
+        program = ConsistencyProgram.build([r, s, t])
+        assert program.bipartite_split() is None
+        dense = program.dense_matrix()
+        for j in range(len(program.join_rows)):
+            assert sum(row[j] for row in dense) == 3
+
+    @given(consistent_bag_pairs())
+    def test_random_two_bag_matrices_have_the_structure(self, data):
+        _, r, s = data
+        if not r or not s:
+            return
+        program = ConsistencyProgram.build([r, s])
+        split = program.bipartite_split()
+        assert is_bipartite_incidence_structure(
+            program.dense_matrix(), split
+        )

@@ -1,0 +1,149 @@
+"""Repairing inconsistent bags."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.global_ import (
+    decide_global_consistency,
+    pairwise_consistent,
+)
+from repro.consistency.pairwise import are_consistent
+from repro.consistency.repair import (
+    repair_collection,
+    repair_distance,
+    repair_pair,
+)
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import CyclicSchemaError, InconsistentError
+from repro.workloads.generators import (
+    inconsistent_pair,
+    planted_collection,
+)
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+class TestRepairDistance:
+    def test_zero_iff_consistent(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        assert repair_distance(bags[0], bags[1]) == 0
+
+    def test_counts_cell_disagreements(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1), ((5, 9), 2)])
+        # cells: 2 -> |3-1| = 2;  5 -> |0-2| = 2.
+        assert repair_distance(r, s) == 4
+
+    def test_symmetric(self, rng):
+        r, s = inconsistent_pair(AB, BC, rng)
+        assert repair_distance(r, s) == repair_distance(s, r)
+
+
+class TestRepairPair:
+    def test_repair_restores_consistency(self, rng):
+        for _ in range(10):
+            r, s = inconsistent_pair(AB, BC, rng)
+            fixed, cost = repair_pair(r, s)
+            assert are_consistent(r, fixed)
+            assert cost == repair_distance(r, s)
+
+    def test_consistent_pair_is_noop(self, rng):
+        _, bags = planted_collection([AB, BC], rng)
+        fixed, cost = repair_pair(bags[0], bags[1])
+        assert cost == 0
+        assert fixed == bags[1]
+
+    def test_surplus_removed_from_existing_rows(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        s = Bag.from_pairs(BC, [((2, 9), 3)])
+        fixed, cost = repair_pair(r, s)
+        assert cost == 2
+        assert fixed == Bag.from_pairs(BC, [((2, 9), 1)])
+
+    def test_deficit_clones_existing_row(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 2)])
+        fixed, cost = repair_pair(r, s)
+        assert cost == 3
+        assert fixed.multiplicity((2, 9)) == 5
+
+    def test_deficit_synthesizes_row_with_default(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2)])
+        s = Bag.empty(BC)
+        fixed, cost = repair_pair(r, s, default_value="?")
+        assert cost == 2
+        assert are_consistent(r, fixed)
+        assert fixed.multiplicity((2, "?")) == 2
+
+    def test_disjoint_schemas_repair_totals(self):
+        r = Bag.from_pairs(Schema(["A"]), [((0,), 3)])
+        s = Bag.from_pairs(Schema(["B"]), [((9,), 1)])
+        fixed, cost = repair_pair(r, s)
+        assert cost == 2
+        assert fixed.unary_size == 3
+
+    @settings(deadline=None, max_examples=30)
+    @given(consistent_bag_pairs())
+    def test_cost_equals_distance_always(self, data):
+        from repro.workloads.generators import perturb_bag
+        import random
+
+        _, r, s = data
+        rng = random.Random(0)
+        broken = perturb_bag(s, rng)
+        fixed, cost = repair_pair(r, broken)
+        assert are_consistent(r, fixed)
+        assert cost == repair_distance(r, broken)
+
+
+class TestRepairCollection:
+    def test_chain_repair_restores_global_consistency(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng, n_tuples=3)
+        from repro.workloads.generators import perturb_bag
+
+        broken = [bags[0], perturb_bag(bags[1], rng), perturb_bag(bags[2], rng)]
+        assert not pairwise_consistent(broken)
+        fixed, cost = repair_collection(broken)
+        assert cost > 0
+        assert pairwise_consistent(fixed)
+        assert decide_global_consistency(fixed)
+
+    def test_consistent_collection_is_noop(self, rng):
+        _, bags = planted_collection([AB, BC, CD], rng, n_tuples=3)
+        fixed, cost = repair_collection(bags)
+        assert cost == 0
+        assert fixed == list(bags)
+
+    def test_cyclic_schema_rejected(self, rng):
+        _, bags = planted_collection(
+            [AB, BC, Schema(["A", "C"])], rng, n_tuples=3
+        )
+        with pytest.raises(CyclicSchemaError):
+            repair_collection(bags)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InconsistentError):
+            repair_collection([])
+
+    def test_star_schema_repair(self, rng):
+        schemas = [Schema(["X", "P1"]), Schema(["X", "P2"]),
+                   Schema(["X", "P3"])]
+        _, bags = planted_collection(schemas, rng, n_tuples=3)
+        from repro.workloads.generators import perturb_bag
+
+        broken = [perturb_bag(b, rng) for b in bags]
+        fixed, _ = repair_collection(broken)
+        assert decide_global_consistency(fixed)
+
+    def test_duplicate_schemas_made_equal(self, rng):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        from repro.workloads.generators import perturb_bag
+
+        duplicated = [bags[0], bags[1], perturb_bag(bags[0], rng)]
+        fixed, _ = repair_collection(duplicated)
+        assert fixed[0] == fixed[2]
+        assert pairwise_consistent(fixed)

@@ -1,0 +1,138 @@
+"""K-relation consistency: the Section 6 open problem, explored."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.local_global import tseitin_collection
+from repro.consistency.semiring_consistency import (
+    acyclic_global_witness_rationals,
+    is_krelation_witness,
+    joint_support_is_empty,
+    krelations_consistent,
+    rational_pairwise_witness,
+)
+from repro.core.bags import Bag
+from repro.core.krelations import KRelation
+from repro.core.schema import Schema
+from repro.core.semirings import NATURALS, NONNEG_RATIONALS, TROPICAL
+from repro.errors import (
+    CyclicSchemaError,
+    InconsistentError,
+    MultiplicityError,
+)
+from repro.hypergraphs.families import cycle_hypergraph, hn_hypergraph
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def q(schema: Schema, annots: dict) -> KRelation:
+    return KRelation(
+        schema, NONNEG_RATIONALS, {k: Fraction(v) for k, v in annots.items()}
+    )
+
+
+class TestPairwise:
+    def test_rational_pair_consistent(self):
+        r = q(AB, {(1, 2): Fraction(1, 2), (2, 2): Fraction(1, 2)})
+        s = q(BC, {(2, 1): Fraction(1, 3), (2, 2): Fraction(2, 3)})
+        assert krelations_consistent(r, s)
+        w = rational_pairwise_witness(r, s)
+        assert is_krelation_witness([r, s], w)
+
+    def test_rational_pair_inconsistent(self):
+        r = q(AB, {(1, 2): Fraction(1, 2)})
+        s = q(BC, {(2, 1): Fraction(1, 3)})
+        assert not krelations_consistent(r, s)
+        with pytest.raises(InconsistentError):
+            rational_pairwise_witness(r, s)
+
+    def test_mixed_semirings_rejected(self):
+        r = KRelation(AB, NATURALS, {(1, 2): 1})
+        s = q(BC, {(2, 1): 1})
+        with pytest.raises(MultiplicityError):
+            krelations_consistent(r, s)
+
+    def test_unsupported_semiring_rejected(self):
+        r = KRelation(AB, TROPICAL, {(1, 2): 1.0})
+        s = KRelation(BC, TROPICAL, {(2, 1): 1.0})
+        with pytest.raises(MultiplicityError):
+            krelations_consistent(r, s)
+
+    @settings(deadline=None, max_examples=25)
+    @given(consistent_bag_pairs())
+    def test_bag_consistency_transfers_to_rationals(self, data):
+        """A consistent bag pair, read as Q>=0-relations, stays
+        consistent, and the closed-form witness verifies."""
+        _, r, s = data
+        qr = KRelation(r.schema, NONNEG_RATIONALS,
+                       {k: Fraction(v) for k, v in r.items()})
+        qs = KRelation(s.schema, NONNEG_RATIONALS,
+                       {k: Fraction(v) for k, v in s.items()})
+        assert krelations_consistent(qr, qs)
+        w = rational_pairwise_witness(qr, qs)
+        assert is_krelation_witness([qr, qs], w)
+
+
+class TestAcyclicRationalWitness:
+    def test_chain_of_rationals(self):
+        r = q(AB, {(1, 2): Fraction(1, 2), (2, 2): Fraction(3, 2)})
+        s = q(BC, {(2, 1): 1, (2, 2): 1})
+        t = q(Schema(["C", "D"]), {(1, 5): 1, (2, 5): 1})
+        w = acyclic_global_witness_rationals([r, s, t])
+        assert is_krelation_witness([r, s, t], w)
+
+    def test_cyclic_schema_raises(self):
+        bags = tseitin_collection(list(cycle_hypergraph(3).edges))
+        qs = [
+            KRelation(b.schema, NONNEG_RATIONALS,
+                      {k: Fraction(v) for k, v in b.items()})
+            for b in bags
+        ]
+        with pytest.raises(CyclicSchemaError):
+            acyclic_global_witness_rationals(qs)
+
+    def test_pairwise_inconsistent_raises(self):
+        r = q(AB, {(1, 2): 1})
+        s = q(BC, {(2, 1): 2})
+        with pytest.raises(InconsistentError):
+            acyclic_global_witness_rationals([r, s])
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InconsistentError):
+            acyclic_global_witness_rationals([])
+
+    def test_non_rational_rejected(self):
+        r = KRelation(AB, NATURALS, {(1, 2): 1})
+        with pytest.raises(MultiplicityError):
+            acyclic_global_witness_rationals([r])
+
+
+class TestSemiringAgnosticObstruction:
+    """The Tseitin collections refute global consistency over every
+    positive semiring: their joint support is empty."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: cycle_hypergraph(3), lambda: cycle_hypergraph(5),
+         lambda: hn_hypergraph(4)],
+        ids=["C3", "C5", "H4"],
+    )
+    def test_tseitin_joint_support_empty(self, factory):
+        bags = tseitin_collection(list(factory().edges))
+        qs = [
+            KRelation(b.schema, NONNEG_RATIONALS,
+                      {k: Fraction(v) for k, v in b.items()})
+            for b in bags
+        ]
+        assert joint_support_is_empty(qs)
+
+    def test_consistent_collection_has_nonempty_joint_support(self, rng):
+        from repro.workloads.generators import planted_collection
+
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        qs = [KRelation.from_bag(b) for b in bags]
+        assert not joint_support_is_empty(qs)

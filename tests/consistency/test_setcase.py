@@ -1,0 +1,108 @@
+"""The set-semantics baseline: Section 5.1 and the classical facts."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.setcase import (
+    bfmy_counterexample,
+    is_relation_witness,
+    relations_consistent,
+    relations_globally_consistent,
+    relations_pairwise_consistent,
+    universal_relation,
+)
+from repro.core.relations import Relation, join_all
+from repro.core.schema import Schema
+from repro.errors import InconsistentError
+from tests.conftest import relations_over, schemas
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestTwoRelations:
+    def test_consistent_iff_common_projections_agree(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 7)])
+        assert relations_consistent(r, s)
+
+    def test_inconsistent(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(BC, [(9, 7)])
+        assert not relations_consistent(r, s)
+
+    def test_join_witnesses_consistency(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 1), (2, 2)])
+        assert is_relation_witness([r, s], r.join(s))
+
+    def test_join_is_largest_witness(self):
+        """Every witness is contained in the join (the classical fact the
+        paper contrasts with bags)."""
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 1), (2, 2)])
+        joined = r.join(s)
+        # Remove one row: if the remainder still projects onto r and s it
+        # would be a smaller witness; in every case it stays inside join.
+        smaller = Relation(
+            joined.schema, list(sorted(joined.rows, key=repr))[:-1]
+        )
+        if is_relation_witness([r, s], smaller):
+            assert smaller <= joined
+
+
+class TestGlobalConsistency:
+    def test_planted_relations_are_globally_consistent(self):
+        plant = Relation.from_pairs(
+            Schema(["A", "B", "C"]), [(1, 2, 3), (2, 2, 1)]
+        )
+        rels = [plant.project(AB), plant.project(BC)]
+        assert relations_globally_consistent(rels)
+        u = universal_relation(rels)
+        assert is_relation_witness(rels, u)
+
+    def test_bfmy_counterexample_is_pairwise_not_global(self):
+        rels = bfmy_counterexample()
+        assert relations_pairwise_consistent(rels)
+        assert not relations_globally_consistent(rels)
+        with pytest.raises(InconsistentError):
+            universal_relation(rels)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(InconsistentError):
+            relations_globally_consistent([])
+
+    def test_witness_rejects_wrong_schema(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        assert not is_relation_witness([r], Relation.from_pairs(BC, [(1, 2)]))
+
+
+@settings(deadline=None)
+@given(schemas(1, 3), schemas(1, 3))
+def test_set_vs_bag_consistency_relationship(left, right):
+    """If two 0/1 bags are bag-consistent then their supports are
+    relation-consistent (bag marginal equality implies projection
+    equality); the converse fails in general."""
+    from repro.consistency.pairwise import are_consistent
+    from repro.core.bags import Bag
+
+    plant_rows = [(tuple(0 for _ in (left | right).attrs), 1)]
+    plant = Bag.from_pairs(left | right, plant_rows)
+    r, s = plant.marginal(left), plant.marginal(right)
+    if are_consistent(r, s):
+        assert relations_consistent(r.support(), s.support())
+
+
+def test_relation_consistent_but_bag_inconsistent():
+    """The paper's Section 3 observation: R_{n-1}, S_{n-1} are consistent
+    as relations (join witnesses) but their bag-join does not witness bag
+    consistency."""
+    from repro.consistency.witness import is_witness
+    from repro.workloads.generators import witness_family_pair
+
+    r, s = witness_family_pair(3)
+    assert relations_consistent(r.support(), s.support())
+    assert is_relation_witness(
+        [r.support(), s.support()], r.support().join(s.support())
+    )
+    assert not is_witness([r, s], r.bag_join(s))

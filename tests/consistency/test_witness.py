@@ -1,0 +1,170 @@
+"""Theorems 3 and 5, Corollaries 3 and 4: witness sizes and minimality."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.pairwise import consistency_witness
+from repro.consistency.program import ConsistencyProgram
+from repro.consistency.witness import (
+    certificate_size_bound,
+    check_theorem3_bounds,
+    check_theorem5_bound,
+    is_witness,
+    minimal_pairwise_witness,
+    minimize_witness,
+)
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import InconsistentError
+from repro.workloads.generators import example1_instance, witness_family_pair
+from tests.conftest import consistent_bag_pairs, planted_collections
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestIsWitness:
+    def test_accepts_genuine_witness(self):
+        plant = Bag.from_pairs(
+            Schema(["A", "B", "C"]), [((1, 2, 3), 2), ((1, 2, 4), 1)]
+        )
+        bags = [plant.marginal(AB), plant.marginal(BC)]
+        assert is_witness(bags, plant)
+
+    def test_rejects_wrong_schema(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        assert not is_witness([r], Bag.empty(BC))
+
+    def test_rejects_wrong_marginal(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        fake = Bag.from_pairs(AB, [((1, 2), 2)])
+        assert not is_witness([r], fake)
+
+    def test_single_bag_is_its_own_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        assert is_witness([r], r)
+
+
+class TestCorollary4MinimalWitness:
+    def test_minimal_witness_is_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 4), ((2, 2), 1)])
+        w = minimal_pairwise_witness(r, s)
+        assert is_witness([r, s], w)
+
+    def test_theorem5_bound_holds(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 3), ((3, 3), 1)])
+        s = Bag.from_pairs(BC, [((2, 1), 4), ((2, 2), 1), ((3, 7), 1)])
+        w = minimal_pairwise_witness(r, s)
+        assert check_theorem5_bound(r, s, w)
+
+    def test_minimality_against_enumeration(self):
+        """No witness has support strictly inside the minimal one."""
+        r, s = witness_family_pair(3)
+        w = minimal_pairwise_witness(r, s)
+        program = ConsistencyProgram.build([r, s])
+        from repro.lp.integer_feasibility import enumerate_solutions
+
+        supports = [
+            frozenset(
+                t for t, v in zip(program.join_rows, sol) if v
+            )
+            for sol in enumerate_solutions(program.system)
+        ]
+        mine = frozenset(w.support_rows())
+        assert mine in supports
+        assert not any(other < mine for other in supports)
+
+    def test_raises_on_inconsistent(self):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 1)])
+        with pytest.raises(InconsistentError):
+            minimal_pairwise_witness(r, s)
+
+    @settings(deadline=None)
+    @given(consistent_bag_pairs())
+    def test_random_pairs_minimal_witness_and_bound(self, data):
+        _, r, s = data
+        w = minimal_pairwise_witness(r, s)
+        assert is_witness([r, s], w)
+        assert check_theorem5_bound(r, s, w)
+
+
+class TestTheorem3Bounds:
+    def test_bounds_on_flow_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5), ((2, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 4), ((2, 2), 4)])
+        w = consistency_witness(r, s)
+        report = check_theorem3_bounds([r, s], w)
+        assert report.multiplicity_ok
+        assert report.support_unary_ok
+        assert report.all_ok
+
+    def test_binary_bound_on_minimal_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 8), ((2, 2), 8)])
+        s = Bag.from_pairs(BC, [((2, 1), 8), ((2, 2), 8)])
+        w = minimal_pairwise_witness(r, s)
+        report = check_theorem3_bounds([r, s], w, minimal=True)
+        assert report.support_binary_ok
+
+    @settings(deadline=None)
+    @given(planted_collections(max_bags=3))
+    def test_planted_witness_obeys_non_minimal_bounds(self, data):
+        plant, bags = data
+        report = check_theorem3_bounds(bags, plant)
+        assert report.multiplicity_ok
+        assert report.support_unary_ok
+
+    def test_rejects_non_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        with pytest.raises(InconsistentError):
+            check_theorem3_bounds([r], Bag.from_pairs(AB, [((9, 9), 1)]))
+
+
+class TestMinimizeWitnessGeneral:
+    def test_minimize_three_bag_witness(self):
+        plant = Bag.from_pairs(
+            Schema(["A", "B", "C"]),
+            [((0, 0, 0), 1), ((0, 0, 1), 1), ((1, 0, 0), 1), ((1, 0, 1), 1)],
+        )
+        bags = [
+            plant.marginal(AB),
+            plant.marginal(BC),
+            plant.marginal(Schema(["A", "C"])),
+        ]
+        slim = minimize_witness(bags, plant)
+        assert is_witness(bags, slim)
+        assert slim.support_size <= plant.support_size
+        report = check_theorem3_bounds(bags, slim, minimal=True)
+        assert report.all_ok
+
+    def test_rejects_non_witness(self):
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        with pytest.raises(InconsistentError):
+            minimize_witness([r], Bag.from_pairs(AB, [((9, 9), 1)]))
+
+
+class TestExample1:
+    """Example 1: binary multiplicities make the join witness
+    exponentially larger than the input; minimal witnesses stay small."""
+
+    def test_the_paper_witness_works(self):
+        bags, big_witness = example1_instance(4)
+        assert is_witness(bags, big_witness)
+        assert big_witness.support_size == 2**4
+
+    def test_minimal_witness_is_exponentially_smaller(self):
+        bags, big_witness = example1_instance(4)
+        slim = minimize_witness(bags, big_witness)
+        assert is_witness(bags, slim)
+        report = check_theorem3_bounds(bags, slim, minimal=True)
+        assert report.all_ok
+        # The binary-size bound is ~ (n-1) * 4 * log2(2^n + 1); the join
+        # witness has 2^n support — the gap the example demonstrates.
+        assert slim.support_size < big_witness.support_size
+
+    def test_certificate_bound_matches_binary_sizes(self):
+        bags, _ = example1_instance(3)
+        assert certificate_size_bound(bags) == pytest.approx(
+            sum(b.binary_size for b in bags)
+        )

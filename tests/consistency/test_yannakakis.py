@@ -1,0 +1,96 @@
+"""Yannakakis acyclic join evaluation (the paper's intro motivation)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.yannakakis import (
+    dangling_heavy_instance,
+    join_nonempty_acyclic,
+    naive_join,
+    yannakakis_join,
+)
+from repro.core.relations import Relation, join_all
+from repro.core.schema import Schema
+from repro.errors import CyclicSchemaError
+from tests.conftest import planted_collections
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+class TestCorrectness:
+    def test_matches_naive_on_chain(self):
+        r = Relation.from_pairs(AB, [(1, 2), (9, 9)])
+        s = Relation.from_pairs(BC, [(2, 5), (2, 6)])
+        t = Relation.from_pairs(CD, [(5, 0)])
+        fast = yannakakis_join([r, s, t])
+        slow = naive_join([r, s, t])
+        assert fast.result == slow.result
+
+    def test_empty_input(self):
+        trace = yannakakis_join([])
+        assert () in trace.result
+
+    def test_single_relation(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        assert yannakakis_join([r]).result == r
+
+    def test_empty_join_detected(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(BC, [(9, 5)])
+        assert len(yannakakis_join([r, s]).result) == 0
+        assert not join_nonempty_acyclic([r, s])
+
+    def test_cyclic_schema_raises(self):
+        r = Relation.from_pairs(AB, [(0, 0)])
+        s = Relation.from_pairs(BC, [(0, 0)])
+        t = Relation.from_pairs(Schema(["A", "C"]), [(0, 0)])
+        with pytest.raises(CyclicSchemaError):
+            yannakakis_join([r, s, t])
+
+    @settings(deadline=None, max_examples=30)
+    @given(planted_collections(max_bags=3))
+    def test_matches_join_all_on_acyclic(self, data):
+        from repro.hypergraphs.acyclicity import is_acyclic
+        from repro.hypergraphs.hypergraph import hypergraph_of_bags
+
+        _, bags = data
+        relations = [b.support() for b in bags]
+        if not is_acyclic(hypergraph_of_bags(relations)):
+            return
+        assert yannakakis_join(relations).result == join_all(relations)
+
+
+class TestOutputSensitivity:
+    def test_danglers_blow_up_naive_only(self):
+        relations = dangling_heavy_instance(
+            n_chains=2, chain_length=6, dangle_factor=4
+        )
+        fast = yannakakis_join(relations)
+        slow = naive_join(relations)
+        assert fast.result == slow.result
+        assert len(fast.result) == 2
+        # Naive materializes the branching dead paths (4^3 = 64 at the
+        # deepest point); Yannakakis never exceeds the live chains.
+        assert slow.max_intermediate >= 4**3
+        assert fast.max_intermediate <= len(fast.result)
+
+    def test_gap_grows_with_dangle_factor(self):
+        gaps = []
+        for dangle in (2, 3, 4):
+            relations = dangling_heavy_instance(2, 6, dangle)
+            slow = naive_join(relations).max_intermediate
+            fast = yannakakis_join(relations).max_intermediate
+            gaps.append(slow / max(fast, 1))
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_nonempty_check_without_materialization(self):
+        relations = dangling_heavy_instance(3, 5, 5)
+        assert join_nonempty_acyclic(relations)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            dangling_heavy_instance(0, 5, 2)
+        with pytest.raises(ValueError):
+            dangling_heavy_instance(1, 2, 2)

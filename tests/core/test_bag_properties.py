@@ -1,0 +1,98 @@
+"""Property-based tests on the Bag/Relation algebra (hypothesis).
+
+These pin down the algebraic laws the paper's proofs use silently:
+marginal composition, support/projection commutation, join-marginal
+interaction, and the Section 5.2 norm inequalities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Bag, Schema
+from tests.conftest import bags, bags_over, consistent_bag_pairs, schemas
+
+
+@given(bags())
+def test_marginal_composition(bag):
+    """R[Z][W] = R[W] for every W <= Z <= X."""
+    attrs = list(bag.schema.attrs)
+    for i in range(len(attrs) + 1):
+        z = Schema(attrs[:i])
+        for j in range(i + 1):
+            w = Schema(attrs[:j])
+            assert bag.marginal(z).marginal(w) == bag.marginal(w)
+
+
+@given(bags())
+def test_support_commutes_with_marginal(bag):
+    """R'[Z] = R[Z]' for every Z <= X."""
+    attrs = list(bag.schema.attrs)
+    for i in range(len(attrs) + 1):
+        z = Schema(attrs[:i])
+        assert bag.support().project(z) == bag.marginal(z).support()
+
+
+@given(bags())
+def test_total_multiplicity_is_preserved_by_marginals(bag):
+    for i in range(len(bag.schema.attrs) + 1):
+        z = Schema(list(bag.schema.attrs)[:i])
+        assert bag.marginal(z).unary_size == bag.unary_size
+
+
+@given(bags())
+def test_norm_inequalities(bag):
+    """||R||u <= ||R||supp * ||R||mu and ||R||b <= ||R||supp * ||R||mb."""
+    assert bag.unary_size <= bag.support_size * max(bag.multiplicity_bound, 1)
+    assert bag.binary_size <= bag.support_size * max(bag.multiplicity_size, 1)
+
+
+@given(consistent_bag_pairs())
+def test_bag_join_support_law(data):
+    _, r, s = data
+    assert r.bag_join(s).support() == r.support().join(s.support())
+
+
+@given(consistent_bag_pairs())
+def test_bag_join_marginal_multiplicity_formula(data):
+    """(R |><|b S)(t) = R(t[X]) * S(t[Y]) pointwise on the join."""
+    _, r, s = data
+    joined = r.bag_join(s)
+    union = joined.schema
+    for tup, mult in joined.tuples():
+        assert mult == r.multiplicity(
+            tup.project(r.schema)
+        ) * s.multiplicity(tup.project(s.schema))
+
+
+@given(bags(), st.integers(0, 5))
+def test_scale_is_repeated_addition(bag, k):
+    total = Bag.empty(bag.schema)
+    for _ in range(k):
+        total = total + bag
+    assert total == bag.scale(k)
+
+
+@given(bags())
+def test_addition_increases_all_measures(bag):
+    double = bag + bag
+    assert double.unary_size == 2 * bag.unary_size
+    assert double.support_size == bag.support_size
+    assert double.multiplicity_bound == 2 * bag.multiplicity_bound
+
+
+@given(bags())
+def test_bag_equals_sum_of_its_singletons(bag):
+    total = Bag.empty(bag.schema)
+    for row, mult in bag.items():
+        total = total + Bag.from_pairs(bag.schema, [(row, mult)])
+    assert total == bag
+
+
+@given(consistent_bag_pairs())
+def test_planted_marginals_agree_on_common_schema(data):
+    """The generator invariant behind most consistency tests."""
+    plant, r, s = data
+    common = r.schema & s.schema
+    assert r.marginal(common) == s.marginal(common)
+    assert plant.marginal(r.schema) == r
+    assert plant.marginal(s.schema) == s

@@ -1,0 +1,92 @@
+"""Unit tests for K-relations: the semiring generalization of bags."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.core import Bag, KRelation, Relation, Schema
+from repro.core.krelations import krelations_consistent_boolean
+from repro.core.semirings import BOOLEAN, NATURALS, NONNEG_RATIONALS, TROPICAL
+from repro.errors import MultiplicityError
+from tests.conftest import bags
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+B = Schema(["B"])
+
+
+class TestConversions:
+    def test_bag_roundtrip(self):
+        bag = Bag.from_pairs(AB, [((1, 2), 2), ((3, 4), 1)])
+        assert KRelation.from_bag(bag).to_bag() == bag
+
+    def test_relation_support(self):
+        rel = Relation.from_pairs(AB, [(1, 2)])
+        k = KRelation.from_relation(rel)
+        assert k.to_relation() == rel
+
+    def test_zero_annotations_dropped(self):
+        k = KRelation(AB, NATURALS, {(1, 2): 0, (3, 4): 2})
+        assert len(k) == 1
+
+    def test_invalid_annotation_rejected(self):
+        with pytest.raises(MultiplicityError):
+            KRelation(AB, NATURALS, {(1, 2): -1})
+
+    def test_cross_semiring_conversion_rejected(self):
+        k = KRelation(AB, BOOLEAN, {(1, 2): True})
+        with pytest.raises(MultiplicityError):
+            k.to_bag()
+
+
+class TestSemantics:
+    @given(bags())
+    def test_naturals_marginal_matches_bag_marginal(self, bag):
+        k = KRelation.from_bag(bag)
+        for i in range(len(bag.schema.attrs) + 1):
+            target = Schema(list(bag.schema.attrs)[:i])
+            assert k.marginal(target).to_bag() == bag.marginal(target)
+
+    def test_boolean_marginal_matches_relation_projection(self):
+        rel = Relation.from_pairs(AB, [(1, 2), (3, 2)])
+        k = KRelation.from_relation(rel)
+        assert k.marginal(B).to_relation() == rel.project(B)
+
+    def test_naturals_join_matches_bag_join(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 1), 5)])
+        kj = KRelation.from_bag(r).join(KRelation.from_bag(s))
+        assert kj.to_bag() == r.bag_join(s)
+
+    def test_boolean_join_matches_relation_join(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 1)])
+        kj = KRelation.from_relation(r).join(KRelation.from_relation(s))
+        assert kj.to_relation() == r.join(s)
+
+    def test_join_different_semirings_rejected(self):
+        r = KRelation(AB, NATURALS, {(1, 2): 1})
+        s = KRelation(BC, BOOLEAN, {(2, 1): True})
+        with pytest.raises(MultiplicityError):
+            r.join(s)
+
+    def test_tropical_marginal_takes_min(self):
+        k = KRelation(AB, TROPICAL, {(1, 2): 3.0, (5, 2): 7.0})
+        assert k.marginal(B).annotation((2,)) == 3.0
+
+    def test_rational_annotations(self):
+        k = KRelation(AB, NONNEG_RATIONALS, {(1, 2): Fraction(1, 2)})
+        assert k.marginal(B).annotation((2,)) == Fraction(1, 2)
+
+
+class TestBooleanConsistency:
+    def test_consistent_supports(self):
+        r = KRelation.from_relation(Relation.from_pairs(AB, [(1, 2)]))
+        s = KRelation.from_relation(Relation.from_pairs(BC, [(2, 9)]))
+        assert krelations_consistent_boolean(r, s)
+
+    def test_inconsistent_supports(self):
+        r = KRelation.from_relation(Relation.from_pairs(AB, [(1, 2)]))
+        s = KRelation.from_relation(Relation.from_pairs(BC, [(3, 9)]))
+        assert not krelations_consistent_boolean(r, s)

@@ -1,0 +1,137 @@
+"""Unit tests for Relation: projection, natural join, set algebra."""
+
+import pytest
+
+from repro.core.relations import Relation, join_all
+from repro.core.schema import Schema
+from repro.core.tuples import Tup
+from repro.errors import SchemaError
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+ABC = Schema(["A", "B", "C"])
+
+
+class TestConstruction:
+    def test_rows_deduplicate(self):
+        r = Relation.from_pairs(AB, [(1, 2), (1, 2)])
+        assert len(r) == 1
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Relation.from_pairs(AB, [(1,)])
+
+    def test_from_mappings_infers_schema(self):
+        r = Relation.from_mappings([{"B": 2, "A": 1}])
+        assert r.schema == AB
+        assert (1, 2) in r
+
+    def test_from_mappings_rejects_mismatched_rows(self):
+        with pytest.raises(SchemaError):
+            Relation.from_mappings([{"A": 1, "B": 2}, {"A": 1}])
+
+    def test_from_mappings_empty_needs_schema(self):
+        with pytest.raises(SchemaError):
+            Relation.from_mappings([])
+        assert len(Relation.from_mappings([], schema=AB)) == 0
+
+    def test_contains_tup_and_raw(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        assert Tup(AB, (1, 2)) in r
+        assert (1, 2) in r
+        assert Tup(BC, (1, 2)) not in r
+
+    def test_empty(self):
+        assert not Relation.empty(AB)
+
+
+class TestProjection:
+    def test_projection_merges_rows(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 2)])
+        assert r.project(Schema(["B"])) == Relation.from_pairs(
+            Schema(["B"]), [(2,)]
+        )
+
+    def test_projection_to_empty_schema(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        p = r.project(Schema())
+        assert len(p) == 1 and () in p
+
+    def test_projection_composition(self):
+        r = Relation.from_pairs(ABC, [(1, 2, 3), (1, 2, 4)])
+        direct = r.project(Schema(["A"]))
+        via = r.project(AB).project(Schema(["A"]))
+        assert direct == via
+
+
+class TestJoin:
+    def test_basic_join(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 1), (2, 2)])
+        j = r.join(s)
+        assert j.schema == ABC
+        assert len(j) == 4
+
+    def test_join_respects_common_values(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(BC, [(9, 1)])
+        assert len(r.join(s)) == 0
+
+    def test_join_disjoint_is_cross_product(self):
+        r = Relation.from_pairs(Schema(["A"]), [(1,), (2,)])
+        s = Relation.from_pairs(Schema(["B"]), [(5,), (6,), (7,)])
+        assert len(r.join(s)) == 6
+
+    def test_join_same_schema_is_intersection(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+        s = Relation.from_pairs(AB, [(1, 2), (5, 6)])
+        assert r.join(s) == Relation.from_pairs(AB, [(1, 2)])
+
+    def test_join_commutative(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(BC, [(2, 1)])
+        assert r.join(s) == s.join(r)
+
+    def test_join_all_empty_input_is_identity(self):
+        j = join_all([])
+        assert j.schema == Schema()
+        assert () in j
+
+    def test_join_all_three(self):
+        r = Relation.from_pairs(AB, [(0, 0), (1, 1)])
+        s = Relation.from_pairs(BC, [(0, 0), (1, 1)])
+        t = Relation.from_pairs(Schema(["A", "C"]), [(0, 0), (1, 1)])
+        j = join_all([r, s, t])
+        assert j == Relation.from_pairs(ABC, [(0, 0, 0), (1, 1, 1)])
+
+
+class TestSetOperations:
+    def test_union_intersection_difference(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+        s = Relation.from_pairs(AB, [(1, 2), (5, 6)])
+        assert len(r.union(s)) == 3
+        assert r.intersection(s) == Relation.from_pairs(AB, [(1, 2)])
+        assert r.difference(s) == Relation.from_pairs(AB, [(3, 4)])
+
+    def test_mismatched_schemas_raise(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(BC, [(1, 2)])
+        for op in (r.union, r.intersection, r.difference):
+            with pytest.raises(SchemaError):
+                op(s)
+
+    def test_containment(self):
+        r = Relation.from_pairs(AB, [(1, 2)])
+        s = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+        assert r <= s
+        assert not s <= r
+
+    def test_restrict(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+        kept = r.restrict(lambda t: t["A"] == 1)
+        assert kept == Relation.from_pairs(AB, [(1, 2)])
+
+    def test_active_domain(self):
+        r = Relation.from_pairs(AB, [(1, 2), (3, 2)])
+        assert r.active_domain("A") == {1, 3}
+        assert r.active_domain("B") == {2}

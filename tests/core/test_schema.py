@@ -1,0 +1,104 @@
+"""Unit tests for Schema: canonical order, set algebra, projections."""
+
+import pytest
+
+from repro.core.schema import (
+    EMPTY_SCHEMA,
+    Schema,
+    project_values,
+    projection_indices,
+    schema,
+)
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_canonical_order_is_sorted(self):
+        assert Schema(["B", "A", "C"]).attrs == ("A", "B", "C")
+
+    def test_input_order_irrelevant_for_equality(self):
+        assert Schema(["B", "A"]) == Schema(["A", "B"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "A"])
+
+    def test_empty_schema(self):
+        assert len(EMPTY_SCHEMA) == 0
+        assert list(EMPTY_SCHEMA) == []
+
+    def test_convenience_constructor(self):
+        assert schema("B", "A") == Schema(["A", "B"])
+
+    def test_mixed_types_get_deterministic_order(self):
+        s1 = Schema([1, "A"])
+        s2 = Schema(["A", 1])
+        assert s1.attrs == s2.attrs
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {Schema(["A", "B"]): 1}
+        assert d[Schema(["B", "A"])] == 1
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert Schema(["A"]) | Schema(["B"]) == Schema(["A", "B"])
+
+    def test_intersection(self):
+        assert Schema(["A", "B"]) & Schema(["B", "C"]) == Schema(["B"])
+
+    def test_difference(self):
+        assert Schema(["A", "B"]) - Schema(["B"]) == Schema(["A"])
+
+    def test_subset(self):
+        assert Schema(["A"]) <= Schema(["A", "B"])
+        assert not Schema(["C"]) <= Schema(["A", "B"])
+
+    def test_strict_subset(self):
+        assert Schema(["A"]) < Schema(["A", "B"])
+        assert not Schema(["A", "B"]) < Schema(["A", "B"])
+
+    def test_disjoint(self):
+        assert Schema(["A"]).isdisjoint(Schema(["B"]))
+        assert not Schema(["A", "B"]).isdisjoint(Schema(["B"]))
+
+    def test_union_with_self_is_identity(self):
+        s = Schema(["A", "B"])
+        assert (s | s) == s
+
+    def test_contains(self):
+        assert "A" in Schema(["A", "B"])
+        assert "Z" not in Schema(["A", "B"])
+
+    def test_without(self):
+        assert Schema(["A", "B"]).without("A") == Schema(["B"])
+
+    def test_without_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).without("B")
+
+
+class TestProjection:
+    def test_projection_indices(self):
+        idx = projection_indices(("A", "B", "C"), ("C", "A"))
+        assert idx == (2, 0)
+
+    def test_project_values(self):
+        src = Schema(["A", "B", "C"])
+        tgt = Schema(["C", "A"])
+        assert project_values((1, 2, 3), src, tgt) == (1, 3)
+
+    def test_project_to_empty(self):
+        src = Schema(["A"])
+        assert project_values((7,), src, EMPTY_SCHEMA) == ()
+
+    def test_project_outside_schema_raises(self):
+        with pytest.raises(SchemaError):
+            projection_indices(("A",), ("B",))
+
+    def test_index_of(self):
+        assert Schema(["B", "A"]).index_of("B") == 1
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).index_of("Z")

@@ -1,0 +1,81 @@
+"""Unit tests for the semiring substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    NATURALS,
+    NONNEG_RATIONALS,
+    TROPICAL,
+    VITERBI,
+    check_semiring_laws,
+)
+
+SAMPLES = {
+    "Boolean": [False, True],
+    "Naturals": [0, 1, 2, 3, 7],
+    "NonNegRationals": [Fraction(0), Fraction(1), Fraction(1, 2), Fraction(3)],
+    "Tropical": [float("inf"), 0.0, 1.0, 2.5],
+    "Viterbi": [0.0, 0.25, 0.5, 1.0],
+}
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_axioms_hold_on_samples(semiring):
+    violations = check_semiring_laws(semiring, SAMPLES[semiring.name])
+    assert violations == []
+
+
+def test_boolean_is_disjunction_conjunction(self=None):
+    assert BOOLEAN.add(True, False) is True
+    assert BOOLEAN.mul(True, False) is False
+    assert BOOLEAN.zero is False and BOOLEAN.one is True
+
+
+def test_naturals_sum_and_product():
+    assert NATURALS.sum([1, 2, 3]) == 6
+    assert NATURALS.product([2, 3, 4]) == 24
+    assert NATURALS.sum([]) == 0
+    assert NATURALS.product([]) == 1
+
+
+def test_naturals_rejects_negative_and_float():
+    assert not NATURALS.validate(-1)
+    assert not NATURALS.validate(1.5)
+    assert not NATURALS.validate(True)
+    assert NATURALS.validate(10**30)
+
+
+def test_rationals_validate():
+    assert NONNEG_RATIONALS.validate(Fraction(3, 7))
+    assert NONNEG_RATIONALS.validate(2)
+    assert not NONNEG_RATIONALS.validate(Fraction(-1, 2))
+
+
+def test_tropical_add_is_min():
+    assert TROPICAL.add(3.0, 5.0) == 3.0
+    assert TROPICAL.mul(3.0, 5.0) == 8.0
+    assert TROPICAL.is_zero(float("inf"))
+
+
+def test_viterbi_add_is_max():
+    assert VITERBI.add(0.3, 0.5) == 0.5
+    assert VITERBI.mul(0.5, 0.5) == 0.25
+
+
+def test_broken_semiring_is_detected():
+    from repro.core.semirings import Semiring
+
+    broken = Semiring(
+        name="Broken",
+        zero=0,
+        one=1,
+        add=lambda a, b: a + b + 1,  # violates identity
+        mul=lambda a, b: a * b,
+        is_positive=True,
+        validate=lambda v: isinstance(v, int),
+    )
+    assert check_semiring_laws(broken, [0, 1, 2]) != []

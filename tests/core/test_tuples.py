@@ -1,0 +1,88 @@
+"""Unit tests for Tup: projections, joins, the empty tuple."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.core.tuples import EMPTY_TUP, Tup
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_values_align_with_canonical_order(self):
+        t = Tup(Schema(["B", "A"]), (1, 2))
+        assert t["A"] == 1
+        assert t["B"] == 2
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Tup(Schema(["A", "B"]), (1,))
+
+    def test_from_mapping(self):
+        t = Tup.from_mapping({"B": 2, "A": 1})
+        assert t.values == (1, 2)
+
+    def test_as_mapping_roundtrip(self):
+        t = Tup.from_mapping({"A": 1, "B": 2})
+        assert Tup.from_mapping(t.as_mapping()) == t
+
+    def test_empty_tuple_exists(self):
+        assert len(EMPTY_TUP) == 0
+        assert EMPTY_TUP == Tup(Schema(), ())
+
+    def test_hash_equal_tuples(self):
+        assert hash(Tup.from_mapping({"A": 1})) == hash(
+            Tup.from_mapping({"A": 1})
+        )
+
+    def test_unequal_schemas_not_equal(self):
+        assert Tup.from_mapping({"A": 1}) != Tup.from_mapping({"B": 1})
+
+
+class TestProjection:
+    def test_projection_on_subset(self):
+        t = Tup.from_mapping({"A": 1, "B": 2, "C": 3})
+        assert t.project(Schema(["A", "C"])) == Tup.from_mapping(
+            {"A": 1, "C": 3}
+        )
+
+    def test_projection_on_empty_is_empty_tuple(self):
+        t = Tup.from_mapping({"A": 1})
+        assert t.project(Schema()) == EMPTY_TUP
+
+    def test_projection_on_full_schema_is_identity(self):
+        t = Tup.from_mapping({"A": 1, "B": 2})
+        assert t.project(t.schema) == t
+
+    def test_projection_outside_raises(self):
+        t = Tup.from_mapping({"A": 1})
+        with pytest.raises(SchemaError):
+            t.project(Schema(["Z"]))
+
+
+class TestJoin:
+    def test_joins_with_on_agreement(self):
+        x = Tup.from_mapping({"A": 1, "B": 2})
+        y = Tup.from_mapping({"B": 2, "C": 3})
+        assert x.joins_with(y)
+        assert x.join(y) == Tup.from_mapping({"A": 1, "B": 2, "C": 3})
+
+    def test_join_symmetric(self):
+        x = Tup.from_mapping({"A": 1, "B": 2})
+        y = Tup.from_mapping({"B": 2, "C": 3})
+        assert x.join(y) == y.join(x)
+
+    def test_join_disagreement_raises(self):
+        x = Tup.from_mapping({"A": 1, "B": 2})
+        y = Tup.from_mapping({"B": 99, "C": 3})
+        assert not x.joins_with(y)
+        with pytest.raises(SchemaError):
+            x.join(y)
+
+    def test_join_with_disjoint_schema(self):
+        x = Tup.from_mapping({"A": 1})
+        y = Tup.from_mapping({"B": 2})
+        assert x.join(y) == Tup.from_mapping({"A": 1, "B": 2})
+
+    def test_join_with_empty_tuple(self):
+        x = Tup.from_mapping({"A": 1})
+        assert x.join(EMPTY_TUP) == x

@@ -1,0 +1,143 @@
+"""Unit and property tests for Dinic's max-flow (cross-checked against
+networkx)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flows.maxflow import max_flow, saturated_flow, verify_flow
+from repro.flows.network import FlowNetwork
+
+
+def diamond() -> FlowNetwork:
+    net = FlowNetwork("s", "t")
+    net.add_edge("s", "a", 3)
+    net.add_edge("s", "b", 2)
+    net.add_edge("a", "t", 2)
+    net.add_edge("b", "t", 3)
+    net.add_edge("a", "b", 10)
+    return net
+
+
+class TestMaxFlow:
+    def test_diamond_value(self):
+        assert max_flow(diamond()).value == 5
+
+    def test_flows_verify(self):
+        net = diamond()
+        result = max_flow(net)
+        assert verify_flow(net, result)
+
+    def test_disconnected_is_zero(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5)
+        net.add_edge("b", "t", 5)
+        assert max_flow(net).value == 0
+
+    def test_single_edge(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "t", 7)
+        result = max_flow(net)
+        assert result.value == 7
+        assert result.on("s", "t") == 7
+
+    def test_bottleneck(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 100)
+        net.add_edge("a", "b", 1)
+        net.add_edge("b", "t", 100)
+        assert max_flow(net).value == 1
+
+    def test_big_integer_capacities(self):
+        net = FlowNetwork("s", "t")
+        big = 2**100
+        net.add_edge("s", "a", big)
+        net.add_edge("a", "t", big)
+        assert max_flow(net).value == big
+
+    def test_flow_values_are_integers(self):
+        result = max_flow(diamond())
+        assert all(isinstance(v, int) for v in result.flow.values())
+
+
+class TestSaturatedFlow:
+    def test_saturated_when_totals_match(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 2)
+        net.add_edge("s", "b", 3)
+        net.add_edge("a", "x", 10)
+        net.add_edge("b", "x", 10)
+        net.add_edge("x", "t", 5)
+        result = saturated_flow(net)
+        assert result is not None
+        assert result.value == 5
+
+    def test_not_saturated_on_mismatch(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5)
+        net.add_edge("a", "t", 3)
+        assert saturated_flow(net) is None
+
+    def test_not_saturated_when_capacity_blocks(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 3)
+        net.add_edge("a", "b", 1)  # bottleneck below source total
+        net.add_edge("b", "t", 3)
+        assert saturated_flow(net) is None
+
+    def test_empty_network_trivially_saturated(self):
+        net = FlowNetwork("s", "t")
+        result = saturated_flow(net)
+        assert result is not None and result.value == 0
+
+
+class TestVerifier:
+    def test_rejects_over_capacity(self):
+        from repro.flows.maxflow import FlowResult
+
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "t", 1)
+        assert not verify_flow(net, FlowResult(2, {("s", "t"): 2}))
+
+    def test_rejects_conservation_violation(self):
+        from repro.flows.maxflow import FlowResult
+
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "t", 2)
+        assert not verify_flow(
+            net, FlowResult(2, {("s", "a"): 2, ("a", "t"): 1})
+        )
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(2, 6))
+    nodes = list(range(n))
+    edges = draw(
+        st.dictionaries(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            st.integers(0, 20),
+            max_size=12,
+        )
+    )
+    net = FlowNetwork(0, n - 1)
+    for (u, v), c in edges.items():
+        net.add_edge(u, v, c)
+    return net
+
+
+@given(random_networks())
+def test_agreement_with_networkx(net):
+    """Max-flow values agree with networkx on random integer networks."""
+    g = nx.DiGraph()
+    g.add_nodes_from(net.nodes)
+    for u, v, c in net.edges():
+        g.add_edge(u, v, capacity=c)
+    expected = nx.maximum_flow_value(g, net.source, net.sink)
+    result = max_flow(net)
+    assert result.value == expected
+    assert verify_flow(net, result)

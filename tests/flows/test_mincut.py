@@ -1,0 +1,90 @@
+"""Min-cut extraction and max-flow/min-cut duality."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flows.maxflow import max_flow, min_cut, verify_cut
+from repro.flows.network import FlowNetwork
+
+
+def diamond() -> FlowNetwork:
+    net = FlowNetwork("s", "t")
+    net.add_edge("s", "a", 3)
+    net.add_edge("s", "b", 2)
+    net.add_edge("a", "t", 2)
+    net.add_edge("b", "t", 3)
+    net.add_edge("a", "b", 10)
+    return net
+
+
+class TestMinCut:
+    def test_cut_equals_flow_on_diamond(self):
+        net = diamond()
+        cut = min_cut(net)
+        assert cut.capacity == max_flow(net).value == 5
+        assert verify_cut(net, cut)
+
+    def test_bottleneck_cut_edges(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 100)
+        net.add_edge("a", "b", 1)
+        net.add_edge("b", "t", 100)
+        cut = min_cut(net)
+        assert cut.cut_edges == (("a", "b"),)
+        assert cut.capacity == 1
+
+    def test_source_only_cut(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "t", 4)
+        cut = min_cut(net)
+        assert cut.source_side == frozenset({"s"})
+
+    def test_disconnected_zero_cut(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 5)
+        cut = min_cut(net)
+        assert cut.capacity == 0
+        assert cut.cut_edges == ()
+
+    def test_verifier_rejects_bad_sets(self):
+        from repro.flows.maxflow import CutResult
+
+        net = diamond()
+        bad = CutResult(frozenset({"t"}), (), 0)
+        assert not verify_cut(net, bad)
+        missing_edges = CutResult(frozenset({"s"}), (), 0)
+        assert not verify_cut(net, missing_edges)
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(2, 6))
+    nodes = list(range(n))
+    edges = draw(
+        st.dictionaries(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            st.integers(0, 15),
+            max_size=12,
+        )
+    )
+    net = FlowNetwork(0, n - 1)
+    for (u, v), c in edges.items():
+        net.add_edge(u, v, c)
+    return net
+
+
+@given(random_networks())
+def test_duality_and_agreement_with_networkx(net):
+    cut = min_cut(net)
+    assert verify_cut(net, cut)
+    g = nx.DiGraph()
+    g.add_nodes_from(net.nodes)
+    for u, v, c in net.edges():
+        g.add_edge(u, v, capacity=c)
+    expected, _ = nx.minimum_cut(g, net.source, net.sink)
+    assert cut.capacity == expected
+    assert cut.capacity == max_flow(net).value

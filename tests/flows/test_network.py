@@ -1,0 +1,65 @@
+"""Unit tests for FlowNetwork."""
+
+import pytest
+
+from repro.flows.network import FlowNetwork
+
+
+class TestConstruction:
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork("s", "s")
+
+    def test_self_loop_rejected(self):
+        net = FlowNetwork("s", "t")
+        with pytest.raises(ValueError):
+            net.add_edge("a", "a", 1)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork("s", "t")
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1)
+
+    def test_non_integer_capacity_rejected(self):
+        net = FlowNetwork("s", "t")
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", 1.5)
+
+    def test_parallel_edges_merge(self):
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "t", 2)
+        net.add_edge("s", "t", 3)
+        assert net.capacity("s", "t") == 5
+        assert net.edge_count() == 1
+
+
+class TestQueries:
+    def build(self) -> FlowNetwork:
+        net = FlowNetwork("s", "t")
+        net.add_edge("s", "a", 3)
+        net.add_edge("s", "b", 4)
+        net.add_edge("a", "t", 5)
+        net.add_edge("b", "t", 1)
+        return net
+
+    def test_source_and_sink_capacity(self):
+        net = self.build()
+        assert net.source_capacity() == 7
+        assert net.sink_capacity() == 6
+
+    def test_missing_edge_capacity_zero(self):
+        assert self.build().capacity("a", "b") == 0
+
+    def test_copy_is_independent(self):
+        net = self.build()
+        clone = net.copy()
+        clone.remove_edge("s", "a")
+        assert net.capacity("s", "a") == 3
+        assert clone.capacity("s", "a") == 0
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            self.build().remove_edge("x", "y")
+
+    def test_nodes(self):
+        assert self.build().nodes == {"s", "t", "a", "b"}

@@ -1,0 +1,159 @@
+"""Unit and property tests for GYO, join trees, RIP orderings.
+
+The structural half of Theorems 1/2: statements (a)-(d) are equivalent.
+Every decider here is cross-checked against every other on random
+hypergraphs.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import CyclicSchemaError
+from repro.hypergraphs.acyclicity import (
+    gyo_reduction,
+    has_running_intersection_property,
+    is_acyclic,
+    is_acyclic_via_chordal_conformal,
+    join_tree,
+    running_intersection_order,
+    verify_join_tree,
+    verify_running_intersection,
+)
+from repro.hypergraphs.families import (
+    chain_of_cliques,
+    cycle_hypergraph,
+    grid_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    random_acyclic_hypergraph,
+    star_hypergraph,
+    triangle_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from tests.conftest import hypergraphs
+
+
+class TestPaperFamilies:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_paths_are_acyclic(self, n):
+        assert is_acyclic(path_hypergraph(n))
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 7])
+    def test_cycles_are_cyclic(self, n):
+        assert not is_acyclic(cycle_hypergraph(n))
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_hn_are_cyclic(self, n):
+        assert not is_acyclic(hn_hypergraph(n))
+
+    def test_stars_are_acyclic(self):
+        assert is_acyclic(star_hypergraph(5))
+
+    def test_chains_of_cliques_are_acyclic(self):
+        assert is_acyclic(chain_of_cliques([3, 4, 3, 2]))
+
+    def test_grids_are_cyclic(self):
+        assert not is_acyclic(grid_hypergraph(2, 2))
+
+    def test_single_edge_is_acyclic(self):
+        assert is_acyclic(Hypergraph(None, [("A", "B", "C")]))
+
+    def test_disconnected_acyclic(self):
+        h = Hypergraph(None, [("A", "B"), ("C", "D")])
+        assert is_acyclic(h)
+
+
+class TestGYO:
+    def test_gyo_parents_cover_all_but_one(self):
+        result = gyo_reduction(path_hypergraph(5))
+        assert result.acyclic
+        assert len(result.survivors) == 1
+        assert len(result.parent) == 3
+
+    def test_gyo_on_cycle_leaves_everything(self):
+        result = gyo_reduction(cycle_hypergraph(4))
+        assert not result.acyclic
+        assert len(result.survivors) == 4
+
+
+class TestJoinTree:
+    @pytest.mark.parametrize(
+        "factory", [lambda: path_hypergraph(6), lambda: star_hypergraph(5),
+                    lambda: chain_of_cliques([3, 3, 4])]
+    )
+    def test_join_trees_verify(self, factory):
+        tree = join_tree(factory())
+        assert verify_join_tree(tree)
+
+    def test_cyclic_raises(self):
+        with pytest.raises(CyclicSchemaError):
+            join_tree(triangle_hypergraph())
+
+    def test_no_edges_raises(self):
+        with pytest.raises(CyclicSchemaError):
+            join_tree(Hypergraph(["A"], []))
+
+    def test_join_tree_with_covered_edges(self):
+        h = Hypergraph(None, [("A", "B"), ("A",), ("B", "C")])
+        tree = join_tree(h)
+        assert verify_join_tree(tree)
+
+
+class TestRIP:
+    def test_path_rip_verifies(self):
+        rip = running_intersection_order(path_hypergraph(6))
+        assert verify_running_intersection(rip)
+
+    def test_rip_first_witness_is_minus_one(self):
+        rip = running_intersection_order(star_hypergraph(4))
+        assert rip.witness[0] == -1
+
+    def test_cyclic_has_no_rip(self):
+        assert not has_running_intersection_property(cycle_hypergraph(5))
+
+    def test_acyclic_has_rip(self):
+        assert has_running_intersection_property(path_hypergraph(5))
+
+    def test_verifier_rejects_bad_listing(self):
+        from repro.hypergraphs.acyclicity import RIPOrder
+        from repro.core.schema import Schema
+
+        bad = RIPOrder(
+            order=(Schema(["A", "B"]), Schema(["B", "C"]), Schema(["A", "C"])),
+            witness=(-1, 0, 1),
+        )
+        assert not verify_running_intersection(bad)
+
+
+class TestRandomAcyclicGenerator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_hypergraphs_are_acyclic(self, seed):
+        import random
+
+        h = random_acyclic_hypergraph(6, 4, random.Random(seed))
+        assert is_acyclic(h)
+        assert verify_join_tree(join_tree(h))
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_gyo_agrees_with_chordal_conformal(h):
+    """Theorem 1 (a) <=> (b): the two independent acyclicity deciders."""
+    assert is_acyclic(h) == is_acyclic_via_chordal_conformal(h)
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_gyo_agrees_with_rip(h):
+    """Theorem 1 (a) <=> (c)."""
+    assert is_acyclic(h) == has_running_intersection_property(h)
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_join_tree_exists_iff_acyclic_and_verifies(h):
+    """Theorem 1 (a) <=> (d), with the coherence property checked."""
+    try:
+        tree = join_tree(h)
+    except CyclicSchemaError:
+        assert not is_acyclic(h)
+    else:
+        assert is_acyclic(h)
+        assert verify_join_tree(tree)

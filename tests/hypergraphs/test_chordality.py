@@ -1,0 +1,127 @@
+"""Unit and property tests for chordality (Lex-BFS + PEO)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypergraphs.chordality import (
+    find_chordless_cycle,
+    is_chordal_graph,
+    lex_bfs,
+    verify_chordless_cycle,
+)
+from repro.hypergraphs.graphs import Graph
+
+
+def cycle_graph(n: int) -> Graph:
+    vs = list(range(n))
+    return Graph(vs, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    vs = list(range(n))
+    return Graph(vs, [(i, j) for i in vs for j in vs if i < j])
+
+
+class TestChordality:
+    def test_triangle_is_chordal(self):
+        assert is_chordal_graph(cycle_graph(3))
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 8])
+    def test_long_cycles_are_not_chordal(self, n):
+        assert not is_chordal_graph(cycle_graph(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_complete_graphs_are_chordal(self, n):
+        assert is_chordal_graph(complete_graph(n))
+
+    def test_path_is_chordal(self):
+        g = Graph(range(5), [(i, i + 1) for i in range(4)])
+        assert is_chordal_graph(g)
+
+    def test_cycle_with_chord_is_chordal(self):
+        g = Graph(range(4), [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert is_chordal_graph(g)
+
+    def test_empty_graph_is_chordal(self):
+        assert is_chordal_graph(Graph([]))
+
+    def test_disconnected_cycles(self):
+        g = Graph(
+            range(8),
+            [(0, 1), (1, 2), (2, 3), (3, 0)]  # C4
+            + [(4, 5), (5, 6), (6, 7), (7, 4), (4, 6)],  # chordal part
+        )
+        assert not is_chordal_graph(g)
+
+
+class TestLexBFS:
+    def test_lex_bfs_is_a_permutation(self):
+        g = cycle_graph(6)
+        order = lex_bfs(g)
+        assert sorted(order) == sorted(g.vertices)
+
+    def test_lex_bfs_empty(self):
+        assert lex_bfs(Graph([])) == []
+
+
+class TestChordlessCycleExtraction:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_finds_the_cycle_in_pure_cycles(self, n):
+        g = cycle_graph(n)
+        cycle = find_chordless_cycle(g)
+        assert cycle is not None
+        assert verify_chordless_cycle(g, cycle)
+        assert len(cycle) == n
+
+    def test_none_for_chordal(self):
+        assert find_chordless_cycle(complete_graph(5)) is None
+
+    def test_finds_embedded_chordless_cycle(self):
+        # C4 {0,1,2,3} plus a pendant triangle on vertex 0.
+        g = Graph(
+            range(6),
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 0)],
+        )
+        cycle = find_chordless_cycle(g)
+        assert cycle is not None
+        assert verify_chordless_cycle(g, cycle)
+
+    def test_verifier_rejects_cycles_with_chords(self):
+        g = Graph(range(4), [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert not verify_chordless_cycle(g, [0, 1, 2, 3])
+
+    def test_verifier_rejects_non_cycles(self):
+        g = cycle_graph(5)
+        assert not verify_chordless_cycle(g, [0, 1, 2])  # too short
+        assert not verify_chordless_cycle(g, [0, 1, 3, 2])  # not a cycle
+
+
+@given(
+    st.integers(4, 8),
+    st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=14),
+)
+def test_agreement_with_networkx(n, extra_edges):
+    """Cross-check the chordality decision against networkx on random
+    graphs."""
+    edges = [(u % n, v % n) for u, v in extra_edges if u % n != v % n]
+    ours = Graph(range(n), edges)
+    theirs = nx.Graph()
+    theirs.add_nodes_from(range(n))
+    theirs.add_edges_from(edges)
+    assert is_chordal_graph(ours) == nx.is_chordal(theirs)
+
+
+@given(
+    st.integers(4, 8),
+    st.sets(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=14),
+)
+def test_extracted_cycles_verify(n, extra_edges):
+    edges = [(u % n, v % n) for u, v in extra_edges if u % n != v % n]
+    g = Graph(range(n), edges)
+    cycle = find_chordless_cycle(g)
+    if cycle is None:
+        assert is_chordal_graph(g)
+    else:
+        assert verify_chordless_cycle(g, cycle)

@@ -1,0 +1,77 @@
+"""Unit and property tests for conformality (Gilmore vs definitional)."""
+
+from hypothesis import given
+
+from repro.hypergraphs.conformality import (
+    find_uncovered_clique,
+    is_conformal,
+    is_conformal_by_cliques,
+    verify_uncovered_clique,
+)
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from tests.conftest import hypergraphs
+
+
+class TestPaperFamilies:
+    """Section 4's classification: P_n conformal+chordal; C_3 chordal but
+    not conformal; C_n (n>=4) conformal but not chordal; H_n not
+    conformal."""
+
+    def test_paths_are_conformal(self):
+        for n in (2, 3, 5):
+            assert is_conformal(path_hypergraph(n))
+
+    def test_triangle_is_not_conformal(self):
+        assert not is_conformal(triangle_hypergraph())
+
+    def test_long_cycles_are_conformal(self):
+        for n in (4, 5, 6):
+            assert is_conformal(cycle_hypergraph(n))
+
+    def test_hn_is_not_conformal(self):
+        for n in (3, 4, 5):
+            assert not is_conformal(hn_hypergraph(n))
+
+    def test_single_wide_edge_is_conformal(self):
+        assert is_conformal(Hypergraph(None, [("A", "B", "C", "D")]))
+
+
+class TestWitnessExtraction:
+    def test_triangle_witness_is_all_three_vertices(self):
+        clique = find_uncovered_clique(triangle_hypergraph())
+        assert clique == frozenset({"A1", "A2", "A3"})
+        assert verify_uncovered_clique(triangle_hypergraph(), clique)
+
+    def test_hn_witness(self):
+        h = hn_hypergraph(4)
+        clique = find_uncovered_clique(h)
+        assert clique is not None
+        assert verify_uncovered_clique(h, clique)
+
+    def test_conformal_gives_none(self):
+        assert find_uncovered_clique(path_hypergraph(4)) is None
+
+    def test_verifier_rejects_covered_cliques(self):
+        h = Hypergraph(None, [("A", "B", "C")])
+        assert not verify_uncovered_clique(h, frozenset({"A", "B"}))
+
+
+@given(hypergraphs(max_edges=4, max_arity=3))
+def test_gilmore_agrees_with_definition(h):
+    """Gilmore's O(m^3) criterion equals the maximal-clique definition."""
+    assert is_conformal(h) == is_conformal_by_cliques(h)
+
+
+@given(hypergraphs(max_edges=4, max_arity=3))
+def test_uncovered_cliques_verify(h):
+    clique = find_uncovered_clique(h)
+    if clique is None:
+        assert is_conformal(h)
+    else:
+        assert verify_uncovered_clique(h, clique)

@@ -1,0 +1,91 @@
+"""Unit tests for the named hypergraph families and random generators."""
+
+import random
+
+import pytest
+
+from repro.hypergraphs.families import (
+    chain_of_cliques,
+    cycle_hypergraph,
+    grid_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    random_acyclic_hypergraph,
+    random_hypergraph,
+    star_hypergraph,
+    triangle_hypergraph,
+)
+
+
+class TestNamedFamilies:
+    def test_path_edge_count(self):
+        assert len(path_hypergraph(5).edges) == 4
+
+    def test_cycle_edge_count(self):
+        assert len(cycle_hypergraph(5).edges) == 5
+
+    def test_hn_edge_count(self):
+        assert len(hn_hypergraph(5).edges) == 5
+
+    def test_triangle_equals_c3_and_h3(self):
+        assert triangle_hypergraph() == cycle_hypergraph(3)
+        assert triangle_hypergraph() == hn_hypergraph(3)
+
+    def test_h3_equals_c3(self):
+        assert hn_hypergraph(3) == cycle_hypergraph(3)
+
+    def test_star_edges_share_hub(self):
+        h = star_hypergraph(4)
+        assert all("A0" in e for e in h.edges)
+
+    def test_chain_of_cliques_overlap(self):
+        h = chain_of_cliques([3, 3])
+        (e1, e2) = h.edges
+        assert len(e1.as_frozenset() & e2.as_frozenset()) == 1
+
+    def test_grid_edge_count(self):
+        # 2x3 grid: 2 rows x 2 horizontal + 3 columns x 1 vertical = 7.
+        assert len(grid_hypergraph(2, 3).edges) == 7
+
+    @pytest.mark.parametrize(
+        "factory, arg",
+        [(path_hypergraph, 1), (cycle_hypergraph, 2), (hn_hypergraph, 2),
+         (star_hypergraph, 0)],
+    )
+    def test_too_small_parameters_rejected(self, factory, arg):
+        with pytest.raises(ValueError):
+            factory(arg)
+
+    def test_prefix_control(self):
+        h = path_hypergraph(3, prefix="X")
+        assert all(str(v).startswith("X") for v in h.vertices)
+
+
+class TestRandomGenerators:
+    def test_random_hypergraph_respects_bounds(self):
+        rng = random.Random(1)
+        h = random_hypergraph(6, 5, 3, rng)
+        assert len(h.vertices) <= 6
+        assert all(1 <= len(e) <= 3 for e in h.edges)
+
+    def test_random_hypergraph_deterministic_under_seed(self):
+        h1 = random_hypergraph(5, 4, 3, random.Random(7))
+        h2 = random_hypergraph(5, 4, 3, random.Random(7))
+        assert h1 == h2
+
+    def test_random_acyclic_edge_count(self):
+        rng = random.Random(3)
+        h = random_acyclic_hypergraph(5, 3, rng)
+        # Duplicates may collapse, but at least one edge survives.
+        assert 1 <= len(h.edges) <= 5
+
+    def test_invalid_parameters_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_hypergraph(0, 1, 1, rng)
+        with pytest.raises(ValueError):
+            random_acyclic_hypergraph(0, 3, rng)
+        with pytest.raises(ValueError):
+            chain_of_cliques([1])
+        with pytest.raises(ValueError):
+            grid_hypergraph(0, 3)

@@ -1,0 +1,99 @@
+"""Unit tests for the undirected-graph substrate."""
+
+import pytest
+
+from repro.hypergraphs.graphs import Graph
+
+
+def cycle_graph(n: int) -> Graph:
+    vs = list(range(n))
+    return Graph(vs, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    vs = list(range(n))
+    return Graph(vs, [(i, j) for i in vs for j in vs if i < j])
+
+
+class TestBasics:
+    def test_self_loops_dropped(self):
+        g = Graph([1, 2], [(1, 1), (1, 2)])
+        assert g.edge_count() == 1
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([1], [(1, 2)])
+
+    def test_neighbors_and_degree(self):
+        g = cycle_graph(4)
+        assert g.neighbors(0) == {1, 3}
+        assert g.degree(0) == 2
+
+    def test_edges_iterated_once(self):
+        g = cycle_graph(5)
+        assert len(list(g.edges())) == 5
+
+    def test_subgraph(self):
+        g = complete_graph(4)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.vertices == {0, 1, 2}
+        assert sub.edge_count() == 3
+
+    def test_is_clique(self):
+        g = complete_graph(4)
+        assert g.is_clique([0, 1, 2, 3])
+        assert cycle_graph(4).is_clique([0, 1])
+        assert not cycle_graph(4).is_clique([0, 1, 2])
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert cycle_graph(5).is_connected()
+
+    def test_disconnected(self):
+        g = Graph([1, 2, 3, 4], [(1, 2), (3, 4)])
+        assert not g.is_connected()
+        comps = {frozenset(c) for c in g.connected_components()}
+        assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_empty_graph_is_connected(self):
+        assert Graph([]).is_connected()
+
+
+class TestCliques:
+    def test_maximal_cliques_of_complete_graph(self):
+        cliques = list(complete_graph(4).maximal_cliques())
+        assert cliques == [frozenset({0, 1, 2, 3})]
+
+    def test_maximal_cliques_of_cycle(self):
+        cliques = {frozenset(c) for c in cycle_graph(5).maximal_cliques()}
+        assert all(len(c) == 2 for c in cliques)
+        assert len(cliques) == 5
+
+    def test_maximal_cliques_of_triangle_plus_pendant(self):
+        g = Graph([0, 1, 2, 3], [(0, 1), (1, 2), (0, 2), (2, 3)])
+        cliques = {frozenset(c) for c in g.maximal_cliques()}
+        assert frozenset({0, 1, 2}) in cliques
+        assert frozenset({2, 3}) in cliques
+
+
+class TestShapes:
+    def test_cycle_graph_recognizer(self):
+        assert cycle_graph(4).is_cycle_graph()
+        assert cycle_graph(3).is_cycle_graph()
+        assert not complete_graph(4).is_cycle_graph()
+        path = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert not path.is_cycle_graph()
+
+    def test_two_triangles_not_a_cycle(self):
+        g = Graph(
+            range(6),
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert not g.is_cycle_graph()
+
+    def test_complement(self):
+        g = cycle_graph(4)
+        comp = g.complement()
+        assert comp.edge_count() == 2  # the two diagonals
+        assert comp.has_edge(0, 2) and comp.has_edge(1, 3)

@@ -1,0 +1,163 @@
+"""Unit tests for Hypergraph: primal graph, induced, reduction, deletions."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.errors import SchemaError
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph, hypergraph_of_bags
+
+
+class TestConstruction:
+    def test_duplicate_edges_collapse(self):
+        h = Hypergraph(None, [("A", "B"), ("B", "A")])
+        assert len(h.edges) == 1
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph(None, [()])
+
+    def test_vertices_inferred_from_edges(self):
+        h = Hypergraph(None, [("A", "B"), ("B", "C")])
+        assert h.vertices == {"A", "B", "C"}
+
+    def test_isolated_vertices_allowed(self):
+        h = Hypergraph(["A", "B", "Z"], [("A", "B")])
+        assert "Z" in h.vertices
+
+    def test_edge_outside_vertices_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph(["A"], [("A", "B")])
+
+    def test_from_schemas(self):
+        h = Hypergraph.from_schemas([Schema(["A", "B"]), Schema(["B", "C"])])
+        assert len(h.edges) == 2
+
+    def test_equality_ignores_edge_order(self):
+        h1 = Hypergraph(None, [("A", "B"), ("B", "C")])
+        h2 = Hypergraph(None, [("B", "C"), ("A", "B")])
+        assert h1 == h2 and hash(h1) == hash(h2)
+
+
+class TestPrimalGraph:
+    def test_path_primal(self):
+        g = path_hypergraph(4).primal_graph()
+        assert g.edge_count() == 3
+
+    def test_wide_edge_makes_clique(self):
+        h = Hypergraph(None, [("A", "B", "C")])
+        g = h.primal_graph()
+        assert g.is_clique(["A", "B", "C"])
+
+    def test_hn_primal_is_complete(self):
+        g = hn_hypergraph(4).primal_graph()
+        assert g.edge_count() == 6
+
+
+class TestInducedAndReduction:
+    def test_induced_drops_empty_traces(self):
+        h = Hypergraph(None, [("A", "B"), ("C", "D")])
+        induced = h.induced({"A", "B"})
+        assert len(induced.edges) == 1
+
+    def test_induced_traces(self):
+        h = Hypergraph(None, [("A", "B", "C")])
+        induced = h.induced({"A", "B"})
+        assert induced.edges[0] == Schema(["A", "B"])
+
+    def test_reduction_removes_covered(self):
+        h = Hypergraph(None, [("A",), ("A", "B"), ("A", "B", "C")])
+        assert h.reduction().edges == (Schema(["A", "B", "C"]),)
+
+    def test_reduced_detection(self):
+        assert triangle_hypergraph().is_reduced()
+        h = Hypergraph(None, [("A",), ("A", "B")])
+        assert not h.is_reduced()
+
+    def test_induced_then_reduced_on_cycle(self):
+        c5 = cycle_hypergraph(5)
+        sub = c5.induced({"A1", "A2", "A3"}).reduction()
+        # Traces: {A1,A2},{A2,A3},{A3},{A1} -> reduced to the two pairs.
+        assert set(sub.edges) == {Schema(["A1", "A2"]), Schema(["A2", "A3"])}
+
+
+class TestDeletions:
+    def test_vertex_deletion(self):
+        h = triangle_hypergraph()
+        smaller = h.delete_vertex("A1")
+        assert "A1" not in smaller.vertices
+        assert all("A1" not in e for e in smaller.edges)
+
+    def test_vertex_deletion_missing_raises(self):
+        with pytest.raises(SchemaError):
+            triangle_hypergraph().delete_vertex("Z")
+
+    def test_covered_edges(self):
+        h = Hypergraph(None, [("A", "B"), ("A",)])
+        assert h.covered_edges() == [Schema(["A"])]
+
+    def test_delete_covered_edge(self):
+        h = Hypergraph(None, [("A", "B"), ("A",)])
+        smaller = h.delete_covered_edge(Schema(["A"]))
+        assert smaller.edges == (Schema(["A", "B"]),)
+
+    def test_delete_uncovered_edge_is_unsafe(self):
+        h = triangle_hypergraph()
+        with pytest.raises(SchemaError):
+            h.delete_covered_edge(h.edges[0])
+
+
+class TestUniformityRegularity:
+    def test_cycle_is_2_uniform_2_regular(self):
+        c = cycle_hypergraph(5)
+        assert c.uniformity() == 2
+        assert c.regularity() == 2
+        assert c.is_k_uniform(2) and c.is_d_regular(2)
+
+    def test_hn_is_uniform_regular(self):
+        h = hn_hypergraph(5)
+        assert h.uniformity() == 4
+        assert h.regularity() == 4
+
+    def test_path_is_not_regular(self):
+        p = path_hypergraph(4)
+        assert p.uniformity() == 2
+        assert p.regularity() is None
+
+    def test_mixed_arity_not_uniform(self):
+        h = Hypergraph(None, [("A", "B"), ("A", "B", "C")])
+        assert h.uniformity() is None
+
+
+class TestShapeRecognizers:
+    def test_cycle_shapes(self):
+        assert cycle_hypergraph(3).is_cycle_shape()
+        assert cycle_hypergraph(6).is_cycle_shape()
+        assert not path_hypergraph(4).is_cycle_shape()
+        assert not hn_hypergraph(4).is_cycle_shape()
+
+    def test_hn_shapes(self):
+        assert hn_hypergraph(3).is_hn_shape()
+        assert hn_hypergraph(5).is_hn_shape()
+        assert not cycle_hypergraph(5).is_hn_shape()
+
+    def test_triangle_is_both(self):
+        t = triangle_hypergraph()
+        assert t.is_cycle_shape() and t.is_hn_shape()
+
+
+def test_hypergraph_of_bags():
+    from repro.core.bags import Bag
+
+    bags = [
+        Bag.empty(Schema(["A", "B"])),
+        Bag.empty(Schema(["B", "C"])),
+        Bag.empty(Schema(["A", "B"])),  # duplicate schema collapses
+    ]
+    h = hypergraph_of_bags(bags)
+    assert len(h.edges) == 2

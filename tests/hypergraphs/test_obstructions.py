@@ -1,0 +1,113 @@
+"""Unit and property tests for the Lemma 3 obstruction machinery."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import AcyclicSchemaError
+from repro.hypergraphs.acyclicity import is_acyclic
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    grid_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.obstructions import (
+    find_nonchordal_witness,
+    find_nonconformal_witness,
+    find_obstruction,
+)
+from tests.conftest import hypergraphs
+
+
+class TestNonChordalWitness:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_cycle_is_its_own_witness(self, n):
+        w = find_nonchordal_witness(cycle_hypergraph(n))
+        assert w == cycle_hypergraph(n).vertices
+
+    def test_chordal_gives_none(self):
+        assert find_nonchordal_witness(path_hypergraph(5)) is None
+        assert find_nonchordal_witness(triangle_hypergraph()) is None
+
+    def test_embedded_cycle_found(self):
+        # C4 on A1..A4 plus a pendant edge.
+        h = Hypergraph(
+            None,
+            [("A1", "A2"), ("A2", "A3"), ("A3", "A4"), ("A4", "A1"),
+             ("A4", "B")],
+        )
+        w = find_nonchordal_witness(h)
+        assert w == {"A1", "A2", "A3", "A4"}
+
+
+class TestNonConformalWitness:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_hn_is_its_own_witness(self, n):
+        w = find_nonconformal_witness(hn_hypergraph(n))
+        assert w == hn_hypergraph(n).vertices
+
+    def test_conformal_gives_none(self):
+        assert find_nonconformal_witness(cycle_hypergraph(5)) is None
+
+    def test_triangle_witness(self):
+        w = find_nonconformal_witness(triangle_hypergraph())
+        assert w == {"A1", "A2", "A3"}
+
+
+class TestFindObstruction:
+    def test_acyclic_raises(self):
+        with pytest.raises(AcyclicSchemaError):
+            find_obstruction(path_hypergraph(4))
+
+    def test_triangle_reports_hn(self):
+        obs = find_obstruction(triangle_hypergraph())
+        assert obs.kind == "hn"
+        assert len(obs.vertices) == 3
+        assert obs.reduced_induced.is_hn_shape()
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_long_cycle_reports_cycle(self, n):
+        obs = find_obstruction(cycle_hypergraph(n))
+        assert obs.kind == "cycle"
+        assert len(obs.vertices) == n
+        assert obs.reduced_induced.is_cycle_shape()
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_hn_reports_hn(self, n):
+        obs = find_obstruction(hn_hypergraph(n))
+        assert obs.kind == "hn"
+        assert obs.reduced_induced.is_hn_shape()
+
+    def test_grid_obstruction(self):
+        obs = find_obstruction(grid_hypergraph(2, 2))
+        assert obs.kind in ("cycle", "hn")
+        reduced = obs.reduced_induced
+        assert reduced.is_cycle_shape() or reduced.is_hn_shape()
+
+    def test_uniform_regular_outputs(self):
+        """Both obstruction shapes are k-uniform and d-regular with d >= 2
+        — the precondition of the Tseitin construction."""
+        for h in (cycle_hypergraph(5), hn_hypergraph(4), grid_hypergraph(2, 3)):
+            obs = find_obstruction(h)
+            reduced = obs.reduced_induced
+            assert reduced.uniformity() is not None
+            assert (reduced.regularity() or 0) >= 2
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_obstruction_exists_iff_cyclic(h):
+    """Lemma 3 + Theorem 1(b): cyclic iff an obstruction is found, and
+    the certificate always has the claimed shape (shape checks are
+    asserted inside find_obstruction)."""
+    if is_acyclic(h):
+        with pytest.raises(AcyclicSchemaError):
+            find_obstruction(h)
+    else:
+        obs = find_obstruction(h)
+        reduced = obs.reduced_induced
+        if obs.kind == "cycle":
+            assert reduced.is_cycle_shape() and len(obs.vertices) >= 4
+        else:
+            assert reduced.is_hn_shape() and len(obs.vertices) >= 3

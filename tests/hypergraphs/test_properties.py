@@ -1,0 +1,144 @@
+"""Hypergraph structure utilities: connectivity, duals, incidence."""
+
+import pytest
+from hypothesis import given
+
+from repro.hypergraphs.families import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    path_hypergraph,
+    star_hypergraph,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.properties import (
+    acyclicity_is_componentwise,
+    component_hypergraphs,
+    connected_components,
+    dual_hypergraph,
+    edge_sizes,
+    incidence_matrix,
+    is_connected,
+    is_simple,
+    vertex_degrees,
+)
+from tests.conftest import hypergraphs
+
+
+class TestConnectivity:
+    def test_path_is_connected(self):
+        assert is_connected(path_hypergraph(5))
+
+    def test_disjoint_edges_disconnected(self):
+        h = Hypergraph(None, [("A", "B"), ("C", "D")])
+        assert not is_connected(h)
+        comps = connected_components(h)
+        assert {frozenset(c) for c in comps} == {
+            frozenset({"A", "B"}),
+            frozenset({"C", "D"}),
+        }
+
+    def test_isolated_vertex_is_own_component(self):
+        h = Hypergraph(["A", "B", "Z"], [("A", "B")])
+        assert len(connected_components(h)) == 2
+
+    def test_empty_hypergraph_connected(self):
+        assert is_connected(Hypergraph([], []))
+
+    def test_component_hypergraphs_partition_edges(self):
+        h = Hypergraph(None, [("A", "B"), ("B", "C"), ("X", "Y")])
+        parts = component_hypergraphs(h)
+        total_edges = sum(len(p.edges) for p in parts)
+        assert total_edges == 3
+
+
+class TestDual:
+    def test_dual_of_triangle(self):
+        """C3 is self-dual up to renaming: 3 vertices of degree 2, 3
+        binary edges."""
+        dual = dual_hypergraph(cycle_hypergraph(3))
+        assert len(dual.edges) == 3
+        assert dual.uniformity() == 2
+        assert dual.regularity() == 2
+
+    def test_dual_of_star(self):
+        """Star with hub: the hub's dual edge contains all n edges."""
+        dual = dual_hypergraph(star_hypergraph(4))
+        sizes = sorted(len(e) for e in dual.edges)
+        assert sizes == [1, 1, 1, 1, 4]
+
+    def test_dual_vertex_count(self):
+        h = hn_hypergraph(4)
+        dual = dual_hypergraph(h)
+        assert len(dual.vertices) == len(h.edges)
+
+
+class TestIncidence:
+    def test_shape(self):
+        h = path_hypergraph(4)
+        m = incidence_matrix(h)
+        assert len(m) == 4  # vertices
+        assert all(len(row) == 3 for row in m)  # edges
+
+    def test_column_sums_are_edge_sizes(self):
+        h = hn_hypergraph(4)
+        m = incidence_matrix(h)
+        col_sums = [sum(row[j] for row in m) for j in range(len(h.edges))]
+        assert col_sums == edge_sizes(h)
+
+    def test_row_sums_are_degrees(self):
+        h = cycle_hypergraph(5)
+        m = incidence_matrix(h)
+        degrees = vertex_degrees(h)
+        ordered = [degrees[v] for v in sorted(h.vertices, key=repr)]
+        assert [sum(row) for row in m] == ordered
+
+    def test_graph_incidence_matrix_is_tu_for_even_cycle(self):
+        """The Section 3 connection: incidence matrices of bipartite
+        graphs are TU; C4's primal graph is bipartite."""
+        from repro.lp.unimodular import is_totally_unimodular_bruteforce
+
+        m = incidence_matrix(cycle_hypergraph(4))
+        assert is_totally_unimodular_bruteforce(m, max_order=4)
+
+    def test_odd_cycle_incidence_not_tu(self):
+        from repro.lp.unimodular import is_totally_unimodular_bruteforce
+
+        m = incidence_matrix(cycle_hypergraph(3))
+        assert not is_totally_unimodular_bruteforce(m)
+
+
+class TestDegreesAndSimplicity:
+    def test_degrees_of_hn(self):
+        degrees = vertex_degrees(hn_hypergraph(5))
+        assert set(degrees.values()) == {4}
+
+    def test_named_families_are_simple(self):
+        for h in (path_hypergraph(4), cycle_hypergraph(5), hn_hypergraph(4)):
+            assert is_simple(h)
+
+    def test_covered_edge_not_simple(self):
+        assert not is_simple(Hypergraph(None, [("A",), ("A", "B")]))
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_acyclicity_is_componentwise(h):
+    assert acyclicity_is_componentwise(h)
+
+
+@given(hypergraphs(max_edges=5, max_arity=3))
+def test_dual_degree_counts_distinct_signatures(h):
+    """The dual collapses vertices with identical incidence signatures
+    (Hypergraph edges are sets), so the dual degree of original edge i
+    is the number of *distinct* signatures among its vertices — and
+    equals the edge size exactly when signatures are pairwise
+    distinct."""
+    dual = dual_hypergraph(h)
+    dual_degrees = vertex_degrees(dual)
+
+    def signature(v):
+        return tuple(i for i, edge in enumerate(h.edges) if v in edge)
+
+    for i, edge in enumerate(h.edges):
+        signatures = {signature(v) for v in edge.attrs}
+        assert dual_degrees[i] == len(signatures)
+        assert dual_degrees[i] <= len(edge)

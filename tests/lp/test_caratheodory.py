@@ -1,0 +1,116 @@
+"""Unit tests for Carathéodory sparsification and support minimization."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.caratheodory import (
+    eisenbrand_shmonin_bound,
+    minimize_support,
+    restrict_system,
+    sparsify_conic,
+)
+from repro.lp.integer_feasibility import ZeroOneSystem
+from repro.lp.matrix import rank
+
+
+def combine(columns, x):
+    d = len(columns[0]) if columns else 0
+    out = [Fraction(0)] * d
+    for j, col in enumerate(columns):
+        for i in range(d):
+            out[i] += Fraction(col[i]) * Fraction(x[j])
+    return out
+
+
+class TestSparsifyConic:
+    def test_redundant_column_removed(self):
+        # Three copies of the same 1-d column: support must shrink to 1.
+        columns = [[1], [1], [1]]
+        x = [1, 1, 1]
+        sparse = sparsify_conic(columns, x)
+        assert combine(columns, sparse) == [3]
+        assert sum(1 for v in sparse if v > 0) == 1
+
+    def test_support_bounded_by_dimension(self):
+        columns = [[1, 0], [0, 1], [1, 1], [2, 1]]
+        x = [1, 1, 1, 1]
+        target = combine(columns, x)
+        sparse = sparsify_conic(columns, x)
+        assert combine(columns, sparse) == target
+        assert sum(1 for v in sparse if v > 0) <= 2
+
+    def test_independent_support_unchanged(self):
+        columns = [[1, 0], [0, 1]]
+        x = [2, 3]
+        assert sparsify_conic(columns, x) == [2, 3]
+
+    def test_zero_vector(self):
+        assert sparsify_conic([[1], [2]], [0, 0]) == [0, 0]
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            sparsify_conic([[1]], [-1])
+
+    def test_result_support_columns_independent(self):
+        columns = [[1, 1], [1, 0], [0, 1], [2, 1], [1, 2]]
+        x = [1, 1, 1, 1, 1]
+        sparse = sparsify_conic(columns, x)
+        support = [j for j, v in enumerate(sparse) if v > 0]
+        sub = [[Fraction(columns[j][i]) for j in support] for i in range(2)]
+        assert rank(sub) == len(support)
+
+
+class TestESBound:
+    def test_bound_value(self):
+        assert eisenbrand_shmonin_bound([1, 3]) == pytest.approx(
+            math.log2(2) + math.log2(4)
+        )
+
+    def test_bound_of_zeros(self):
+        assert eisenbrand_shmonin_bound([0, 0]) == 0.0
+
+
+class TestMinimizeSupport:
+    def system(self) -> ZeroOneSystem:
+        # Two constraints over four variables; vars 0 and 1 both feed
+        # constraint 0, vars 2 and 3 both feed constraint 1.
+        return ZeroOneSystem(
+            4, ((0,), (0,), (1,), (1,)), (2, 2)
+        )
+
+    def test_minimization_shrinks_support(self):
+        system = self.system()
+        fat = [1, 1, 1, 1]
+        assert system.check_solution(fat)
+        slim = minimize_support(system, fat)
+        assert system.check_solution(slim)
+        assert sum(1 for v in slim if v > 0) == 2
+
+    def test_minimal_input_unchanged_in_support_size(self):
+        system = self.system()
+        slim = minimize_support(system, [2, 0, 2, 0])
+        assert sum(1 for v in slim if v > 0) == 2
+
+    def test_invalid_solution_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_support(self.system(), [1, 0, 0, 0])
+
+    def test_result_is_inclusion_minimal(self):
+        system = self.system()
+        slim = minimize_support(system, [1, 1, 1, 1])
+        support = [j for j, v in enumerate(slim) if v > 0]
+        from repro.lp.integer_feasibility import find_solution
+
+        for drop in support:
+            rest = [j for j in support if j != drop]
+            assert find_solution(restrict_system(system, rest)) is None
+
+    def test_restrict_system(self):
+        system = self.system()
+        sub = restrict_system(system, [0, 2])
+        assert sub.n_vars == 2
+        assert sub.rhs == system.rhs

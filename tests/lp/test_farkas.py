@@ -1,0 +1,76 @@
+"""Farkas certificates from the exact phase-I simplex."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.simplex import farkas_certificate, is_feasible, verify_farkas
+
+
+class TestFarkas:
+    def test_none_when_feasible(self):
+        assert farkas_certificate([[1, 1]], [3]) is None
+
+    def test_negative_rhs_infeasible(self):
+        y = farkas_certificate([[1]], [-1])
+        assert y is not None
+        assert verify_farkas([[1]], [-1], y)
+
+    def test_conflicting_rows(self):
+        a = [[1, 0], [1, 0]]
+        b = [1, 2]
+        y = farkas_certificate(a, b)
+        assert y is not None
+        assert verify_farkas(a, b, y)
+
+    def test_zero_row_positive_rhs(self):
+        y = farkas_certificate([[0, 0]], [5])
+        assert y is not None
+        assert verify_farkas([[0, 0]], [5], y)
+
+    def test_no_variables(self):
+        y = farkas_certificate([[], []], [1, 0])
+        assert y is not None
+        assert verify_farkas([[], []], [1, 0], y)
+
+    def test_verify_rejects_garbage(self):
+        a = [[1, 0], [1, 0]]
+        b = [1, 2]
+        assert not verify_farkas(a, b, [0, 0])
+        assert not verify_farkas(a, b, [1, 1])  # y^T A has positive entry
+        assert not verify_farkas(a, b, [1])  # wrong length
+
+    def test_sign_normalized_rows_handled(self):
+        """Rows with negative rhs are internally sign-flipped; the
+        returned certificate must apply to the ORIGINAL system."""
+        a = [[-1, 0], [1, 0]]
+        b = [-3, 1]  # first row is x1 = 3 after flip: conflicts with x1 = 1
+        y = farkas_certificate(a, b)
+        assert y is not None
+        assert verify_farkas(a, b, y)
+
+
+@st.composite
+def random_systems(draw):
+    n_vars = draw(st.integers(0, 4))
+    n_cons = draw(st.integers(1, 4))
+    a = [
+        [draw(st.integers(-3, 3)) for _ in range(n_vars)]
+        for _ in range(n_cons)
+    ]
+    b = [draw(st.integers(-5, 5)) for _ in range(n_cons)]
+    return a, b
+
+
+@settings(deadline=None)
+@given(random_systems())
+def test_certificate_exists_iff_infeasible(data):
+    """Farkas' lemma, instance by instance."""
+    a, b = data
+    y = farkas_certificate(a, b)
+    feasible = is_feasible(a, b)
+    if feasible:
+        assert y is None
+    else:
+        assert y is not None
+        assert verify_farkas(a, b, y)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the exact integer-feasibility search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchLimitExceeded
+from repro.lp.integer_feasibility import (
+    ZeroOneSystem,
+    count_solutions,
+    enumerate_solutions,
+    find_solution,
+    is_feasible,
+)
+from repro.lp.simplex import is_feasible as lp_feasible
+
+
+def dense_to_system(a: list[list[int]], b: list[int]) -> ZeroOneSystem:
+    n_vars = len(a[0]) if a else 0
+    var_constraints = tuple(
+        tuple(i for i in range(len(a)) if a[i][j]) for j in range(n_vars)
+    )
+    return ZeroOneSystem(n_vars, var_constraints, tuple(b))
+
+
+class TestBasics:
+    def test_single_constraint(self):
+        system = dense_to_system([[1, 1]], [3])
+        sol = find_solution(system)
+        assert sol is not None and sum(sol) == 3
+        assert system.check_solution(sol)
+
+    def test_infeasible_zero_vars(self):
+        system = ZeroOneSystem(0, (), (1,))
+        assert find_solution(system) is None
+
+    def test_feasible_zero_vars_zero_rhs(self):
+        system = ZeroOneSystem(0, (), (0,))
+        assert find_solution(system) == []
+
+    def test_conflicting_constraints(self):
+        # x = 1 and x = 2 simultaneously.
+        system = dense_to_system([[1], [1]], [1, 2])
+        assert find_solution(system) is None
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroOneSystem(1, ((0,),), (-1,))
+
+    def test_var_constraints_length_checked(self):
+        with pytest.raises(ValueError):
+            ZeroOneSystem(2, ((0,),), (1,))
+
+    def test_check_solution_rejects_wrong_length(self):
+        system = dense_to_system([[1]], [1])
+        assert not system.check_solution([1, 2])
+        assert not system.check_solution([-1])
+
+
+class TestCounting:
+    def test_count_compositions(self):
+        # x1 + x2 = 3 has 4 non-negative integer solutions.
+        system = dense_to_system([[1, 1]], [3])
+        assert count_solutions(system) == 4
+
+    def test_enumerate_limit(self):
+        system = dense_to_system([[1, 1]], [10])
+        sols = enumerate_solutions(system, limit=3)
+        assert len(sols) == 3
+
+    def test_all_enumerated_solutions_check(self):
+        system = dense_to_system([[1, 1, 0], [0, 1, 1]], [2, 2])
+        sols = enumerate_solutions(system)
+        assert sols
+        assert all(system.check_solution(s) for s in sols)
+        assert len({tuple(s) for s in sols}) == len(sols)
+
+    def test_unique_solution_counted_once(self):
+        # x1 = 2 and x1 + x2 = 2 forces (2, 0).
+        system = dense_to_system([[1, 0], [1, 1]], [2, 2])
+        assert count_solutions(system) == 1
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        # Many variables, one big constraint: huge search space.
+        system = dense_to_system([[1] * 8], [40])
+        with pytest.raises(SearchLimitExceeded):
+            count_solutions(system, node_budget=50)
+
+    def test_unlimited_budget(self):
+        system = dense_to_system([[1, 1]], [2])
+        assert count_solutions(system, node_budget=None) == 3
+
+
+@st.composite
+def random_systems(draw):
+    n_vars = draw(st.integers(1, 4))
+    n_cons = draw(st.integers(1, 3))
+    a = [
+        [draw(st.integers(0, 1)) for _ in range(n_vars)]
+        for _ in range(n_cons)
+    ]
+    b = [draw(st.integers(0, 4)) for _ in range(n_cons)]
+    return a, b
+
+
+@settings(deadline=None)
+@given(random_systems())
+def test_found_solutions_always_verify(data):
+    a, b = data
+    system = dense_to_system(a, b)
+    sol = find_solution(system)
+    if sol is not None:
+        assert system.check_solution(sol)
+
+
+@settings(deadline=None)
+@given(random_systems())
+def test_integer_feasible_implies_lp_feasible(data):
+    """Integer feasibility is at least as strong as rational
+    feasibility."""
+    a, b = data
+    system = dense_to_system(a, b)
+    if is_feasible(system):
+        assert lp_feasible(a, b)
+
+
+@settings(deadline=None)
+@given(random_systems())
+def test_bruteforce_agreement(data):
+    """The DFS search agrees with naive bounded enumeration."""
+    a, b = data
+    system = dense_to_system(a, b)
+    bound = max(b, default=0)
+    n = system.n_vars
+
+    def naive() -> bool:
+        import itertools
+
+        for combo in itertools.product(range(bound + 1), repeat=n):
+            if system.check_solution(list(combo)):
+                return True
+        return False
+
+    assert is_feasible(system) == naive()

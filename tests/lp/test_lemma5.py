@@ -1,0 +1,84 @@
+"""Lemma 5 (Eisenbrand-Shmonin), executable: whenever a solution's
+support exceeds sum log2(b_i + 1), a proper sub-support also carries a
+solution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.caratheodory import eisenbrand_shmonin_bound, lemma5_step
+from repro.lp.integer_feasibility import ZeroOneSystem
+
+
+def dense_to_system(a, b) -> ZeroOneSystem:
+    n_vars = len(a[0]) if a else 0
+    var_constraints = tuple(
+        tuple(i for i in range(len(a)) if a[i][j]) for j in range(n_vars)
+    )
+    return ZeroOneSystem(n_vars, var_constraints, tuple(b))
+
+
+class TestLemma5Step:
+    def test_fat_solution_shrinks(self):
+        # One constraint x1+..+x5 = 3; bound = log2(4) = 2 < 5 support.
+        system = dense_to_system([[1, 1, 1, 1, 1]], [3])
+        fat = [1, 1, 1, 0, 0]
+        smaller = lemma5_step(system, fat)
+        assert smaller is not None
+        assert system.check_solution(smaller)
+        assert sum(1 for v in smaller if v) < 3
+
+    def test_within_bound_returns_none(self):
+        system = dense_to_system([[1, 1]], [7])
+        # support 1 <= log2(8) = 3.
+        assert lemma5_step(system, [7, 0]) is None
+
+    def test_invalid_solution_rejected(self):
+        system = dense_to_system([[1, 1]], [3])
+        with pytest.raises(ValueError):
+            lemma5_step(system, [1, 1])
+
+    def test_iterated_reduction_reaches_bound(self):
+        system = dense_to_system([[1] * 8], [3])
+        solution = [1, 1, 1, 0, 0, 0, 0, 0]
+        bound = eisenbrand_shmonin_bound(system.rhs)
+        while True:
+            smaller = lemma5_step(system, solution)
+            if smaller is None:
+                break
+            solution = smaller
+        assert sum(1 for v in solution if v) <= bound
+        assert system.check_solution(solution)
+
+
+@st.composite
+def fat_instances(draw):
+    """Systems plus deliberately spread-out solutions."""
+    n_cons = draw(st.integers(1, 2))
+    n_vars = draw(st.integers(3, 6))
+    a = [
+        [draw(st.integers(0, 1)) for _ in range(n_vars)]
+        for _ in range(n_cons)
+    ]
+    x = [draw(st.integers(0, 2)) for _ in range(n_vars)]
+    b = [
+        sum(a[i][j] * x[j] for j in range(n_vars)) for i in range(n_cons)
+    ]
+    return a, b, x
+
+
+@settings(deadline=None)
+@given(fat_instances())
+def test_lemma5_guarantee_never_fails(data):
+    """The in-function AssertionError (which would falsify Lemma 5)
+    must never fire on solvable instances above the bound."""
+    a, b, x = data
+    system = dense_to_system(a, b)
+    if not system.check_solution(x):
+        return
+    result = lemma5_step(system, x)  # must not raise AssertionError
+    if result is not None:
+        assert system.check_solution(result)
+        old_support = {j for j, v in enumerate(x) if v}
+        new_support = {j for j, v in enumerate(result) if v}
+        assert new_support < old_support

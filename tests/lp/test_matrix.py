@@ -1,0 +1,117 @@
+"""Unit tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp.matrix import (
+    determinant,
+    mat_vec,
+    nullspace_vector,
+    rank,
+    rref,
+    solve,
+    to_fraction_matrix,
+    transpose,
+)
+
+
+class TestBasics:
+    def test_to_fraction_matrix_is_deep_copy(self):
+        src = [[1, 2], [3, 4]]
+        m = to_fraction_matrix(src)
+        m[0][0] = Fraction(99)
+        assert src[0][0] == 1
+
+    def test_mat_vec(self):
+        m = to_fraction_matrix([[1, 2], [3, 4]])
+        assert mat_vec(m, [Fraction(1), Fraction(1)]) == [3, 7]
+
+    def test_transpose(self):
+        m = to_fraction_matrix([[1, 2, 3], [4, 5, 6]])
+        assert transpose(m) == to_fraction_matrix([[1, 4], [2, 5], [3, 6]])
+
+    def test_transpose_empty(self):
+        assert transpose([]) == []
+
+
+class TestRREF:
+    def test_identity_is_fixed(self):
+        m = [[1, 0], [0, 1]]
+        reduced, pivots = rref(m)
+        assert reduced == to_fraction_matrix(m)
+        assert pivots == [0, 1]
+
+    def test_rank_deficient(self):
+        m = [[1, 2], [2, 4]]
+        _, pivots = rref(m)
+        assert pivots == [0]
+        assert rank(m) == 1
+
+    def test_rank_of_zero_matrix(self):
+        assert rank([[0, 0], [0, 0]]) == 0
+
+    def test_fractions_kept_exact(self):
+        m = [[3, 1], [1, 3]]
+        reduced, _ = rref(m)
+        assert all(
+            isinstance(x, Fraction) for row in reduced for x in row
+        )
+
+
+class TestSolve:
+    def test_unique_solution(self):
+        sol = solve([[2, 0], [0, 4]], [6, 8])
+        assert sol == [3, 2]
+
+    def test_inconsistent_returns_none(self):
+        assert solve([[1, 1], [1, 1]], [1, 2]) is None
+
+    def test_underdetermined_free_vars_zero(self):
+        sol = solve([[1, 1]], [5])
+        assert sol is not None
+        assert sol[0] + sol[1] == 5
+
+    def test_exact_rational_answer(self):
+        sol = solve([[3]], [1])
+        assert sol == [Fraction(1, 3)]
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve([[1, 2]], [1, 2])
+
+
+class TestNullspace:
+    def test_independent_columns_give_none(self):
+        assert nullspace_vector([[1, 0], [0, 1]]) is None
+
+    def test_dependent_columns_give_kernel_vector(self):
+        m = [[1, 2], [2, 4]]
+        y = nullspace_vector(m)
+        assert y is not None and any(v != 0 for v in y)
+        assert mat_vec(to_fraction_matrix(m), y) == [0, 0]
+
+    def test_wide_matrix_always_has_kernel(self):
+        m = [[1, 2, 3]]
+        y = nullspace_vector(m)
+        assert y is not None
+        assert mat_vec(to_fraction_matrix(m), y) == [0]
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert determinant([[1, 0], [0, 1]]) == 1
+
+    def test_singular(self):
+        assert determinant([[1, 2], [2, 4]]) == 0
+
+    def test_swap_changes_sign(self):
+        assert determinant([[0, 1], [1, 0]]) == -1
+
+    def test_3x3(self):
+        m = [[2, 0, 0], [0, 3, 0], [0, 0, 4]]
+        assert determinant(m) == 24
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            determinant([[1, 2]])

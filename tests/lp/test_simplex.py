@@ -1,0 +1,128 @@
+"""Unit and property tests for the exact two-phase simplex
+(cross-checked against scipy.optimize.linprog)."""
+
+from fractions import Fraction
+
+import pytest
+import scipy.optimize
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.simplex import is_feasible, solve_lp
+
+
+class TestFeasibility:
+    def test_simple_feasible(self):
+        # x1 + x2 = 3, x >= 0.
+        assert is_feasible([[1, 1]], [3])
+
+    def test_simple_infeasible(self):
+        # x1 = -1 is impossible with x >= 0.
+        assert not is_feasible([[1]], [-1])
+
+    def test_conflicting_rows_infeasible(self):
+        assert not is_feasible([[1, 0], [1, 0]], [1, 2])
+
+    def test_zero_row_nonzero_rhs_infeasible(self):
+        assert not is_feasible([[0, 0]], [5])
+
+    def test_zero_row_zero_rhs_feasible(self):
+        assert is_feasible([[0, 0]], [0])
+
+    def test_redundant_rows_feasible(self):
+        assert is_feasible([[1, 1], [2, 2]], [3, 6])
+
+    def test_no_constraints(self):
+        assert is_feasible([], [])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_lp([[1, 1]], [1, 2])
+
+
+class TestOptimization:
+    def test_minimize_picks_cheap_variable(self):
+        # min x1 + 3 x2 s.t. x1 + x2 = 10.
+        result = solve_lp([[1, 1]], [10], [1, 3])
+        assert result.status == "optimal"
+        assert result.objective == 10
+        assert result.solution == [10, 0]
+
+    def test_unbounded_detected(self):
+        # min -x1 s.t. x1 - x2 = 0: can grow forever.
+        result = solve_lp([[1, -1]], [0], [-1, 0])
+        assert result.status == "unbounded"
+
+    def test_exact_fractional_objective(self):
+        # min x1 s.t. 3 x1 = 1.
+        result = solve_lp([[3]], [1], [1])
+        assert result.objective == Fraction(1, 3)
+
+    def test_solution_satisfies_constraints(self):
+        a = [[1, 2, 0], [0, 1, 1]]
+        b = [4, 3]
+        result = solve_lp(a, b, [1, 1, 1])
+        assert result.status == "optimal"
+        x = result.solution
+        assert x[0] + 2 * x[1] == 4
+        assert x[1] + x[2] == 3
+        assert all(v >= 0 for v in x)
+
+    def test_degenerate_program(self):
+        # Equality forcing zeros: x1 = 0, x1 + x2 = 0.
+        result = solve_lp([[1, 0], [1, 1]], [0, 0], [1, 1])
+        assert result.status == "optimal"
+        assert result.solution == [0, 0]
+
+    def test_cost_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_lp([[1, 1]], [1], [1])
+
+
+@st.composite
+def random_programs(draw):
+    n_vars = draw(st.integers(1, 4))
+    n_cons = draw(st.integers(1, 3))
+    a = [
+        [draw(st.integers(-3, 3)) for _ in range(n_vars)]
+        for _ in range(n_cons)
+    ]
+    b = [draw(st.integers(-5, 5)) for _ in range(n_cons)]
+    return a, b
+
+
+@settings(deadline=None)
+@given(random_programs())
+def test_feasibility_agrees_with_scipy(program):
+    """Exact simplex vs scipy's HiGHS on random equality systems."""
+    a, b = program
+    ours = is_feasible(a, b)
+    result = scipy.optimize.linprog(
+        c=[0] * len(a[0]),
+        A_eq=a,
+        b_eq=b,
+        bounds=[(0, None)] * len(a[0]),
+        method="highs",
+    )
+    theirs = result.status == 0
+    assert ours == theirs
+
+
+@settings(deadline=None)
+@given(random_programs())
+def test_optimal_value_agrees_with_scipy(program):
+    a, b = program
+    c = [1] * len(a[0])  # minimize the sum; bounded below by 0
+    ours = solve_lp(a, b, c)
+    result = scipy.optimize.linprog(
+        c=c,
+        A_eq=a,
+        b_eq=b,
+        bounds=[(0, None)] * len(a[0]),
+        method="highs",
+    )
+    if ours.status == "optimal":
+        assert result.status == 0
+        assert float(ours.objective) == pytest.approx(result.fun, abs=1e-7)
+    elif ours.status == "infeasible":
+        assert result.status == 2

@@ -1,0 +1,81 @@
+"""Unit tests for total-unimodularity checks (the Section 3 argument)."""
+
+from repro.lp.unimodular import (
+    is_bipartite_incidence_structure,
+    is_totally_unimodular_bruteforce,
+    is_zero_one_matrix,
+)
+
+
+class TestStructuralCheck:
+    def test_bipartite_incidence_accepted(self):
+        # Rows 0-1 one part, rows 2-3 the other; each column has at most
+        # one 1 per part.
+        m = [
+            [1, 0, 1],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+        ]
+        assert is_bipartite_incidence_structure(m, split=2)
+
+    def test_double_one_in_part_rejected(self):
+        m = [
+            [1, 1],
+            [1, 0],
+        ]
+        assert not is_bipartite_incidence_structure(m, split=2)
+
+    def test_non_zero_one_rejected(self):
+        assert not is_bipartite_incidence_structure([[2]], split=1)
+
+    def test_empty_matrix(self):
+        assert is_bipartite_incidence_structure([], split=0)
+
+    def test_is_zero_one(self):
+        assert is_zero_one_matrix([[0, 1], [1, 0]])
+        assert not is_zero_one_matrix([[0, 2]])
+
+
+class TestBruteforceTU:
+    def test_bipartite_incidence_is_tu(self):
+        m = [
+            [1, 0, 1],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+        ]
+        assert is_totally_unimodular_bruteforce(m)
+
+    def test_odd_cycle_incidence_is_not_tu(self):
+        # Vertex-edge incidence of a triangle (odd cycle): det = +-2.
+        m = [
+            [1, 0, 1],
+            [1, 1, 0],
+            [0, 1, 1],
+        ]
+        assert not is_totally_unimodular_bruteforce(m)
+
+    def test_identity_is_tu(self):
+        assert is_totally_unimodular_bruteforce([[1, 0], [0, 1]])
+
+    def test_max_order_caps_work(self):
+        m = [
+            [1, 0, 1],
+            [1, 1, 0],
+            [0, 1, 1],
+        ]
+        # Capped at order 2 the triangle incidence looks TU.
+        assert is_totally_unimodular_bruteforce(m, max_order=2)
+        assert not is_totally_unimodular_bruteforce(m, max_order=3)
+
+    def test_structural_check_implies_bruteforce_tu(self):
+        """The Section 3 argument: bipartite incidence structure is a
+        sufficient condition for total unimodularity."""
+        candidates = [
+            ([[1, 0], [0, 1], [1, 1]], 2),
+            ([[1, 1, 0], [0, 0, 1], [1, 0, 1], [0, 1, 0]], 2),
+        ]
+        for m, split in candidates:
+            assert is_bipartite_incidence_structure(m, split)
+            assert is_totally_unimodular_bruteforce(m)

@@ -1,0 +1,123 @@
+"""Lemma 6: GCPB(C_{n-1}) <=p GCPB(C_n) — instance and witness maps."""
+
+import pytest
+
+from repro.consistency.global_ import (
+    decide_global_consistency,
+    pairwise_consistent,
+)
+from repro.consistency.local_global import tseitin_collection
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import ReductionError
+from repro.hypergraphs.families import cycle_hypergraph
+from repro.hypergraphs.hypergraph import hypergraph_of_bags
+from repro.reductions.cycle_chain import (
+    check_cycle_instance,
+    map_witness_backward,
+    map_witness_forward,
+    reduce_cycle_instance,
+)
+from repro.workloads.generators import random_collection_over
+
+
+def planted_cycle_instance(n: int, rng) -> list:
+    return random_collection_over(cycle_hypergraph(n), rng, n_tuples=3)
+
+
+class TestValidation:
+    def test_valid_instance_accepted(self, rng):
+        bags = planted_cycle_instance(3, rng)
+        assert check_cycle_instance(bags) == ["A1", "A2", "A3"]
+
+    def test_too_few_bags_rejected(self):
+        with pytest.raises(ReductionError):
+            check_cycle_instance([])
+
+    def test_wrong_schema_rejected(self, rng):
+        bags = planted_cycle_instance(3, rng)
+        bags[1] = Bag.empty(Schema(["Z", "W"]))
+        with pytest.raises(ReductionError):
+            check_cycle_instance(bags)
+
+
+class TestInstanceMap:
+    def test_output_is_a_cycle_instance(self, rng):
+        bags = planted_cycle_instance(3, rng)
+        bigger = reduce_cycle_instance(bags)
+        assert len(bigger) == 4
+        assert [b.schema for b in bigger] == list(cycle_hypergraph(4).edges)[
+            :
+        ] or check_cycle_instance(bigger) == ["A1", "A2", "A3", "A4"]
+
+    def test_yes_maps_to_yes(self, rng):
+        bags = planted_cycle_instance(3, rng)
+        assert decide_global_consistency(bags, method="search")
+        bigger = reduce_cycle_instance(bags)
+        assert decide_global_consistency(bigger, method="search")
+
+    def test_no_maps_to_no(self):
+        bags = tseitin_collection(list(cycle_hypergraph(3).edges))
+        assert not decide_global_consistency(bags, method="search")
+        bigger = reduce_cycle_instance(bags)
+        assert pairwise_consistent(bigger)
+        assert not decide_global_consistency(bigger, method="search")
+
+    def test_chain_c3_to_c6(self):
+        """Iterate the reduction up the whole chain, preserving the
+        answer at every rung."""
+        bags = tseitin_collection(list(cycle_hypergraph(3).edges))
+        for target in (4, 5, 6):
+            bags = reduce_cycle_instance(bags)
+            assert len(bags) == target
+            assert not decide_global_consistency(bags, method="search")
+
+    def test_diagonal_bag_structure(self, rng):
+        bags = planted_cycle_instance(3, rng)
+        bigger = reduce_cycle_instance(bags)
+        diagonal = bigger[-1]
+        for tup, _ in diagonal.tuples():
+            assert tup["A4"] == tup["A1"]
+
+
+class TestWitnessMaps:
+    def test_forward_witness(self, rng):
+        from repro.consistency.global_ import global_witness
+
+        bags = planted_cycle_instance(3, rng)
+        result = global_witness(bags, method="search")
+        assert result.consistent
+        bigger = reduce_cycle_instance(bags)
+        lifted = map_witness_forward(result.witness, 3)
+        assert is_witness(bigger, lifted)
+
+    def test_backward_witness(self, rng):
+        from repro.consistency.global_ import global_witness
+
+        bags = planted_cycle_instance(3, rng)
+        bigger = reduce_cycle_instance(bags)
+        result = global_witness(bigger, method="search")
+        assert result.consistent
+        dropped = map_witness_backward(result.witness, 3)
+        assert is_witness(bags, dropped)
+
+    def test_forward_then_backward_is_identity(self, rng):
+        from repro.consistency.global_ import global_witness
+
+        bags = planted_cycle_instance(3, rng)
+        witness = global_witness(bags, method="search").witness
+        roundtrip = map_witness_backward(map_witness_forward(witness, 3), 3)
+        assert roundtrip == witness
+
+    def test_backward_rejects_off_diagonal(self):
+        schema = Schema([f"A{i}" for i in range(1, 5)])
+        off_diagonal = Bag.from_mappings(
+            [({"A1": 0, "A2": 0, "A3": 0, "A4": 1}, 1)], schema=schema
+        )
+        with pytest.raises(ReductionError):
+            map_witness_backward(off_diagonal, 3)
+
+    def test_forward_rejects_wrong_schema(self):
+        with pytest.raises(ReductionError):
+            map_witness_forward(Bag.empty(Schema(["A1"])), 3)

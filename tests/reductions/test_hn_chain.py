@@ -1,0 +1,125 @@
+"""Lemma 7: GCPB(H_{n-1}) <=p GCPB(H_n) — instance and witness maps."""
+
+import pytest
+
+from repro.consistency.global_ import (
+    decide_global_consistency,
+    global_witness,
+    pairwise_consistent,
+)
+from repro.consistency.local_global import tseitin_collection
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import ReductionError
+from repro.hypergraphs.families import hn_hypergraph
+from repro.reductions.hn_chain import (
+    active_domains,
+    check_hn_instance,
+    map_witness_backward,
+    map_witness_forward,
+    reduce_hn_instance,
+)
+from repro.workloads.generators import random_collection_over
+
+
+def planted_h3_instance(rng) -> list:
+    """A planted instance over H_3 with the Lemma 7 schema layout
+    (bag i misses attribute A_i)."""
+    bags = random_collection_over(hn_hypergraph(3), rng, n_tuples=3,
+                                  domain_size=2)
+    # hn_hypergraph lists edges as [V - A1, V - A2, V - A3] already.
+    return bags
+
+
+class TestValidation:
+    def test_valid_instance(self, rng):
+        bags = planted_h3_instance(rng)
+        assert check_hn_instance(bags) == ["A1", "A2", "A3"]
+
+    def test_wrong_schema_rejected(self, rng):
+        bags = planted_h3_instance(rng)
+        bags[0] = Bag.empty(Schema(["Z", "W"]))
+        with pytest.raises(ReductionError):
+            check_hn_instance(bags)
+
+    def test_active_domains(self, rng):
+        bags = planted_h3_instance(rng)
+        domains = active_domains(bags, ["A1", "A2", "A3"])
+        assert set(domains) == {"A1", "A2", "A3"}
+        assert all(domains.values())
+
+    def test_empty_active_domain_rejected(self):
+        bags = [
+            Bag.empty(Schema(["A2", "A3"])),
+            Bag.empty(Schema(["A1", "A3"])),
+            Bag.empty(Schema(["A1", "A2"])),
+        ]
+        with pytest.raises(ReductionError):
+            active_domains(bags, ["A1", "A2", "A3"])
+
+
+class TestInstanceMap:
+    def test_output_is_an_h4_instance(self, rng):
+        bags = planted_h3_instance(rng)
+        bigger = reduce_hn_instance(bags)
+        assert check_hn_instance(bigger) == ["A1", "A2", "A3", "A4"]
+
+    def test_yes_maps_to_yes(self, rng):
+        bags = planted_h3_instance(rng)
+        assert decide_global_consistency(bags, method="search")
+        bigger = reduce_hn_instance(bags)
+        assert decide_global_consistency(bigger, method="search")
+
+    def test_no_maps_to_no(self):
+        bags = tseitin_collection(list(hn_hypergraph(3).edges))
+        assert not decide_global_consistency(bags, method="search")
+        bigger = reduce_hn_instance(bags)
+        assert pairwise_consistent(bigger)
+        assert not decide_global_consistency(bigger, method="search")
+
+    def test_last_bag_is_constant_m(self, rng):
+        bags = planted_h3_instance(rng)
+        max_mult = max(b.multiplicity_bound for b in bags)
+        bigger = reduce_hn_instance(bags)
+        assert all(m == max_mult for _, m in bigger[-1].items())
+
+    def test_empty_input_rejected(self):
+        bags = [
+            Bag.from_pairs(Schema(["A2", "A3"]), []),
+            Bag.from_pairs(Schema(["A1", "A3"]), []),
+            Bag.from_pairs(Schema(["A1", "A2"]), []),
+        ]
+        with pytest.raises(ReductionError):
+            reduce_hn_instance(bags)
+
+
+class TestWitnessMaps:
+    def test_forward_witness(self, rng):
+        bags = planted_h3_instance(rng)
+        result = global_witness(bags, method="search")
+        assert result.consistent
+        bigger = reduce_hn_instance(bags)
+        lifted = map_witness_forward(result.witness, bags)
+        assert is_witness(bigger, lifted)
+
+    def test_backward_witness(self, rng):
+        bags = planted_h3_instance(rng)
+        bigger = reduce_hn_instance(bags)
+        result = global_witness(bigger, method="search")
+        assert result.consistent
+        dropped = map_witness_backward(result.witness, 3)
+        assert is_witness(bags, dropped)
+
+    def test_forward_rejects_oversized_multiplicities(self, rng):
+        bags = planted_h3_instance(rng)
+        huge = Bag.from_mappings(
+            [({"A1": 0, "A2": 0, "A3": 0}, 10**6)],
+            schema=Schema(["A1", "A2", "A3"]),
+        )
+        with pytest.raises(ReductionError):
+            map_witness_forward(huge, bags)
+
+    def test_backward_wrong_schema_rejected(self):
+        with pytest.raises(ReductionError):
+            map_witness_backward(Bag.empty(Schema(["A1"])), 3)

@@ -1,0 +1,91 @@
+"""HLY80: 3-colorability <=> global consistency of the edge relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReductionError
+from repro.reductions.three_coloring import (
+    COLORS,
+    coloring_relations,
+    decode_coloring,
+    is_proper_coloring,
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_consistency,
+)
+
+
+TRIANGLE = [(0, 1), (1, 2), (0, 2)]
+K4 = [(i, j) for i in range(4) for j in range(4) if i < j]
+SQUARE = [(0, 1), (1, 2), (2, 3), (3, 0)]
+PETERSEN = (
+    [(i, (i + 1) % 5) for i in range(5)]
+    + [(i + 5, (i + 2) % 5 + 5) for i in range(5)]
+    + [(i, i + 5) for i in range(5)]
+)
+
+
+class TestInstances:
+    def test_each_relation_has_six_pairs(self):
+        rels = coloring_relations(TRIANGLE)
+        assert all(len(r) == 6 for r in rels)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReductionError):
+            coloring_relations([(0, 0)])
+
+    def test_triangle_is_colorable(self):
+        assert is_three_colorable_via_consistency(TRIANGLE)
+
+    def test_k4_is_not_colorable(self):
+        assert not is_three_colorable_via_consistency(K4)
+
+    def test_square_is_colorable(self):
+        assert is_three_colorable_via_consistency(SQUARE)
+
+    def test_petersen_is_colorable(self):
+        assert is_three_colorable_via_consistency(PETERSEN)
+
+    def test_empty_graph(self):
+        assert is_three_colorable_via_consistency([])
+
+
+class TestDecoding:
+    def test_decoded_coloring_is_proper(self):
+        from repro.consistency.setcase import universal_relation
+
+        rels = coloring_relations(SQUARE)
+        witness = universal_relation(rels)
+        coloring = decode_coloring(witness)
+        assert is_proper_coloring(SQUARE, coloring)
+        assert set(coloring.values()) <= set(COLORS)
+
+    def test_empty_witness_rejected(self):
+        from repro.core.relations import Relation
+        from repro.core.schema import Schema
+
+        with pytest.raises(ReductionError):
+            decode_coloring(Relation.empty(Schema(["A"])))
+
+
+class TestBruteforceOracle:
+    def test_oracle_on_known_graphs(self):
+        assert is_three_colorable_bruteforce(range(3), TRIANGLE)
+        assert not is_three_colorable_bruteforce(range(4), K4)
+        assert is_three_colorable_bruteforce(range(10), PETERSEN)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(
+                lambda e: e[0] < e[1]
+            ),
+            max_size=8,
+        )
+    )
+    def test_reduction_agrees_with_oracle(self, edges):
+        """The HLY80 equivalence, instance by instance."""
+        edges = sorted(edges)
+        via_reduction = is_three_colorable_via_consistency(edges)
+        via_oracle = is_three_colorable_bruteforce(range(5), edges)
+        assert via_reduction == via_oracle

@@ -1,0 +1,104 @@
+"""3DCT (Irving-Jerrum) and its translation into GCPB(C3) (Lemma 6)."""
+
+import random
+
+import pytest
+
+from repro.consistency.global_ import decide_global_consistency, global_witness
+from repro.consistency.witness import is_witness
+from repro.errors import ReductionError
+from repro.reductions.three_dct import (
+    ThreeDCT,
+    decide_3dct,
+    project_table,
+    random_consistent_instance,
+    random_instance,
+)
+
+
+class TestConstruction:
+    def test_index_bounds_checked(self):
+        with pytest.raises(ReductionError):
+            ThreeDCT(2, {(3, 1): 1}, {}, {})
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ReductionError):
+            ThreeDCT(2, {(1, 1): -1}, {}, {})
+
+    def test_totals(self):
+        inst = ThreeDCT(2, {(1, 1): 2}, {(1, 1): 2}, {(1, 1): 2})
+        assert inst.total() == (2, 2, 2)
+
+    def test_to_bags_schemas(self):
+        inst = ThreeDCT(2, {(1, 1): 2}, {(1, 1): 2}, {(1, 1): 2})
+        bags = inst.to_bags()
+        attrs = [tuple(b.schema.attrs) for b in bags]
+        assert attrs == [("X", "Z"), ("Y", "Z"), ("X", "Y")]
+
+    def test_zero_entries_omitted_from_bags(self):
+        inst = ThreeDCT(2, {(1, 1): 0, (2, 2): 1}, {(2, 2): 1}, {(2, 2): 1})
+        bags = inst.to_bags()
+        assert bags[0].support_size == 1
+
+
+class TestProjectTable:
+    def test_projected_instance_is_consistent(self):
+        table = {(1, 1, 1): 2, (1, 2, 2): 1, (2, 2, 1): 3}
+        inst = project_table(2, table)
+        assert decide_3dct(inst)
+
+    def test_negative_table_rejected(self):
+        with pytest.raises(ReductionError):
+            project_table(2, {(1, 1, 1): -1})
+
+    def test_marginals_match_table(self):
+        table = {(1, 1, 1): 2, (2, 1, 2): 5}
+        inst = project_table(2, table)
+        assert inst.row_sums[(1, 1)] == 2  # (i=1, k=1)
+        assert inst.row_sums[(2, 2)] == 5
+        assert inst.col_sums[(1, 1)] == 2
+        assert inst.file_sums[(2, 1)] == 5
+
+
+class TestDecision:
+    def test_consistent_instance_witnessed(self):
+        inst = project_table(2, {(1, 1, 1): 1, (2, 2, 2): 2})
+        result = global_witness(inst.to_bags(), method="search")
+        assert result.consistent
+        assert is_witness(inst.to_bags(), result.witness)
+        # The witness is exactly the (unique) hidden table here.
+        assert result.witness.unary_size == 3
+
+    def test_total_mismatch_is_inconsistent(self):
+        inst = ThreeDCT(2, {(1, 1): 2}, {(1, 1): 1}, {(1, 1): 1})
+        assert not decide_3dct(inst)
+
+    def test_parity_obstruction_is_inconsistent(self):
+        """Pairwise-consistent marginals with no table: the Tseitin
+        pattern encoded as 3DCT (R, C even-diagonal; F odd)."""
+        inst = ThreeDCT(
+            2,
+            row_sums={(1, 1): 1, (2, 2): 1},
+            col_sums={(1, 1): 1, (2, 2): 1},
+            file_sums={(1, 2): 1, (2, 1): 1},
+        )
+        bags = inst.to_bags()
+        from repro.consistency.global_ import pairwise_consistent
+
+        assert pairwise_consistent(bags)
+        assert not decide_3dct(inst)
+
+    def test_random_consistent_instances(self):
+        rng = random.Random(5)
+        for _ in range(3):
+            inst = random_consistent_instance(2, rng)
+            assert decide_3dct(inst)
+
+    def test_random_instances_match_bag_solver(self):
+        rng = random.Random(6)
+        for _ in range(5):
+            inst = random_instance(2, rng, total=6)
+            expected = decide_global_consistency(
+                inst.to_bags(), method="search"
+            )
+            assert decide_3dct(inst) == expected

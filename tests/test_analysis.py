@@ -1,0 +1,112 @@
+"""Witness-space analysis tooling."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    count_witnesses,
+    format_report,
+    witness_space_report,
+)
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.errors import InconsistentError
+from repro.workloads.generators import witness_family_pair
+from tests.conftest import consistent_bag_pairs
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestReport:
+    def test_paper_pair_report(self):
+        r, s = witness_family_pair(2)
+        report = witness_space_report(r, s)
+        assert report.n_join_tuples == 4
+        assert report.n_pinned == 0
+        assert not report.unique_witness
+        assert report.total_slack == 4
+        assert report.ambiguity_index() == pytest.approx(4 / 2)
+
+    def test_unique_witness_detected(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 5)])
+        report = witness_space_report(r, s)
+        assert report.unique_witness
+        assert report.ambiguity_index() == 0.0
+
+    def test_inconsistent_raises(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 4)])
+        with pytest.raises(InconsistentError):
+            witness_space_report(r, s)
+
+    def test_format_contains_all_tuples(self):
+        r, s = witness_family_pair(2)
+        report = witness_space_report(r, s)
+        text = format_report(report)
+        assert "ambiguity index" in text
+        assert text.count("range") == 4
+
+    @settings(deadline=None, max_examples=20)
+    @given(consistent_bag_pairs())
+    def test_ranges_bracket_any_witness(self, data):
+        from repro.consistency.pairwise import consistency_witness
+
+        _, r, s = data
+        report = witness_space_report(r, s)
+        witness = consistency_witness(r, s)
+        by_row = {tr.row: tr for tr in report.ranges}
+        for row, mult in witness.items():
+            assert by_row[row].low <= mult <= by_row[row].high
+
+
+class TestIterWitnesses:
+    def test_streams_all_witnesses(self):
+        from repro.analysis import iter_witnesses
+        from repro.consistency.witness import is_witness
+
+        r, s = witness_family_pair(3)
+        seen = list(iter_witnesses([r, s]))
+        assert len(seen) == 4
+        assert all(is_witness([r, s], w) for w in seen)
+        assert len({frozenset(w.items()) for w in seen}) == 4
+
+    def test_prefix_is_lazy(self):
+        """Taking 2 of 2^9 witnesses must stay within a small node
+        budget — proof that the stream does not pre-enumerate."""
+        from itertools import islice
+
+        from repro.analysis import iter_witnesses
+
+        r, s = witness_family_pair(10)
+        first_two = list(islice(iter_witnesses([r, s], node_budget=5000), 2))
+        assert len(first_two) == 2
+
+    def test_inconsistent_streams_nothing(self):
+        from repro.analysis import iter_witnesses
+
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 4)])
+        assert list(iter_witnesses([r, s])) == []
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_witness_family_counts(self, n):
+        r, s = witness_family_pair(n)
+        assert count_witnesses([r, s]) == 2 ** (n - 1)
+
+    def test_inconsistent_counts_zero(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 4)])
+        assert count_witnesses([r, s]) == 0
+
+    def test_limit_caps_enumeration(self):
+        r, s = witness_family_pair(5)
+        assert count_witnesses([r, s], limit=3) == 3
+
+    def test_unique_witness_counts_one(self):
+        r = Bag.from_pairs(AB, [((1, 2), 5)])
+        s = Bag.from_pairs(BC, [((2, 9), 5)])
+        assert count_witnesses([r, s]) == 1

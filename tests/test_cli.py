@@ -1,0 +1,147 @@
+"""CLI tests: every subcommand, through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.hypergraphs.families import path_hypergraph, triangle_hypergraph
+from repro.io import (
+    bag_from_json,
+    bag_to_json,
+    collection_from_json,
+    collection_to_json,
+    hypergraph_to_json,
+)
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+@pytest.fixture
+def pair_files(tmp_path):
+    r = Bag.from_pairs(AB, [((1, 2), 1), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 1), 1), ((2, 2), 1)])
+    rp = tmp_path / "r.json"
+    sp = tmp_path / "s.json"
+    rp.write_text(bag_to_json(r))
+    sp.write_text(bag_to_json(s))
+    return rp, sp, r, s
+
+
+class TestCheckPair:
+    def test_consistent_exit_zero(self, pair_files, capsys):
+        rp, sp, _, _ = pair_files
+        assert main(["check-pair", str(rp), str(sp)]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_inconsistent_exit_one(self, tmp_path, pair_files, capsys):
+        rp, _, _, s = pair_files
+        bad = tmp_path / "bad.json"
+        bad.write_text(bag_to_json(s + s))
+        assert main(["check-pair", str(rp), str(bad)]) == 1
+
+    def test_missing_file_exit_two(self, pair_files):
+        rp, _, _, _ = pair_files
+        assert main(["check-pair", str(rp), "/nonexistent.json"]) == 2
+
+
+class TestWitness:
+    def test_witness_to_stdout(self, pair_files, capsys):
+        rp, sp, r, s = pair_files
+        assert main(["witness", str(rp), str(sp)]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # table header
+
+    def test_witness_to_file(self, tmp_path, pair_files):
+        rp, sp, r, s = pair_files
+        out = tmp_path / "w.json"
+        assert main(["witness", str(rp), str(sp), "-o", str(out)]) == 0
+        witness = bag_from_json(out.read_text())
+        from repro.consistency.witness import is_witness
+
+        assert is_witness([r, s], witness)
+
+    def test_minimal_flag(self, tmp_path, pair_files):
+        rp, sp, r, s = pair_files
+        out = tmp_path / "w.json"
+        assert main(
+            ["witness", str(rp), str(sp), "--minimal", "-o", str(out)]
+        ) == 0
+        witness = bag_from_json(out.read_text())
+        assert witness.support_size <= r.support_size + s.support_size
+
+    def test_inconsistent_exit_one(self, tmp_path, pair_files):
+        rp, _, _, s = pair_files
+        bad = tmp_path / "bad.json"
+        bad.write_text(bag_to_json(s + s))
+        assert main(["witness", str(rp), str(bad)]) == 1
+
+
+class TestGlobalCheck:
+    def test_acyclic_collection(self, tmp_path, rng, capsys):
+        from repro.workloads.generators import planted_collection
+
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        path = tmp_path / "coll.json"
+        path.write_text(collection_to_json(bags))
+        assert main(["global-check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "globally consistent" in out
+        assert "method: acyclic" in out
+
+    def test_tseitin_collection_fails(self, tmp_path, capsys):
+        from repro.consistency.local_global import tseitin_collection
+
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        path = tmp_path / "coll.json"
+        path.write_text(collection_to_json(bags))
+        assert main(["global-check", str(path)]) == 1
+        assert "globally inconsistent" in capsys.readouterr().out
+
+    def test_witness_output_file(self, tmp_path, rng):
+        from repro.consistency.witness import is_witness
+        from repro.workloads.generators import planted_collection
+
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        coll = tmp_path / "coll.json"
+        out = tmp_path / "w.json"
+        coll.write_text(collection_to_json(bags))
+        assert main(["global-check", str(coll), "-o", str(out)]) == 0
+        assert is_witness(bags, bag_from_json(out.read_text()))
+
+
+class TestAuditSchema:
+    def test_acyclic_schema(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        path.write_text(hypergraph_to_json(path_hypergraph(4)))
+        assert main(["audit-schema", str(path)]) == 0
+        assert "acyclic" in capsys.readouterr().out
+
+    def test_cyclic_schema_with_counterexample(self, tmp_path, capsys):
+        from repro.consistency.local_global import verify_counterexample
+
+        path = tmp_path / "h.json"
+        out = tmp_path / "cex.json"
+        path.write_text(hypergraph_to_json(triangle_hypergraph()))
+        assert main(
+            ["audit-schema", str(path), "--counterexample", str(out)]
+        ) == 1
+        assert "cyclic" in capsys.readouterr().out
+        bags = collection_from_json(out.read_text())
+        assert verify_counterexample(bags)
+
+
+class TestShow:
+    def test_show_renders_table(self, pair_files, capsys):
+        rp, _, _, _ = pair_files
+        assert main(["show", str(rp)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].split() == ["A", "B", "#"]
+
+    def test_malformed_json_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": ["A"]}))
+        assert main(["show", str(bad)]) == 2

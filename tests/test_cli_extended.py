@@ -1,0 +1,90 @@
+"""CLI tests for the certificate / repair / analyze subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.consistency.local_global import tseitin_collection
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.hypergraphs.families import triangle_hypergraph
+from repro.io import bag_to_json, collection_from_json, collection_to_json
+from repro.workloads.generators import planted_collection
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+CD = Schema(["C", "D"])
+
+
+class TestCertificateCommand:
+    def test_consistent_collection_exit_zero(self, tmp_path, rng, capsys):
+        _, bags = planted_collection([AB, BC], rng, n_tuples=3)
+        path = tmp_path / "coll.json"
+        path.write_text(collection_to_json(bags))
+        assert main(["certificate", str(path)]) == 0
+        assert "no inconsistency certificate" in capsys.readouterr().out
+
+    def test_pairwise_failure_names_cell(self, tmp_path, capsys):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        path = tmp_path / "coll.json"
+        path.write_text(collection_to_json([r, s]))
+        assert main(["certificate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "disagree on common cell" in out
+
+    def test_tseitin_gets_farkas(self, tmp_path, capsys):
+        bags = tseitin_collection(list(triangle_hypergraph().edges))
+        path = tmp_path / "coll.json"
+        path.write_text(collection_to_json(bags))
+        assert main(["certificate", str(path), "--verbose"]) == 1
+        out = capsys.readouterr().out
+        assert "Farkas certificate" in out
+        assert "y[bag" in out
+
+
+class TestRepairCommand:
+    def test_repair_writes_consistent_collection(self, tmp_path, rng, capsys):
+        from repro.consistency.global_ import pairwise_consistent
+        from repro.workloads.generators import perturb_bag
+
+        _, bags = planted_collection([AB, BC, CD], rng, n_tuples=3)
+        broken = [bags[0], perturb_bag(bags[1], rng), bags[2]]
+        src = tmp_path / "broken.json"
+        dst = tmp_path / "fixed.json"
+        src.write_text(collection_to_json(broken))
+        assert main(["repair", str(src), "-o", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "repair cost:" in out
+        fixed = collection_from_json(dst.read_text())
+        assert pairwise_consistent(fixed)
+
+    def test_cyclic_schema_exit_two(self, tmp_path, rng):
+        _, bags = planted_collection(
+            [AB, BC, Schema(["A", "C"])], rng, n_tuples=3
+        )
+        src = tmp_path / "coll.json"
+        src.write_text(collection_to_json(bags))
+        assert main(["repair", str(src)]) == 2
+
+
+class TestAnalyzeCommand:
+    def test_report_printed(self, tmp_path, capsys):
+        from repro.workloads.generators import witness_family_pair
+
+        r, s = witness_family_pair(3)
+        rp = tmp_path / "r.json"
+        sp = tmp_path / "s.json"
+        rp.write_text(bag_to_json(r))
+        sp.write_text(bag_to_json(s))
+        assert main(["analyze", str(rp), str(sp)]) == 0
+        out = capsys.readouterr().out
+        assert "ambiguity index" in out
+
+    def test_inconsistent_pair_exit_two(self, tmp_path):
+        r = Bag.from_pairs(AB, [((1, 2), 3)])
+        s = Bag.from_pairs(BC, [((2, 9), 1)])
+        rp = tmp_path / "r.json"
+        sp = tmp_path / "s.json"
+        rp.write_text(bag_to_json(r))
+        sp.write_text(bag_to_json(s))
+        assert main(["analyze", str(rp), str(sp)]) == 2

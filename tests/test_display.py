@@ -1,0 +1,53 @@
+"""Unit tests for the tabular rendering helpers."""
+
+from repro.core.bags import Bag
+from repro.core.relations import Relation
+from repro.core.schema import Schema
+from repro.display import bag_table, collection_summary, relation_table
+
+AB = Schema(["A", "B"])
+
+
+def test_bag_table_matches_paper_layout():
+    bag = Bag.from_pairs(
+        AB, [(("a1", "b1"), 2), (("a2", "b2"), 1), (("a3", "b3"), 5)]
+    )
+    text = bag_table(bag)
+    lines = text.splitlines()
+    assert lines[0].split() == ["A", "B", "#"]
+    assert ": 2" in text and ": 1" in text and ": 5" in text
+    assert len(lines) == 4
+
+
+def test_bag_table_empty():
+    assert "(empty)" in bag_table(Bag.empty(AB))
+
+
+def test_bag_table_empty_schema():
+    bag = Bag.empty_schema_bag(3)
+    text = bag_table(bag)
+    assert ": 3" in text
+
+
+def test_relation_table():
+    rel = Relation.from_pairs(AB, [(1, 2), (3, 4)])
+    text = relation_table(rel)
+    lines = text.splitlines()
+    assert lines[0].split() == ["A", "B"]
+    assert len(lines) == 3
+
+
+def test_relation_table_empty():
+    assert "(empty)" in relation_table(Relation.empty(AB))
+
+
+def test_collection_summary_lists_measures():
+    bags = [
+        Bag.from_pairs(AB, [((1, 2), 3)]),
+        Bag.from_pairs(Schema(["B", "C"]), [((2, 1), 1), ((2, 2), 1)]),
+    ]
+    text = collection_summary(bags)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "supp=1" in lines[0] and "mu=3" in lines[0]
+    assert "supp=2" in lines[1]

@@ -1,0 +1,51 @@
+"""Every doctest in every module of the package must pass.
+
+Docstring examples are documentation the type checker cannot see; this
+keeps them from rotting.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # executing the CLI entry point calls SystemExit
+        yield info.name
+
+
+def test_all_doctests_pass():
+    total_attempted = 0
+    failures = []
+    for name in iter_module_names():
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        total_attempted += result.attempted
+        if result.failed:
+            failures.append((name, result.failed))
+    assert not failures, f"doctest failures: {failures}"
+    # The package does carry doctests; a zero count would mean the
+    # walker broke.
+    assert total_attempted >= 5
+
+
+def test_walker_sees_all_subpackages():
+    names = set(iter_module_names())
+    for expected in (
+        "repro.core.bags",
+        "repro.consistency.pairwise",
+        "repro.hypergraphs.acyclicity",
+        "repro.lp.simplex",
+        "repro.flows.maxflow",
+        "repro.reductions.three_dct",
+        "repro.workloads.suites",
+        "repro.analysis",
+        "repro.io",
+        "repro.cli",
+    ):
+        assert expected in names

@@ -1,0 +1,91 @@
+"""The exception hierarchy: every library error is catchable as
+ReproError, and each failure mode raises its advertised class."""
+
+import pytest
+
+from repro.errors import (
+    AcyclicSchemaError,
+    CyclicSchemaError,
+    InconsistentError,
+    MultiplicityError,
+    NotRegularError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    SearchLimitExceeded,
+    SolverError,
+)
+
+ALL_ERRORS = [
+    AcyclicSchemaError,
+    CyclicSchemaError,
+    InconsistentError,
+    MultiplicityError,
+    NotRegularError,
+    ReductionError,
+    SchemaError,
+    SearchLimitExceeded,
+    SolverError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_derive_from_repro_error(error):
+    assert issubclass(error, ReproError)
+    assert issubclass(error, Exception)
+
+
+def test_single_catch_covers_library_failures():
+    """A caller wrapping the library in `except ReproError` catches
+    every advertised failure mode."""
+    from repro.core.bags import Bag
+    from repro.core.schema import Schema
+    from repro.consistency.pairwise import consistency_witness
+    from repro.hypergraphs.acyclicity import join_tree
+    from repro.hypergraphs.families import triangle_hypergraph
+    from repro.hypergraphs.obstructions import find_obstruction
+    from repro.hypergraphs.families import path_hypergraph
+
+    failures = [
+        lambda: Schema(["A", "A"]),
+        lambda: Bag(Schema(["A"]), {(1,): -1}),
+        lambda: consistency_witness(
+            Bag.from_pairs(Schema(["A"]), [((0,), 1)]),
+            Bag.from_pairs(Schema(["B"]), [((0,), 2)]),
+        ),
+        lambda: join_tree(triangle_hypergraph()),
+        lambda: find_obstruction(path_hypergraph(3)),
+    ]
+    for fail in failures:
+        with pytest.raises(ReproError):
+            fail()
+
+
+def test_specific_types_are_distinguishable():
+    """Cyclic-schema and inconsistency failures are separately
+    catchable (callers branch on them)."""
+    from repro.consistency.global_ import acyclic_global_witness
+    from repro.consistency.local_global import tseitin_collection
+    from repro.core.bags import Bag
+    from repro.core.schema import Schema
+    from repro.hypergraphs.families import cycle_hypergraph
+
+    r = Bag.from_pairs(Schema(["A", "B"]), [((1, 2), 3)])
+    s = Bag.from_pairs(Schema(["B", "C"]), [((2, 1), 1)])
+    with pytest.raises(InconsistentError):
+        acyclic_global_witness([r, s])
+
+    bags = tseitin_collection(list(cycle_hypergraph(4).edges))
+    # Pairwise consistent, cyclic schema: the cyclic error wins.
+    with pytest.raises(CyclicSchemaError):
+        acyclic_global_witness(bags)
+
+
+def test_search_limit_carries_budget_info():
+    from repro.lp.integer_feasibility import ZeroOneSystem, count_solutions
+
+    system = ZeroOneSystem(
+        8, tuple((0,) for _ in range(8)), (40,)
+    )
+    with pytest.raises(SearchLimitExceeded, match="50"):
+        count_solutions(system, node_budget=50)

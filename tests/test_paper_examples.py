@@ -1,0 +1,292 @@
+"""Theorem-by-theorem integration tests — every numbered claim in the
+paper, run end to end on its own examples.
+
+This file is the reproduction's spine: each test class carries the
+paper's statement in its docstring and exercises the exact construction
+the paper uses.
+"""
+
+import pytest
+
+from repro.consistency import (
+    ConsistencyProgram,
+    acyclic_global_witness,
+    are_consistent,
+    bfmy_counterexample,
+    check_theorem3_bounds,
+    check_theorem5_bound,
+    consistency_witness,
+    counterexample_for_cyclic,
+    decide_global_consistency,
+    is_witness,
+    minimal_pairwise_witness,
+    minimize_witness,
+    pairwise_consistent,
+    relations_globally_consistent,
+    relations_pairwise_consistent,
+    tseitin_collection,
+    verify_counterexample,
+)
+from repro.core import Bag, Schema
+from repro.hypergraphs import (
+    cycle_hypergraph,
+    hn_hypergraph,
+    is_acyclic,
+    path_hypergraph,
+    triangle_hypergraph,
+)
+from repro.lp import enumerate_solutions
+from repro.workloads import example1_instance, witness_family_pair
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestLemma1:
+    """Every witness's support lies in the join of the supports."""
+
+    def test_on_the_section3_pair(self):
+        r, s = witness_family_pair(2)
+        w = consistency_witness(r, s)
+        join_support = r.support().join(s.support())
+        assert w.support() <= join_support
+
+
+class TestSection3WitnessFamily:
+    """For n >= 2 the bags R_{n-1}, S_{n-1} are consistent with exactly
+    2^(n-1) witnesses; the witnesses are pairwise incomparable under
+    bag containment and their supports are proper subsets of the join
+    support."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_witness_count_is_2_to_n_minus_1(self, n):
+        r, s = witness_family_pair(n)
+        program = ConsistencyProgram.build([r, s])
+        solutions = enumerate_solutions(program.system)
+        assert len(solutions) == 2 ** (n - 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_witnesses_pairwise_incomparable(self, n):
+        r, s = witness_family_pair(n)
+        program = ConsistencyProgram.build([r, s])
+        witnesses = [
+            program.witness_from_solution(sol)
+            for sol in enumerate_solutions(program.system)
+        ]
+        for i in range(len(witnesses)):
+            for j in range(len(witnesses)):
+                if i != j:
+                    assert not witnesses[i].bag_contained_in(witnesses[j])
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_witness_supports_properly_inside_join(self, n):
+        r, s = witness_family_pair(n)
+        join_support = r.support().join(s.support())
+        program = ConsistencyProgram.build([r, s])
+        for sol in enumerate_solutions(program.system):
+            w = program.witness_from_solution(sol)
+            assert w.support().rows < join_support.rows
+
+    def test_n2_witnesses_are_T1_and_T2(self):
+        """The two witnesses named in the paper."""
+        r, s = witness_family_pair(2)
+        program = ConsistencyProgram.build([r, s])
+        witnesses = {
+            frozenset(program.witness_from_solution(sol).items())
+            for sol in enumerate_solutions(program.system)
+        }
+        t1 = frozenset({((1, 2, 2), 1), ((2, 2, 1), 1)})
+        t2 = frozenset({((1, 2, 1), 1), ((2, 2, 2), 1)})
+        assert witnesses == {t1, t2}
+
+    def test_bag_join_is_not_a_witness(self):
+        r, s = witness_family_pair(2)
+        assert not is_witness([r, s], r.bag_join(s))
+
+
+class TestLemma2:
+    """Five equivalent statements for two-bag consistency (covered in
+    depth in tests/consistency/test_pairwise.py; this is the paper-pair
+    smoke version)."""
+
+    def test_equivalence_on_paper_pair(self):
+        from repro.consistency import (
+            consistent_via_flow,
+            consistent_via_integer_search,
+            consistent_via_lp,
+        )
+
+        r, s = witness_family_pair(2)
+        answers = {
+            are_consistent(r, s),
+            consistent_via_lp(r, s),
+            consistent_via_integer_search(r, s),
+            consistent_via_flow(r, s),
+        }
+        assert answers == {True}
+
+
+class TestTheorem1And2Structure:
+    """P_n acyclic; C_n, H_n cyclic (n >= 3); the four structural
+    statements agree (deep version in tests/hypergraphs)."""
+
+    def test_classification(self):
+        assert is_acyclic(path_hypergraph(6))
+        assert not is_acyclic(cycle_hypergraph(6))
+        assert not is_acyclic(hn_hypergraph(4))
+
+
+class TestTheorem2Semantics:
+    """Local-to-global consistency for bags holds iff acyclic."""
+
+    def test_acyclic_direction_on_path(self, rng):
+        from repro.workloads import planted_collection
+
+        schemas = list(path_hypergraph(4).edges)
+        _, bags = planted_collection(schemas, rng)
+        assert pairwise_consistent(bags)
+        w = acyclic_global_witness(bags)
+        assert is_witness(bags, w)
+
+    @pytest.mark.parametrize(
+        "factory", [triangle_hypergraph, lambda: cycle_hypergraph(4),
+                    lambda: hn_hypergraph(4)],
+        ids=["C3", "C4", "H4"],
+    )
+    def test_cyclic_direction(self, factory):
+        bags = counterexample_for_cyclic(factory())
+        assert verify_counterexample(bags)
+
+
+class TestSection4RelationsCounterexample:
+    """R(AB)={00,11}, S(BC)={01,10}, T(AC)={00,11}: pairwise consistent,
+    not globally consistent (relations)."""
+
+    def test_bfmy_example(self):
+        rels = bfmy_counterexample()
+        assert relations_pairwise_consistent(rels)
+        assert not relations_globally_consistent(rels)
+
+
+class TestTheorem3:
+    """Witness size bounds; Corollary 3 (NP membership) via the small
+    certificate."""
+
+    def test_bounds_on_a_cyclic_witness(self, rng):
+        from repro.consistency import global_witness
+        from repro.workloads import random_collection_over
+
+        bags = random_collection_over(triangle_hypergraph(), rng, n_tuples=3)
+        result = global_witness(bags, method="search")
+        assert result.consistent
+        report = check_theorem3_bounds(bags, result.witness)
+        assert report.multiplicity_ok and report.support_unary_ok
+
+    def test_minimal_witness_binary_bound(self, rng):
+        from repro.consistency import global_witness
+        from repro.workloads import random_collection_over
+
+        bags = random_collection_over(triangle_hypergraph(), rng, n_tuples=2)
+        result = global_witness(bags, method="search")
+        slim = minimize_witness(bags, result.witness)
+        report = check_theorem3_bounds(bags, slim, minimal=True)
+        assert report.all_ok
+
+
+class TestExample1:
+    """Binary multiplicities force the third statement of Theorem 3: the
+    join-shaped witness has support 2^n while the input has size
+    O(n^2)."""
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_join_witness_is_exponential(self, n):
+        bags, witness = example1_instance(n)
+        assert is_witness(bags, witness)
+        assert witness.support_size == 2**n
+        input_support = sum(b.support_size for b in bags)
+        assert input_support == 4 * (n - 1)
+
+
+class TestTheorem4Dichotomy:
+    """GCPB(H): polynomial for acyclic H, NP-complete for cyclic H.  The
+    complexity claim itself is asymptotic; here we check the algorithmic
+    split: the acyclic decider never searches, the cyclic one does."""
+
+    def test_acyclic_path_answered_by_pairwise(self, rng):
+        from repro.consistency import global_witness
+        from repro.workloads import planted_collection
+
+        schemas = list(path_hypergraph(5).edges)
+        _, bags = planted_collection(schemas, rng)
+        result = global_witness(bags)
+        assert result.method == "acyclic"
+
+    def test_cyclic_triangle_goes_to_search(self, rng):
+        from repro.consistency import global_witness
+        from repro.workloads import random_collection_over
+
+        bags = random_collection_over(triangle_hypergraph(), rng, n_tuples=2)
+        result = global_witness(bags)
+        assert result.method == "search"
+
+    def test_gcpb_c3_equals_3dct(self):
+        """Lemma 6's observation: GCPB(C3) generalizes 3DCT."""
+        from repro.reductions import ThreeDCT, decide_3dct
+
+        yes = ThreeDCT(2, {(1, 1): 1}, {(1, 1): 1}, {(1, 1): 1})
+        no = ThreeDCT(2, {(1, 1): 2}, {(1, 1): 1}, {(1, 1): 1})
+        assert decide_3dct(yes)
+        assert not decide_3dct(no)
+
+
+class TestTheorem5AndCorollary4:
+    """Minimal two-bag witnesses have support at most
+    ||R||supp + ||S||supp and are computable in strongly polynomial
+    time."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_on_witness_family(self, n):
+        r, s = witness_family_pair(n)
+        w = minimal_pairwise_witness(r, s)
+        assert is_witness([r, s], w)
+        assert check_theorem5_bound(r, s, w)
+
+
+class TestTheorem6:
+    """Acyclic global witness in polynomial time, support bounded by the
+    sum of input support sizes."""
+
+    def test_on_chain(self, rng):
+        from repro.workloads import planted_collection
+
+        schemas = [Schema(["A", "B"]), Schema(["B", "C"]), Schema(["C", "D"]),
+                   Schema(["D", "E"])]
+        _, bags = planted_collection(schemas, rng, n_tuples=4)
+        w = acyclic_global_witness(bags)
+        assert is_witness(bags, w)
+        assert w.support_size <= sum(b.support_size for b in bags)
+
+    def test_multiplicities_respect_theorem3(self, rng):
+        from repro.workloads import planted_collection
+
+        schemas = [Schema(["A", "B"]), Schema(["B", "C"])]
+        _, bags = planted_collection(schemas, rng)
+        w = acyclic_global_witness(bags)
+        assert w.multiplicity_bound <= max(
+            b.multiplicity_bound for b in bags
+        )
+
+
+class TestTseitinCounterexampleInternals:
+    """Step 2 of Theorem 2: the modular argument in executable form."""
+
+    def test_no_support_tuple_satisfies_all_congruences(self):
+        h = cycle_hypergraph(4)
+        bags = tseitin_collection(list(h.edges))
+        d = h.regularity()
+        # Any global witness tuple t would need sum over each edge == 0
+        # (mod d) except the charged one == 1; summing gives 0 == 1 mod d.
+        joined = bags[0].support()
+        for bag in bags[1:]:
+            joined = joined.join(bag.support())
+        assert len(joined) == 0 or not decide_global_consistency(bags)

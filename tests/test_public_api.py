@@ -1,0 +1,56 @@
+"""The public API surface: everything advertised in __all__ exists, and
+the README quickstart runs."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_module_docstring_quickstart():
+    """The doctest shown in the package docstring."""
+    from repro import Bag, Schema, are_consistent, consistency_witness
+
+    r = Bag.from_pairs(Schema(["A", "B"]), [((1, 2), 1), ((2, 2), 1)])
+    s = Bag.from_pairs(Schema(["B", "C"]), [((2, 1), 1), ((2, 2), 1)])
+    assert are_consistent(r, s)
+    assert consistency_witness(r, s).schema == Schema(["A", "B", "C"])
+
+
+def test_subpackages_importable():
+    import repro.consistency
+    import repro.core
+    import repro.flows
+    import repro.hypergraphs
+    import repro.lp
+    import repro.reductions
+    import repro.workloads
+
+    for module in (
+        repro.consistency,
+        repro.core,
+        repro.flows,
+        repro.hypergraphs,
+        repro.lp,
+        repro.reductions,
+        repro.workloads,
+    ):
+        assert module.__doc__
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not inspect.getdoc(obj):
+                missing.append(name)
+    assert not missing, f"missing docstrings: {missing}"

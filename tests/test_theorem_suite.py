@@ -1,0 +1,147 @@
+"""The heavy theorem suite: the paper's central claims at higher
+hypothesis example counts.
+
+These are the properties whose failure would falsify the reproduction;
+they run with more examples than the per-module tests, on instance sizes
+where all oracles are still fast.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import (
+    are_consistent,
+    consistency_witness,
+    decide_global_consistency,
+    is_witness,
+    minimal_pairwise_witness,
+    pairwise_consistent,
+)
+from repro.consistency.pairwise import (
+    consistent_via_flow,
+    consistent_via_integer_search,
+    consistent_via_lp,
+)
+from repro.core import Bag, Schema
+from repro.hypergraphs import is_acyclic, is_acyclic_via_chordal_conformal
+from repro.hypergraphs.hypergraph import hypergraph_of_bags
+from tests.conftest import (
+    bags_over,
+    consistent_bag_pairs,
+    hypergraphs,
+    planted_collections,
+    schema_pairs,
+)
+
+HEAVY = settings(
+    deadline=None,
+    max_examples=150,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def arbitrary_pairs(draw):
+    """Pairs with NO planted witness — consistent and inconsistent mixed."""
+    left, right = draw(schema_pairs())
+    r = draw(bags_over(left, max_tuples=4, max_multiplicity=3))
+    s = draw(bags_over(right, max_tuples=4, max_multiplicity=3))
+    return r, s
+
+
+@HEAVY
+@given(arbitrary_pairs())
+def test_lemma2_four_deciders_agree_on_arbitrary_pairs(pair):
+    """Lemma 2 on arbitrary pairs: the four polynomial/exact deciders
+    give one answer (the marginal test is the reference)."""
+    r, s = pair
+    expected = are_consistent(r, s)
+    assert consistent_via_flow(r, s) == expected
+    assert consistent_via_integer_search(r, s) == expected
+    assert consistent_via_lp(r, s) == expected
+
+
+@HEAVY
+@given(consistent_bag_pairs())
+def test_corollary1_and_4_on_consistent_pairs(data):
+    """Witness and minimal witness always verify; Theorem 5 bound always
+    holds.
+
+    Note: minimality is *inclusion*-minimality of the support, not
+    minimum cardinality — a different witness may have fewer tuples on
+    an incomparable support, so no cross-witness size comparison is
+    asserted."""
+    _, r, s = data
+    w = consistency_witness(r, s)
+    assert is_witness([r, s], w)
+    mw = minimal_pairwise_witness(r, s)
+    assert is_witness([r, s], mw)
+    assert mw.support_size <= r.support_size + s.support_size
+
+
+@HEAVY
+@given(planted_collections(min_bags=2, max_bags=4))
+def test_theorem2_acyclic_direction(data):
+    """Pairwise consistent + acyclic => globally consistent, on every
+    planted collection whose schema happens to be acyclic."""
+    _, bags = data
+    assert pairwise_consistent(bags)
+    if is_acyclic(hypergraph_of_bags(bags)):
+        assert decide_global_consistency(bags)
+
+
+@HEAVY
+@given(hypergraphs(max_edges=6, max_arity=3))
+def test_theorem1_structural_equivalence(h):
+    """(a) <=> (b) at high example count."""
+    assert is_acyclic(h) == is_acyclic_via_chordal_conformal(h)
+
+
+@HEAVY
+@given(arbitrary_pairs())
+def test_consistency_is_symmetric(pair):
+    r, s = pair
+    assert are_consistent(r, s) == are_consistent(s, r)
+
+
+@HEAVY
+@given(consistent_bag_pairs(), st.integers(1, 4))
+def test_consistency_is_scale_invariant(data, factor):
+    """Scaling both bags by the same factor preserves consistency and
+    scales the witness."""
+    _, r, s = data
+    rs, ss = r.scale(factor), s.scale(factor)
+    assert are_consistent(rs, ss)
+    w = consistency_witness(r, s)
+    assert is_witness([rs, ss], w.scale(factor))
+
+
+@HEAVY
+@given(arbitrary_pairs())
+def test_certificates_complete_and_sound(pair):
+    """A pairwise certificate exists iff the pair is inconsistent, and
+    always verifies."""
+    from repro.consistency import pairwise_certificate, verify_certificate
+
+    r, s = pair
+    cert = pairwise_certificate(r, s)
+    if are_consistent(r, s):
+        assert cert is None
+    else:
+        assert cert is not None
+        assert verify_certificate([r, s], cert)
+
+
+@HEAVY
+@given(consistent_bag_pairs())
+def test_witness_marginal_roundtrip(data):
+    """Any witness marginalizes exactly onto its generators — no drift
+    through schema canonicalization."""
+    plant, r, s = data
+    assert plant.marginal(r.schema) == r
+    assert plant.marginal(s.schema) == s
+    w = consistency_witness(r, s)
+    assert w.marginal(r.schema) == r
+    assert w.marginal(s.schema) == s

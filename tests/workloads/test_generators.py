@@ -1,0 +1,98 @@
+"""Unit tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.consistency.global_ import pairwise_consistent
+from repro.consistency.pairwise import are_consistent
+from repro.consistency.witness import is_witness
+from repro.core.schema import Schema
+from repro.hypergraphs.families import path_hypergraph
+from repro.workloads.generators import (
+    example1_instance,
+    inconsistent_pair,
+    perturb_bag,
+    planted_collection,
+    planted_pair,
+    random_bag,
+    random_collection_over,
+    witness_family_pair,
+)
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+class TestRandomBags:
+    def test_respects_bounds(self, rng):
+        bag = random_bag(AB, rng, domain_size=2, n_tuples=3, max_multiplicity=2)
+        assert bag.support_size <= 3
+        assert all(v in (0, 1) for row in bag.support_rows() for v in row)
+
+    def test_deterministic_under_seed(self):
+        b1 = random_bag(AB, random.Random(9))
+        b2 = random_bag(AB, random.Random(9))
+        assert b1 == b2
+
+
+class TestPlanted:
+    def test_planted_pair_is_consistent(self, rng):
+        plant, r, s = planted_pair(AB, BC, rng)
+        assert are_consistent(r, s)
+        assert is_witness([r, s], plant)
+
+    def test_planted_collection_is_witnessed(self, rng):
+        plant, bags = planted_collection([AB, BC, Schema(["C", "D"])], rng)
+        assert is_witness(bags, plant)
+        assert pairwise_consistent(bags)
+
+    def test_random_collection_over_hypergraph(self, rng):
+        bags = random_collection_over(path_hypergraph(4), rng)
+        assert [b.schema for b in bags] == list(path_hypergraph(4).edges)
+        assert pairwise_consistent(bags)
+
+
+class TestPerturbation:
+    def test_perturbed_pair_is_inconsistent(self, rng):
+        for _ in range(10):
+            r, s = inconsistent_pair(AB, BC, rng)
+            assert not are_consistent(r, s)
+
+    def test_perturb_changes_total(self, rng):
+        bag = random_bag(AB, rng)
+        assert perturb_bag(bag, rng).unary_size == bag.unary_size + 1
+
+    def test_perturb_empty_bag(self, rng):
+        from repro.core.bags import Bag
+
+        bumped = perturb_bag(Bag.empty(AB), rng)
+        assert bumped.unary_size == 1
+
+
+class TestPaperFamilies:
+    def test_witness_family_shape(self):
+        r, s = witness_family_pair(4)
+        assert r.support_size == 6  # 2(n-1) rows
+        assert s.support_size == 6
+        assert are_consistent(r, s)
+
+    def test_witness_family_minimum_n(self):
+        with pytest.raises(ValueError):
+            witness_family_pair(1)
+
+    def test_witness_family_n2_matches_paper_example(self):
+        """n = 2 gives exactly the R1, S1 of Section 3."""
+        r, s = witness_family_pair(2)
+        assert dict(r.items()) == {(1, 2): 1, (2, 2): 1}
+        assert dict(s.items()) == {(2, 1): 1, (2, 2): 1}
+
+    def test_example1_witnessed(self):
+        bags, witness = example1_instance(3)
+        assert is_witness(bags, witness)
+        assert all(b.multiplicity_bound == 2**3 for b in bags)
+        assert witness.support_size == 2**3
+
+    def test_example1_minimum_n(self):
+        with pytest.raises(ValueError):
+            example1_instance(1)

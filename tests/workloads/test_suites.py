@@ -1,0 +1,57 @@
+"""The named instance-suite registry."""
+
+import pytest
+
+from repro.consistency.global_ import decide_global_consistency
+from repro.workloads.suites import get_suite, list_suites
+
+
+class TestRegistry:
+    def test_all_suites_listed(self):
+        names = [s.name for s in list_suites()]
+        assert "tseitin-cycle" in names
+        assert "planted-path" in names
+        assert names == sorted(names)
+
+    def test_unknown_suite_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="available"):
+            get_suite("nope")
+
+    def test_min_size_enforced(self):
+        with pytest.raises(ValueError):
+            get_suite("tseitin-cycle").build(2)
+
+
+class TestExpectedAnswers:
+    @pytest.mark.parametrize("name", [s.name for s in list_suites()])
+    def test_expected_answer_holds_at_min_size(self, name):
+        suite = get_suite(name)
+        bags = suite.build(suite.min_size, seed=1)
+        if suite.expected == "depends":
+            return
+        answer = decide_global_consistency(bags, node_budget=2_000_000)
+        assert answer == (suite.expected == "consistent"), suite.name
+
+    @pytest.mark.parametrize(
+        "name, size",
+        [("planted-path", 5), ("tseitin-cycle", 5), ("witness-family", 5),
+         ("perturbed-path", 4), ("example1", 4)],
+    )
+    def test_expected_answer_holds_at_larger_sizes(self, name, size):
+        suite = get_suite(name)
+        bags = suite.build(size, seed=2)
+        answer = decide_global_consistency(bags, node_budget=2_000_000)
+        assert answer == (suite.expected == "consistent")
+
+    def test_determinism_under_seed(self):
+        suite = get_suite("planted-path")
+        assert suite.build(3, seed=7) == suite.build(3, seed=7)
+
+    def test_schema_kind_matches_reality(self):
+        from repro.hypergraphs.acyclicity import is_acyclic
+        from repro.hypergraphs.hypergraph import hypergraph_of_bags
+
+        for suite in list_suites():
+            bags = suite.build(max(suite.min_size, 3), seed=0)
+            acyclic = is_acyclic(hypergraph_of_bags(bags))
+            assert acyclic == (suite.schema_kind == "acyclic"), suite.name
