@@ -4,6 +4,9 @@
 The package implements, from scratch, the paper's full pipeline:
 
 * bags (multiset relations), marginals, bag joins (:mod:`repro.core`);
+* the columnar execution engine: shared projection/join kernels, cached
+  per-bag indexes, and the memoizing batched :class:`Engine` facade
+  (:mod:`repro.engine`);
 * hypergraph acyclicity, join trees, chordality/conformality, and the
   Lemma 3 obstruction machinery (:mod:`repro.hypergraphs`);
 * integral max-flow and exact rational LP/ILP substrates
@@ -64,6 +67,7 @@ from .core import (
     schema,
 )
 from .display import bag_table, collection_summary, relation_table
+from .engine.session import Engine, EngineStats
 from .errors import (
     AcyclicSchemaError,
     CyclicSchemaError,
@@ -95,6 +99,8 @@ __all__ = [
     "Bag",
     "ConsistencyProgram",
     "CyclicSchemaError",
+    "Engine",
+    "EngineStats",
     "Hypergraph",
     "InconsistentError",
     "KRelation",

@@ -19,9 +19,14 @@ Usage (all inputs are the JSON encodings of :mod:`repro.io`):
   collection over an acyclic schema into global consistency.
 * ``python -m repro analyze R.json S.json`` — witness-space ambiguity
   report (per-tuple multiplicity ranges).
+* ``python -m repro batch JOBS.json [-o OUT] [--witnesses]`` — run many
+  pair checks, global checks, and named workload suites through one
+  memoizing :class:`repro.engine.Engine`; emits a JSON report with
+  per-job results plus the engine's cache statistics.
 
 Exit codes: 0 for "yes"/success, 1 for "no" (inconsistent / cyclic),
-2 for usage or input errors.
+2 for usage or input errors.  ``batch`` exits 0 when every job ran
+(individual verdicts live in the report).
 """
 
 from __future__ import annotations
@@ -179,6 +184,89 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Batched serving: one engine, many jobs.
+
+    The jobs file is a JSON object with any of the keys:
+
+    * ``"pairs"``: a list of two-element lists of bag encodings —
+      consistency of each pair (plus a witness with ``--witnesses``);
+    * ``"collections"``: a list of collection encodings
+      (``{"bags": [...]}``) — the GCPB decision for each;
+    * ``"suites"``: a list of ``[name, size, seed]`` specs resolved via
+      :mod:`repro.workloads.suites`.
+    """
+    import json as json_module
+
+    from .engine.session import Engine
+    from .workloads.suites import run_suites
+
+    jobs = json_module.loads(Path(args.jobs).read_text())
+    if not isinstance(jobs, dict):
+        raise ReproError("batch file must be a JSON object")
+    unknown = set(jobs) - {"pairs", "collections", "suites"}
+    if unknown:
+        raise ReproError(f"unknown batch job keys: {sorted(unknown)}")
+    engine = Engine()
+    report: dict = {}
+    # Intern value-equal bags so repeated jobs share one instance and
+    # therefore one entry in the engine's identity-keyed cache.
+    interned: dict = {}
+
+    def load_bag(encoded: dict):
+        bag = repro_io.bag_from_dict(encoded)
+        return interned.setdefault(bag, bag)
+
+    if jobs.get("pairs"):
+        try:
+            pairs = [
+                (load_bag(left), load_bag(right))
+                for left, right in jobs["pairs"]
+            ]
+        except (TypeError, ValueError) as exc:
+            raise ReproError(f"bad pair entry: {exc}") from exc
+        verdicts = engine.are_consistent_many(pairs)
+        entries = [{"consistent": verdict} for verdict in verdicts]
+        if args.witnesses:
+            for entry, witness in zip(entries, engine.witness_many(pairs)):
+                if witness is not None:
+                    entry["witness"] = repro_io.bag_to_dict(witness)
+        report["pairs"] = entries
+    if jobs.get("collections"):
+        try:
+            collections = [
+                [load_bag(encoded) for encoded in entry["bags"]]
+                for entry in jobs["collections"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad collection entry: {exc}") from exc
+        report["collections"] = [
+            {"consistent": outcome.consistent, "method": outcome.method}
+            for outcome in engine.global_check_many(
+                collections, method=args.method
+            )
+        ]
+    if jobs.get("suites"):
+        specs = [tuple(spec) for spec in jobs["suites"]]
+        try:
+            report["suites"] = [
+                result.as_dict()
+                for result in run_suites(
+                    specs, engine=engine, method=args.method
+                )
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad suite spec: {exc}") from exc
+    report["stats"] = engine.stats.as_dict()
+    text = json_module.dumps(report, indent=2)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"batch report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import format_report, witness_space_report
 
@@ -255,6 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("left")
     p.add_argument("right")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "batch",
+        help="run many pair/collection/suite jobs through one engine",
+    )
+    p.add_argument("jobs")
+    p.add_argument(
+        "--method", choices=["auto", "acyclic", "search"], default="auto"
+    )
+    p.add_argument(
+        "--witnesses",
+        action="store_true",
+        help="include a witness bag for every consistent pair",
+    )
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -26,31 +26,28 @@ from typing import Sequence
 
 from ..core.bags import Bag
 from ..core.relations import Relation, join_all
-from ..core.schema import Schema
+from ..core.schema import Schema, projection_plan
+from ..engine import kernels
+from ..engine.index import BagIndex, RelationIndex
 from ..errors import CyclicSchemaError, SchemaError
-from ..hypergraphs.acyclicity import join_tree
+from ..hypergraphs.acyclicity import JoinTree, join_tree
 from ..hypergraphs.hypergraph import Hypergraph
 
 
 def semijoin(r: Relation, s: Relation) -> Relation:
     """The semijoin r |>< s: tuples of r whose common-attribute
-    projection appears in s."""
+    projection appears in s.
+
+    The probe-side key set is memoized on s (a full-reducer program
+    semijoins against the same relation once per tree neighbour), and
+    the filter runs one precompiled projection per row.
+    """
     common = r.schema & s.schema
-    allowed = s.project(common).rows
-    return Relation(
-        r.schema,
-        [
-            row
-            for row in r.rows
-            if _project_raw(row, r.schema, common) in allowed
-        ],
+    allowed = RelationIndex.of(s).key_set(common)
+    kept = kernels.semi_join_rows(
+        r.rows, projection_plan(r.schema.attrs, common.attrs), allowed
     )
-
-
-def _project_raw(row: tuple, source: Schema, target: Schema) -> tuple:
-    from ..core.schema import project_values
-
-    return project_values(row, source, target)
+    return Relation._from_clean(r.schema, frozenset(kept))
 
 
 def full_reducer_program(
@@ -65,7 +62,10 @@ def full_reducer_program(
     for cyclic hypergraphs — Beeri et al. prove no full reducer exists
     there.
     """
-    tree = join_tree(hypergraph)  # raises when cyclic
+    return _program_from_tree(join_tree(hypergraph))  # raises when cyclic
+
+
+def _program_from_tree(tree: JoinTree) -> list[tuple[int, int]]:
     children = tree.children()
     # Post-order (leaves first) for the upward pass.
     order: list[int] = []
@@ -86,9 +86,13 @@ def full_reducer_program(
     return program
 
 
-def fully_reduce(relations: Sequence[Relation]) -> list[Relation]:
-    """Apply a full reducer to a collection of relations over an acyclic
-    schema; the result is the collection of projections of the join.
+def fully_reduce_with_tree(
+    relations: Sequence[Relation],
+) -> tuple[list[Relation], JoinTree]:
+    """Apply a full reducer and also return the join tree it ran along.
+
+    Yannakakis' bottom-up pass needs the very same tree, so exposing it
+    here saves the caller a second GYO reduction over the hypergraph.
 
     Matches the relations to hyperedges by schema; duplicate schemas are
     intersected first (two relations over the same schema jointly
@@ -103,13 +107,20 @@ def fully_reduce(relations: Sequence[Relation]) -> list[Relation]:
         else:
             by_schema[relation.schema] = relation
     hypergraph = Hypergraph.from_schemas(list(by_schema))
-    current = {schema: rel for schema, rel in by_schema.items()}
+    tree = join_tree(hypergraph)  # raises when cyclic
     edges = list(hypergraph.edges)
-    working = [current[edge] for edge in edges]
-    for target, source in full_reducer_program(hypergraph):
+    working = [by_schema[edge] for edge in edges]
+    for target, source in _program_from_tree(tree):
         working[target] = semijoin(working[target], working[source])
     reduced_by_schema = dict(zip(edges, working))
-    return [reduced_by_schema[rel.schema] for rel in relations]
+    return [reduced_by_schema[rel.schema] for rel in relations], tree
+
+
+def fully_reduce(relations: Sequence[Relation]) -> list[Relation]:
+    """Apply a full reducer to a collection of relations over an acyclic
+    schema; the result is the collection of projections of the join."""
+    reduced, _ = fully_reduce_with_tree(relations)
+    return reduced
 
 
 def is_fully_reduced(relations: Sequence[Relation]) -> bool:
@@ -131,10 +142,12 @@ def bag_semijoin_candidate(r: Bag, s: Bag) -> Bag:
     so support-level reduction cannot certify global consistency.
     """
     common = r.schema & s.schema
-    allowed = s.support().project(common).rows
-    return r.restrict(
-        lambda tup: tup.project(common).values in allowed
-    )
+    allowed = BagIndex.of(s).key_set(common)
+    key = projection_plan(r.schema.attrs, common.attrs)
+    kept = {
+        row: mult for row, mult in r.items() if key(row) in allowed
+    }
+    return Bag._from_clean(r.schema, kept)
 
 
 def bag_full_reducer_counterexample() -> tuple[Bag, Bag]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Literal, Sequence
+from typing import Callable, Literal, Sequence
 
 from ..core.bags import Bag
 from ..core.schema import Schema
@@ -33,12 +33,21 @@ from .program import ConsistencyProgram
 from .witness import is_witness, minimal_pairwise_witness
 
 Method = Literal["auto", "acyclic", "search"]
+PairChecker = Callable[[Bag, Bag], bool]
 
 
-def pairwise_consistent(bags: Sequence[Bag]) -> bool:
-    """Every two bags of the collection are consistent (Section 4)."""
+def pairwise_consistent(
+    bags: Sequence[Bag], pair_checker: PairChecker | None = None
+) -> bool:
+    """Every two bags of the collection are consistent (Section 4).
+
+    ``pair_checker`` lets a caller route the two-bag test through a
+    memoizing layer (the :class:`repro.engine.Engine` passes its cached
+    ``are_consistent``); the default is the direct Lemma 2(2) test.
+    """
+    check = pair_checker or are_consistent
     return all(
-        are_consistent(bags[i], bags[j])
+        check(bags[i], bags[j])
         for i, j in combinations(range(len(bags)), 2)
     )
 
@@ -82,21 +91,25 @@ def _dedupe_by_schema(bags: Sequence[Bag]) -> list[Bag]:
 
 
 def acyclic_global_witness(
-    bags: Sequence[Bag], minimal: bool = True
+    bags: Sequence[Bag],
+    minimal: bool = True,
+    pair_checker: PairChecker | None = None,
 ) -> Bag:
     """Theorem 6: a witness to global consistency over an acyclic schema.
 
-    Requires the collection to be pairwise consistent (checked; raises
-    :class:`InconsistentError` otherwise) and the schema hypergraph to be
-    acyclic (raises :class:`CyclicSchemaError` otherwise).  Folds
-    two-bag witnesses along a running-intersection ordering; with
-    ``minimal=True`` each step uses the Corollary 4 minimal witness,
-    giving ``||T||supp <= sum_i ||Ri||supp`` as Theorem 6 promises
-    (asserted before returning).
+    Requires the collection to be pairwise consistent (checked through
+    ``pair_checker`` when given, so an engine-cached pairwise phase is
+    not redone; raises :class:`InconsistentError` otherwise) and the
+    schema hypergraph to be acyclic (raises
+    :class:`CyclicSchemaError` otherwise).  Folds two-bag witnesses
+    along a running-intersection ordering; with ``minimal=True`` each
+    step uses the Corollary 4 minimal witness, giving
+    ``||T||supp <= sum_i ||Ri||supp`` as Theorem 6 promises (asserted
+    before returning).
     """
     if not bags:
         raise InconsistentError("empty collection has no witness schema")
-    if not pairwise_consistent(bags):
+    if not pairwise_consistent(bags, pair_checker):
         raise InconsistentError("collection is not pairwise consistent")
     deduped = _dedupe_by_schema(bags)
     hypergraph = hypergraph_of_bags(deduped)
@@ -138,6 +151,7 @@ def global_witness(
     method: Method = "auto",
     node_budget: int | None = DEFAULT_NODE_BUDGET,
     lp_presolve: bool = True,
+    pair_checker: PairChecker | None = None,
 ) -> GlobalConsistencyResult:
     """Decide global consistency and produce a witness when one exists.
 
@@ -145,18 +159,19 @@ def global_witness(
     hypergraph is acyclic and falls back to the exact integer search
     otherwise.  ``lp_presolve`` runs the rational relaxation first on the
     search path — an exact necessary condition that short-circuits many
-    infeasible instances.
+    infeasible instances.  ``pair_checker`` is forwarded to the pairwise
+    phase (see :func:`pairwise_consistent`).
     """
     if not bags:
         raise InconsistentError("empty collection")
-    if not pairwise_consistent(bags):
+    if not pairwise_consistent(bags, pair_checker):
         return GlobalConsistencyResult(False, None, "pairwise")
     hypergraph = hypergraph_of_bags(bags)
     use_acyclic = method == "acyclic" or (
         method == "auto" and is_acyclic(hypergraph)
     )
     if use_acyclic:
-        witness = acyclic_global_witness(bags)
+        witness = acyclic_global_witness(bags, pair_checker=pair_checker)
         return GlobalConsistencyResult(True, witness, "acyclic")
     if method == "acyclic":
         raise CyclicSchemaError(
@@ -178,6 +193,7 @@ def decide_global_consistency(
     bags: Sequence[Bag],
     method: Method = "auto",
     node_budget: int | None = DEFAULT_NODE_BUDGET,
+    pair_checker: PairChecker | None = None,
 ) -> bool:
     """The GCPB decision problem: are the bags globally consistent?
 
@@ -188,7 +204,7 @@ def decide_global_consistency(
     """
     if not bags:
         raise InconsistentError("empty collection")
-    if not pairwise_consistent(bags):
+    if not pairwise_consistent(bags, pair_checker):
         return False
     if method != "search":
         hypergraph = hypergraph_of_bags(bags)
@@ -199,4 +215,6 @@ def decide_global_consistency(
                 f"method='acyclic' requested on a cyclic schema: "
                 f"{hypergraph!r}"
             )
-    return global_witness(bags, "search", node_budget).consistent
+    return global_witness(
+        bags, "search", node_budget, pair_checker=pair_checker
+    ).consistent

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.bags import Bag
-from ..core.schema import Schema, project_values
+from ..core.schema import Schema, projection_plan
 from ..errors import MultiplicityError, SchemaError
 
 
@@ -29,24 +29,35 @@ class IncrementalPairChecker:
 
     ``delta[z] = R[Z](z) - S[Z](z)`` for the common schema Z, stored
     sparsely; ``disagreements`` counts non-zero cells.  Updates touch
-    exactly one cell.
+    exactly one cell, through projection plans compiled once at
+    construction (the engine's kernel primitive).
     """
 
     __slots__ = ("left_schema", "right_schema", "common", "_delta",
-                 "_disagreements", "_left", "_right")
+                 "_disagreements", "_left", "_right", "_plans")
 
     def __init__(self, left: Bag, right: Bag) -> None:
         self.left_schema = left.schema
         self.right_schema = right.schema
         self.common = left.schema & right.schema
+        self._plans = {
+            self.left_schema: projection_plan(
+                self.left_schema.attrs, self.common.attrs
+            ),
+            self.right_schema: projection_plan(
+                self.right_schema.attrs, self.common.attrs
+            ),
+        }
         self._left = dict(left.items())
         self._right = dict(right.items())
         self._delta: dict[tuple, int] = {}
         self._disagreements = 0
+        left_key = self._plans[self.left_schema]
+        right_key = self._plans[self.right_schema]
         for row, mult in left.items():
-            self._bump(project_values(row, left.schema, self.common), mult)
+            self._bump(left_key(row), mult)
         for row, mult in right.items():
-            self._bump(project_values(row, right.schema, self.common), -mult)
+            self._bump(right_key(row), -mult)
 
     def _bump(self, cell: tuple, amount: int) -> None:
         if amount == 0:
@@ -91,7 +102,7 @@ class IncrementalPairChecker:
             side.pop(row, None)
         else:
             side[row] = new
-        self._bump(project_values(row, schema, self.common), sign * amount)
+        self._bump(self._plans[schema](row), sign * amount)
 
     def update_left(self, row: tuple, amount: int) -> None:
         """Add ``amount`` (possibly negative) copies of ``row`` to the

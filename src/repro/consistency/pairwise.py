@@ -25,7 +25,8 @@ from __future__ import annotations
 from fractions import Fraction
 
 from ..core.bags import Bag
-from ..core.schema import project_values
+from ..engine import kernels
+from ..engine.index import BagIndex
 from ..errors import InconsistentError
 from ..flows.maxflow import FlowResult, saturated_flow
 from ..flows.network import FlowNetwork
@@ -54,6 +55,10 @@ def build_network(r: Bag, s: Bag) -> FlowNetwork:
     edges carry R(r), sink edges carry S(s), and middle edges (one per
     join tuple) carry "unbounded" capacity, realized as the total
     multiplicity of R (no flow can exceed it).
+
+    Join tuples are in bijection with matching support pairs, so the
+    engine streams ``(r row, s row)`` pairs straight out of S's cached
+    common-attribute buckets instead of materializing the support join.
     """
     network = FlowNetwork(SOURCE, SINK)
     unbounded = max(r.unary_size, s.unary_size, 1)
@@ -61,12 +66,12 @@ def build_network(r: Bag, s: Bag) -> FlowNetwork:
         network.add_edge(SOURCE, ("r", row), mult)
     for row, mult in s.items():
         network.add_edge(("s", row), SINK, mult)
-    join = r.support().join(s.support())
-    union = join.schema
-    for t in join.rows:
-        left = project_values(t, union, r.schema)
-        right = project_values(t, union, s.schema)
-        network.add_edge(("r", left), ("s", right), unbounded)
+    plan = kernels.join_plan(r.schema.attrs, s.schema.attrs)
+    buckets = BagIndex.of(s).buckets(plan.common)
+    for lrow, (rrow, _) in kernels.iter_join_pairs(
+        r.support_rows(), plan, buckets
+    ):
+        network.add_edge(("r", lrow), ("s", rrow), unbounded)
     return network
 
 
@@ -77,17 +82,22 @@ def consistent_via_flow(r: Bag, s: Bag) -> bool:
 
 def witness_from_flow(r: Bag, s: Bag, flow: FlowResult) -> Bag:
     """The witness T(t) := f(t[X], t[Y]) extracted from a saturated flow
-    (the (5) => (1) step of Lemma 2)."""
-    union = r.schema | s.schema
-    join = r.support().join(s.support())
+    (the (5) => (1) step of Lemma 2).
+
+    Each join tuple t is emitted from its unique matching support pair,
+    so the flow on the pair's middle edge is exactly T(t).
+    """
+    plan = kernels.join_plan(r.schema.attrs, s.schema.attrs)
+    buckets = BagIndex.of(s).buckets(plan.common)
+    emit = plan.emit
     mults: dict[tuple, int] = {}
-    for t in join.rows:
-        left = ("r", project_values(t, union, r.schema))
-        right = ("s", project_values(t, union, s.schema))
-        value = flow.on(left, right)
+    for lrow, (rrow, _) in kernels.iter_join_pairs(
+        r.support_rows(), plan, buckets
+    ):
+        value = flow.on(("r", lrow), ("s", rrow))
         if value:
-            mults[t] = value
-    return Bag(union, mults)
+            mults[emit(lrow + rrow)] = value
+    return Bag._from_clean(plan.union, mults)
 
 
 def consistency_witness(r: Bag, s: Bag) -> Bag:
@@ -109,18 +119,22 @@ def rational_witness(r: Bag, s: Bag) -> dict[tuple, Fraction]:
     Keys are raw join tuples over the union schema.  Raises
     :class:`InconsistentError` when R[Z] != S[Z].
     """
-    common = r.schema & s.schema
-    if r.marginal(common) != s.marginal(common):
-        raise InconsistentError("bags disagree on their common marginal")
-    union = r.schema | s.schema
+    plan = kernels.join_plan(r.schema.attrs, s.schema.attrs)
+    common = plan.common
     r_common = r.marginal(common)
-    join = r.support().join(s.support())
+    if r_common != s.marginal(common):
+        raise InconsistentError("bags disagree on their common marginal")
+    buckets = BagIndex.of(s).buckets(common)
+    left_key, emit = plan.left_key, plan.emit
+    denominators = r_common._mults
     out: dict[tuple, Fraction] = {}
-    for t in join.rows:
-        x = project_values(t, union, r.schema)
-        y = project_values(t, union, s.schema)
-        z = project_values(t, union, common)
-        out[t] = Fraction(r.multiplicity(x) * s.multiplicity(y), r_common.multiplicity(z))
+    for lrow, lmult in r.items():
+        bucket = buckets.get(left_key(lrow))
+        if not bucket:
+            continue
+        denominator = denominators[left_key(lrow)]
+        for rrow, rmult in bucket:
+            out[emit(lrow + rrow)] = Fraction(lmult * rmult, denominator)
     return out
 
 

@@ -30,8 +30,9 @@ from typing import Sequence
 
 from ..core.krelations import KRelation
 from ..core.relations import join_all
-from ..core.schema import Schema, project_values
+from ..core.schema import Schema
 from ..core.semirings import BOOLEAN, NATURALS, NONNEG_RATIONALS
+from ..engine import kernels
 from ..errors import InconsistentError, MultiplicityError
 from ..hypergraphs.acyclicity import running_intersection_order
 from ..hypergraphs.hypergraph import Hypergraph
@@ -67,25 +68,26 @@ def rational_pairwise_witness(r: KRelation, s: KRelation) -> KRelation:
             raise MultiplicityError(
                 f"expected Q>=0-relations, got {k.semiring.name}"
             )
-    common = r.schema & s.schema
+    plan = kernels.join_plan(r.schema.attrs, s.schema.attrs)
+    common = plan.common
     r_common = r.marginal(common)
     if r_common != s.marginal(common):
         raise InconsistentError(
             "Q>=0-relations disagree on their common marginal"
         )
-    union = r.schema | s.schema
-    join = r.to_relation().join(s.to_relation())
+    buckets = kernels.group_items(s.items(), plan.right_key)
+    left_key, emit = plan.left_key, plan.emit
     annots: dict[tuple, Fraction] = {}
-    for t in join.rows:
-        x = project_values(t, union, r.schema)
-        y = project_values(t, union, s.schema)
-        z = project_values(t, union, common)
-        annots[t] = (
-            Fraction(r.annotation(x))
-            * Fraction(s.annotation(y))
-            / Fraction(r_common.annotation(z))
-        )
-    return KRelation(union, NONNEG_RATIONALS, annots)
+    for lrow, lval in r.items():
+        bucket = buckets.get(left_key(lrow))
+        if not bucket:
+            continue
+        denominator = Fraction(r_common.annotation(left_key(lrow)))
+        for rrow, rval in bucket:
+            annots[emit(lrow + rrow)] = (
+                Fraction(lval) * Fraction(rval) / denominator
+            )
+    return KRelation(plan.union, NONNEG_RATIONALS, annots)
 
 
 def is_krelation_witness(

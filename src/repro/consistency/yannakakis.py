@@ -29,9 +29,7 @@ from typing import Sequence
 from ..core.relations import Relation, join_all
 from ..core.schema import Schema
 from ..errors import CyclicSchemaError
-from ..hypergraphs.acyclicity import join_tree
-from ..hypergraphs.hypergraph import Hypergraph
-from .full_reducer import fully_reduce
+from .full_reducer import fully_reduce, fully_reduce_with_tree
 
 
 @dataclass(frozen=True)
@@ -71,13 +69,13 @@ def yannakakis_join(relations: Sequence[Relation]) -> JoinTrace:
     """
     if not relations:
         return JoinTrace(join_all([]), ())
-    reduced = fully_reduce(relations)  # raises via join_tree when cyclic
+    # One GYO reduction serves both passes: the reducer hands back the
+    # join tree it ran along (raises via join_tree when cyclic).
+    reduced, tree = fully_reduce_with_tree(relations)
     by_schema: dict[Schema, Relation] = {}
     for relation in reduced:
         # fully_reduce already intersected duplicates; keep one per schema.
         by_schema[relation.schema] = relation
-    hypergraph = Hypergraph.from_schemas(list(by_schema))
-    tree = join_tree(hypergraph)
     children = tree.children()
     sizes: list[int] = []
 

@@ -22,9 +22,11 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from ..engine import kernels
+from ..engine.index import BagIndex
 from ..errors import MultiplicityError, SchemaError
 from .relations import Relation
-from .schema import Attribute, Schema, project_values
+from .schema import Attribute, Schema
 from .tuples import Tup
 
 
@@ -42,10 +44,11 @@ class Bag:
     3
     """
 
-    __slots__ = ("_schema", "_mults")
+    __slots__ = ("_schema", "_mults", "_index")
 
     def __init__(self, schema: Schema, mults: Mapping[tuple, int]) -> None:
         self._schema = schema
+        self._index = None
         cleaned: dict[tuple, int] = {}
         for row, mult in mults.items():
             row = tuple(row)
@@ -67,6 +70,18 @@ class Bag:
         self._mults = cleaned
 
     # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def _from_clean(cls, schema: Schema, mults: dict[tuple, int]) -> "Bag":
+        """Internal fast path: wrap a kernel-produced table without
+        re-validating rows.  The caller guarantees every row has the
+        schema's arity and every multiplicity is a positive int (kernel
+        outputs are sums/products of validated inputs)."""
+        bag = object.__new__(cls)
+        bag._schema = schema
+        bag._mults = mults
+        bag._index = None
+        return bag
 
     @classmethod
     def from_pairs(
@@ -140,7 +155,7 @@ class Bag:
 
     def support(self) -> Relation:
         """Supp(R) as a :class:`Relation` (the paper's ``R'``)."""
-        return Relation(self._schema, self._mults.keys())
+        return Relation._from_clean(self._schema, frozenset(self._mults))
 
     def support_rows(self) -> Iterable[tuple]:
         """Raw support rows (no Relation wrapper); cheap iteration."""
@@ -151,8 +166,12 @@ class Bag:
         return iter(self._mults.items())
 
     def tuples(self) -> Iterator[tuple[Tup, int]]:
-        """Iterate ``(Tup, multiplicity)`` pairs in deterministic order."""
-        for row in sorted(self._mults, key=repr):
+        """Iterate ``(Tup, multiplicity)`` pairs in deterministic order.
+
+        The order is computed once per bag and cached on its index (the
+        seed re-sorted the whole support by ``repr`` on every call).
+        """
+        for row in BagIndex.of(self).sorted_rows():
             yield Tup(self._schema, row), self._mults[row]
 
     def __len__(self) -> int:
@@ -212,38 +231,26 @@ class Bag:
 
     def marginal(self, target: Schema) -> "Bag":
         """The marginal R[Z] of Equation (2): sum multiplicities over
-        tuples with equal projection."""
-        out: dict[tuple, int] = {}
-        for row, mult in self._mults.items():
-            key = project_values(row, self._schema, target)
-            out[key] = out.get(key, 0) + mult
-        return Bag(target, out)
+        tuples with equal projection.
+
+        Routed through the engine kernel and memoized per bag: repeated
+        marginals on the same target (the Lemma 2 consistency test, the
+        pairwise phase of every global check) are computed once.
+        """
+        return BagIndex.of(self).marginal(target)
 
     def bag_join(self, other: "Bag") -> "Bag":
         """The bag join R |><|b S: support is the join of supports, and
-        multiplicities multiply (Section 2)."""
-        common = self._schema & other._schema
-        combined = self._schema | other._schema
-        buckets: dict[tuple, list[tuple[tuple, int]]] = {}
-        for row, mult in other._mults.items():
-            key = project_values(row, other._schema, common)
-            buckets.setdefault(key, []).append((row, mult))
-        left_pos = {a: i for i, a in enumerate(self._schema.attrs)}
-        right_pos = {a: i for i, a in enumerate(other._schema.attrs)}
-        layout = []
-        for attr in combined.attrs:
-            if attr in left_pos:
-                layout.append((0, left_pos[attr]))
-            else:
-                layout.append((1, right_pos[attr]))
-        out: dict[tuple, int] = {}
-        for lrow, lmult in self._mults.items():
-            key = project_values(lrow, self._schema, common)
-            for rrow, rmult in buckets.get(key, ()):
-                sides = (lrow, rrow)
-                joined = tuple(sides[side][i] for side, i in layout)
-                out[joined] = out.get(joined, 0) + lmult * rmult
-        return Bag(combined, out)
+        multiplicities multiply (Section 2).
+
+        A kernel hash join probing the other side's cached buckets, so
+        repeated joins against an unchanged bag skip the build phase.
+        """
+        plan = kernels.join_plan(self._schema.attrs, other._schema.attrs)
+        out = kernels.hash_join_mults(
+            self._mults.items(), plan, BagIndex.of(other).buckets(plan.common)
+        )
+        return Bag._from_clean(plan.union, out)
 
     # -- order and arithmetic ------------------------------------------------
 

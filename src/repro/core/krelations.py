@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping
 
+from ..engine import kernels
 from ..errors import MultiplicityError, SchemaError
 from .bags import Bag
 from .relations import Relation
-from .schema import Schema, project_values
+from .schema import Schema
 from .semirings import BOOLEAN, NATURALS, Semiring
 from .tuples import Tup
 
@@ -134,51 +135,33 @@ class KRelation:
     # -- algebra ----------------------------------------------------------
 
     def marginal(self, target: Schema) -> "KRelation":
-        """Sum annotations over tuples with equal projection on ``target``."""
-        out: dict[tuple, Any] = {}
-        add = self._semiring.add
-        for row, value in self._annots.items():
-            key = project_values(row, self._schema, target)
-            if key in out:
-                out[key] = add(out[key], value)
-            else:
-                out[key] = value
+        """Sum annotations over tuples with equal projection on
+        ``target`` — the engine's semiring-generic aggregation kernel."""
+        out = kernels.aggregate_table(
+            self._annots.items(),
+            self._schema.attrs,
+            target.attrs,
+            self._semiring.add,
+        )
         return KRelation(target, self._semiring, out)
 
     def join(self, other: "KRelation") -> "KRelation":
-        """Natural join with annotations multiplied in K."""
+        """Natural join with annotations multiplied in K — the engine's
+        semiring-generic hash-join kernel."""
         if self._semiring is not other._semiring:
             raise MultiplicityError(
                 f"cannot join a {self._semiring.name}-relation with a "
                 f"{other._semiring.name}-relation"
             )
-        common = self._schema & other._schema
-        combined = self._schema | other._schema
-        mul, add = self._semiring.mul, self._semiring.add
-        buckets: dict[tuple, list[tuple[tuple, Any]]] = {}
-        for row, value in other._annots.items():
-            key = project_values(row, other._schema, common)
-            buckets.setdefault(key, []).append((row, value))
-        left_pos = {a: i for i, a in enumerate(self._schema.attrs)}
-        right_pos = {a: i for i, a in enumerate(other._schema.attrs)}
-        layout = []
-        for attr in combined.attrs:
-            if attr in left_pos:
-                layout.append((0, left_pos[attr]))
-            else:
-                layout.append((1, right_pos[attr]))
-        out: dict[tuple, Any] = {}
-        for lrow, lval in self._annots.items():
-            key = project_values(lrow, self._schema, common)
-            for rrow, rval in buckets.get(key, ()):
-                sides = (lrow, rrow)
-                joined = tuple(sides[side][i] for side, i in layout)
-                product = mul(lval, rval)
-                if joined in out:
-                    out[joined] = add(out[joined], product)
-                else:
-                    out[joined] = product
-        return KRelation(combined, self._semiring, out)
+        plan = kernels.join_plan(self._schema.attrs, other._schema.attrs)
+        out = kernels.hash_join_annotations(
+            self._annots.items(),
+            plan,
+            kernels.group_items(other._annots.items(), plan.right_key),
+            self._semiring.mul,
+            self._semiring.add,
+        )
+        return KRelation(plan.union, self._semiring, out)
 
 
 def krelations_consistent_boolean(r: KRelation, s: KRelation) -> bool:

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from ..engine import kernels
+from ..engine.index import RelationIndex
 from ..errors import SchemaError
-from .schema import Attribute, Schema, project_values
+from .schema import Attribute, Schema
 from .tuples import Tup
 
 
@@ -31,10 +33,11 @@ class Relation:
     2
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_index")
 
     def __init__(self, schema: Schema, rows: Iterable[tuple]) -> None:
         self._schema = schema
+        self._index = None
         frozen = frozenset(tuple(row) for row in rows)
         for row in frozen:
             if len(row) != len(schema):
@@ -45,6 +48,17 @@ class Relation:
         self._rows = frozen
 
     # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def _from_clean(cls, schema: Schema, rows: frozenset) -> "Relation":
+        """Internal fast path: wrap a kernel-produced row set without
+        re-validating arities (kernel outputs are projections/joins of
+        validated rows)."""
+        relation = object.__new__(cls)
+        relation._schema = schema
+        relation._rows = rows
+        relation._index = None
+        return relation
 
     @classmethod
     def from_pairs(
@@ -134,37 +148,18 @@ class Relation:
     # -- relational algebra ----------------------------------------------
 
     def project(self, target: Schema) -> "Relation":
-        """The projection R[Z] under set semantics."""
-        return Relation(
-            target,
-            {project_values(row, self._schema, target) for row in self._rows},
-        )
+        """The projection R[Z] under set semantics, memoized per
+        relation via the engine index."""
+        return RelationIndex.of(self).project(target)
 
     def join(self, other: "Relation") -> "Relation":
-        """Natural join R |><| S (hash join on the common attributes)."""
-        common = self._schema & other._schema
-        combined = self._schema | other._schema
-        # Hash the right side by its common-attribute projection.
-        buckets: dict[tuple, list[tuple]] = {}
-        for row in other._rows:
-            key = project_values(row, other._schema, common)
-            buckets.setdefault(key, []).append(row)
-        # Precompute where each combined attribute comes from.
-        left_pos = {a: i for i, a in enumerate(self._schema.attrs)}
-        right_pos = {a: i for i, a in enumerate(other._schema.attrs)}
-        layout = []
-        for attr in combined.attrs:
-            if attr in left_pos:
-                layout.append((0, left_pos[attr]))
-            else:
-                layout.append((1, right_pos[attr]))
-        out = set()
-        for lrow in self._rows:
-            key = project_values(lrow, self._schema, common)
-            for rrow in buckets.get(key, ()):
-                sides = (lrow, rrow)
-                out.add(tuple(sides[side][i] for side, i in layout))
-        return Relation(combined, out)
+        """Natural join R |><| S: a kernel hash join probing the other
+        side's cached common-attribute buckets."""
+        plan = kernels.join_plan(self._schema.attrs, other._schema.attrs)
+        out = kernels.hash_join_rows(
+            self._rows, plan, RelationIndex.of(other).buckets(plan.common)
+        )
+        return Relation._from_clean(plan.union, frozenset(out))
 
     def restrict(self, predicate) -> "Relation":
         """Selection: keep rows whose :class:`Tup` satisfies ``predicate``."""

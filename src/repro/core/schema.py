@@ -15,7 +15,8 @@ produces bags over the empty schema (the empty tuple with a multiplicity).
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Any, Hashable, Iterable, Iterator
+from operator import itemgetter
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from ..errors import SchemaError
 
@@ -45,7 +46,7 @@ class Schema:
     (['A', 'B'], ['A', 'B', 'C'], ['B'])
     """
 
-    __slots__ = ("_attrs", "_set", "_hash")
+    __slots__ = ("_attrs", "_set", "_hash", "_pos")
 
     def __init__(self, attrs: Iterable[Attribute] = ()) -> None:
         attrs = tuple(attrs)
@@ -55,6 +56,7 @@ class Schema:
         self._attrs = _canonical_sort(attr_set)
         self._set = attr_set
         self._hash = hash(self._attrs)
+        self._pos = {attr: i for i, attr in enumerate(self._attrs)}
 
     @property
     def attrs(self) -> tuple[Attribute, ...]:
@@ -111,10 +113,10 @@ class Schema:
         return self._set.isdisjoint(other._set)
 
     def index_of(self, attr: Attribute) -> int:
-        """Position of ``attr`` in the canonical order."""
+        """Position of ``attr`` in the canonical order (O(1) lookup)."""
         try:
-            return self._attrs.index(attr)
-        except ValueError:
+            return self._pos[attr]
+        except KeyError:
             raise SchemaError(f"attribute {attr!r} not in schema {self!r}")
 
     def without(self, attr: Attribute) -> "Schema":
@@ -154,9 +156,34 @@ def projection_indices(
         ) from exc
 
 
+def _empty_projection(values: tuple) -> tuple:
+    return ()
+
+
+@lru_cache(maxsize=65536)
+def projection_plan(
+    source_attrs: tuple[Attribute, ...], target_attrs: tuple[Attribute, ...]
+) -> Callable[[tuple], tuple]:
+    """A precompiled projector: maps a ``source``-ordered value tuple to
+    its ``target``-ordered projection.
+
+    Built on :func:`operator.itemgetter`, which runs the index gather in
+    C — the engine kernels apply one plan per (source, target) pair to
+    every row of a bag, so the per-row cost is what matters.  The empty
+    and singleton targets need special-casing because ``itemgetter``
+    with one index returns a bare value rather than a 1-tuple.
+    """
+    idx = projection_indices(source_attrs, target_attrs)
+    if not idx:
+        return _empty_projection
+    if len(idx) == 1:
+        only = idx[0]
+        return lambda values: (values[only],)
+    return itemgetter(*idx)
+
+
 def project_values(
     values: tuple, source: Schema, target: Schema
 ) -> tuple:
     """Project a raw value tuple laid out for ``source`` onto ``target``."""
-    idx = projection_indices(source.attrs, target.attrs)
-    return tuple(values[i] for i in idx)
+    return projection_plan(source.attrs, target.attrs)(values)

@@ -1,0 +1,50 @@
+"""The columnar bag-execution engine.
+
+Layering (lowest first):
+
+* :mod:`repro.engine.kernels` — plan-compiled projection / marginal /
+  hash-join / semi-join primitives over raw value tuples;
+* :mod:`repro.engine.index` — per-instance lazy bucket/marginal caches
+  (:class:`BagIndex`, :class:`RelationIndex`);
+* :mod:`repro.engine.session` — the :class:`Engine` facade: memoized
+  marginal/join/consistency queries plus the batched entry points
+  (``are_consistent_many``, ``witness_many``, ``global_check_many``);
+* :mod:`repro.engine.reference` — the seed's pre-engine loops, kept as
+  the oracle for cross-check tests and speedup benchmarks.
+
+The core storage classes (:class:`repro.core.bags.Bag`,
+:class:`repro.core.relations.Relation`) import the kernels, and the
+session imports the core classes, so this package initializer must stay
+import-light: the facade names are exported lazily (PEP 562).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import BagIndex, RelationIndex
+    from .session import Engine, EngineStats
+
+__all__ = ["Engine", "EngineStats", "BagIndex", "RelationIndex", "kernels"]
+
+_LAZY = {
+    "Engine": ("repro.engine.session", "Engine"),
+    "EngineStats": ("repro.engine.session", "EngineStats"),
+    "BagIndex": ("repro.engine.index", "BagIndex"),
+    "RelationIndex": ("repro.engine.index", "RelationIndex"),
+}
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name in ("kernels", "index", "session", "reference"):
+        return importlib.import_module(f"repro.engine.{name}")
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,222 @@
+"""The :class:`Engine` facade: memoized, batched bag-consistency serving.
+
+A production deployment answers many queries against a slowly-changing
+population of bags: the same ledger pair is checked after every sync,
+the same collection is audited under several methods, a dashboard asks
+for witnesses the moment a check passes.  The seed recomputed each
+query from scratch; the :class:`Engine` memoizes per *bag identity*:
+
+* marginals and join buckets live on the bags themselves (see
+  :mod:`repro.engine.index`), so they are shared across engines;
+* pair-level results — consistency verdicts, witnesses, joins — and
+  collection-level global checks are cached in the engine, keyed on
+  ``id()`` of the participating bags (the engine pins a strong
+  reference to every bag it has seen, so ids cannot be recycled while
+  the cache lives).
+
+Batched entry points (:meth:`are_consistent_many`,
+:meth:`witness_many`, :meth:`global_check_many`) are the unit of the
+high-throughput workloads in :mod:`repro.workloads.suites`, the
+``repro batch`` CLI subcommand, and ``benchmarks/bench_engine.py``.
+
+The memoization contract: bags are immutable, so every cached answer
+stays valid forever; :meth:`clear` exists for bounding memory, not for
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.bags import Bag
+from ..core.schema import Schema
+from ..errors import InconsistentError
+from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
+
+__all__ = ["Engine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Query/hit counters per cached operation (diagnostics and tests)."""
+
+    consistency_queries: int = 0
+    consistency_hits: int = 0
+    witness_queries: int = 0
+    witness_hits: int = 0
+    join_queries: int = 0
+    join_hits: int = 0
+    global_queries: int = 0
+    global_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "consistency_queries": self.consistency_queries,
+            "consistency_hits": self.consistency_hits,
+            "witness_queries": self.witness_queries,
+            "witness_hits": self.witness_hits,
+            "join_queries": self.join_queries,
+            "join_hits": self.join_hits,
+            "global_queries": self.global_queries,
+            "global_hits": self.global_hits,
+        }
+
+
+class Engine:
+    """A session-scoped cache over the consistency layer.
+
+    ``node_budget`` bounds the exact integer search used by cyclic
+    global checks (forwarded to the Theorem 4 dispatch).
+    """
+
+    def __init__(self, node_budget: int | None = DEFAULT_NODE_BUDGET) -> None:
+        self.node_budget = node_budget
+        self.stats = EngineStats()
+        self._pinned: dict[int, Bag] = {}
+        self._cache: dict[tuple, object] = {}
+
+    # -- cache plumbing --------------------------------------------------
+
+    def _pin(self, bag: Bag) -> int:
+        key = id(bag)
+        if key not in self._pinned:
+            self._pinned[key] = bag
+        return key
+
+    def clear(self) -> None:
+        """Drop every cached result and pinned bag (memory bound, not a
+        correctness operation — see the module docstring)."""
+        self._pinned.clear()
+        self._cache.clear()
+        self.stats = EngineStats()
+
+    def __len__(self) -> int:
+        """Number of cached results."""
+        return len(self._cache)
+
+    # -- single-query API ------------------------------------------------
+
+    def marginal(self, bag: Bag, target: Schema) -> Bag:
+        """R[Z] — memoized on the bag itself, exposed for symmetry."""
+        return bag.marginal(target)
+
+    def join(self, left: Bag, right: Bag) -> Bag:
+        """The bag join, memoized per (left, right) identity pair."""
+        self.stats.join_queries += 1
+        key = ("join", self._pin(left), self._pin(right))
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = left.bag_join(right)
+            self._cache[key] = cached
+        else:
+            self.stats.join_hits += 1
+        return cached
+
+    def are_consistent(self, left: Bag, right: Bag) -> bool:
+        """Lemma 2(2), memoized.  Consistency is symmetric, so the key
+        is unordered and both orientations share one entry."""
+        self.stats.consistency_queries += 1
+        a, b = self._pin(left), self._pin(right)
+        key = ("consistent", a, b) if a <= b else ("consistent", b, a)
+        cached = self._cache.get(key)
+        if cached is None:
+            from ..consistency.pairwise import are_consistent
+
+            cached = are_consistent(left, right)
+            self._cache[key] = cached
+        else:
+            self.stats.consistency_hits += 1
+        return cached
+
+    def witness(self, left: Bag, right: Bag, minimal: bool = False) -> Bag:
+        """A Corollary 1 (or Corollary 4 minimal) witness, memoized per
+        ordered pair; raises :class:`InconsistentError` exactly when the
+        uncached pipeline would (the refusal is cached too)."""
+        self.stats.witness_queries += 1
+        key = ("witness", self._pin(left), self._pin(right), minimal)
+        if key in self._cache:
+            self.stats.witness_hits += 1
+            cached = self._cache[key]
+        else:
+            from ..consistency.pairwise import consistency_witness
+            from ..consistency.witness import minimal_pairwise_witness
+
+            if not self.are_consistent(left, right):
+                cached = None
+            elif minimal:
+                cached = minimal_pairwise_witness(left, right)
+            else:
+                cached = consistency_witness(left, right)
+            self._cache[key] = cached
+        if cached is None:
+            raise InconsistentError(
+                "bags are not consistent (no saturated flow in N(R, S))"
+            )
+        return cached
+
+    def global_check(
+        self, bags: Sequence[Bag], method: str = "auto"
+    ):
+        """The GCPB decision + witness for one collection, memoized on
+        the tuple of bag identities; the pairwise phase routes through
+        :meth:`are_consistent`, so shared pairs across collections are
+        checked once per engine."""
+        self.stats.global_queries += 1
+        bags = list(bags)
+        key = (
+            "global",
+            tuple(self._pin(bag) for bag in bags),
+            method,
+        )
+        cached = self._cache.get(key)
+        if cached is None:
+            from ..consistency.global_ import global_witness
+
+            cached = global_witness(
+                bags,
+                method=method,  # type: ignore[arg-type]
+                node_budget=self.node_budget,
+                pair_checker=self.are_consistent,
+            )
+            self._cache[key] = cached
+        else:
+            self.stats.global_hits += 1
+        return cached
+
+    # -- batched API -----------------------------------------------------
+
+    def are_consistent_many(
+        self, pairs: Iterable[tuple[Bag, Bag]]
+    ) -> list[bool]:
+        """Lemma 2(2) over a batch of pairs; one verdict per pair."""
+        return [self.are_consistent(left, right) for left, right in pairs]
+
+    def witness_many(
+        self,
+        pairs: Iterable[tuple[Bag, Bag]],
+        minimal: bool = False,
+    ) -> list[Bag | None]:
+        """Witnesses for a batch of pairs: a witness bag per consistent
+        pair, ``None`` per inconsistent one (a batch must not abort on
+        the first inconsistent entry)."""
+        out: list[Bag | None] = []
+        for left, right in pairs:
+            try:
+                out.append(self.witness(left, right, minimal=minimal))
+            except InconsistentError:
+                out.append(None)
+        return out
+
+    def global_check_many(
+        self,
+        collections: Iterable[Sequence[Bag]],
+        method: str = "auto",
+    ) -> list:
+        """GCPB over a batch of collections, sharing the pairwise cache
+        (ledger audits re-use the same reference bags across many
+        collections)."""
+        return [
+            self.global_check(collection, method=method)
+            for collection in collections
+        ]

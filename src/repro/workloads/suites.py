@@ -177,6 +177,73 @@ _register(InstanceSuite(
 ))
 
 
+@dataclass(frozen=True)
+class SuiteRunResult:
+    """One engine-routed suite evaluation: the decision, the method the
+    Theorem 4 dispatch picked, and whether it matched ``expected``."""
+
+    suite: str
+    size: int
+    seed: int
+    consistent: bool
+    method: str
+    ok: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "size": self.size,
+            "seed": self.seed,
+            "consistent": self.consistent,
+            "method": self.method,
+            "ok": self.ok,
+        }
+
+
+def run_suites(
+    specs: Sequence[tuple[str, int, int]],
+    engine=None,
+    method: str = "auto",
+) -> list[SuiteRunResult]:
+    """Evaluate ``(name, size, seed)`` specs through one shared
+    :class:`repro.engine.Engine`.
+
+    This is the batched-serving entry point for workload replay: all
+    specs share the engine's marginal/pairwise caches, so sweeping a
+    suite across seeds or re-running a spec costs one decision, not
+    many.  ``ok`` records agreement with the suite's expected answer
+    (always true for ``expected="depends"``).
+    """
+    if engine is None:
+        from ..engine.session import Engine
+
+        engine = Engine()
+    results = []
+    built: dict[tuple[str, int, int], list[Bag]] = {}
+    for name, size, seed in specs:
+        suite = get_suite(name)
+        spec = (name, size, seed)
+        bags = built.get(spec)
+        if bags is None:
+            bags = built[spec] = suite.build(size, seed)
+        outcome = engine.global_check(bags, method=method)
+        ok = (
+            suite.expected == "depends"
+            or outcome.consistent == (suite.expected == "consistent")
+        )
+        results.append(
+            SuiteRunResult(
+                suite=name,
+                size=size,
+                seed=seed,
+                consistent=outcome.consistent,
+                method=outcome.method,
+                ok=ok,
+            )
+        )
+    return results
+
+
 def get_suite(name: str) -> InstanceSuite:
     """Look up a suite by name; raises KeyError with the catalogue."""
     try:

@@ -1,0 +1,139 @@
+"""Kernel primitives against the seed's per-row loops."""
+
+import random
+
+import pytest
+
+from repro.core.bags import Bag
+from repro.core.relations import Relation
+from repro.core.schema import Schema, projection_plan
+from repro.engine import kernels
+from repro.engine.reference import (
+    _seed_relation_join,
+    seed_bag_join,
+    seed_marginal,
+)
+from repro.errors import SchemaError
+from repro.workloads.generators import random_bag
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+ABC = Schema(["A", "B", "C"])
+EMPTY = Schema()
+
+
+class TestProjectionPlan:
+    def test_multi_attribute_projection(self):
+        plan = projection_plan(ABC.attrs, AB.attrs)
+        assert plan((1, 2, 3)) == (1, 2)
+
+    def test_single_attribute_projection_returns_tuple(self):
+        plan = projection_plan(ABC.attrs, Schema(["B"]).attrs)
+        assert plan((1, 2, 3)) == (2,)
+
+    def test_empty_target_projects_to_empty_tuple(self):
+        plan = projection_plan(ABC.attrs, EMPTY.attrs)
+        assert plan((1, 2, 3)) == ()
+
+    def test_plans_are_cached(self):
+        assert projection_plan(ABC.attrs, AB.attrs) is projection_plan(
+            ABC.attrs, AB.attrs
+        )
+
+    def test_non_subset_target_raises(self):
+        with pytest.raises(SchemaError):
+            projection_plan(AB.attrs, BC.attrs)
+
+
+class TestJoinPlan:
+    def test_plan_schemas(self):
+        plan = kernels.join_plan(AB.attrs, BC.attrs)
+        assert plan.common == Schema(["B"])
+        assert plan.union == ABC
+
+    def test_plan_cached(self):
+        assert kernels.join_plan(AB.attrs, BC.attrs) is kernels.join_plan(
+            AB.attrs, BC.attrs
+        )
+
+    def test_emit_resolves_duplicate_common_positions(self):
+        plan = kernels.join_plan(AB.attrs, BC.attrs)
+        # lrow = (a=1, b=2), rrow = (b=2, c=3) -> (a, b, c)
+        assert plan.emit((1, 2) + (2, 3)) == (1, 2, 3)
+
+    def test_disjoint_schemas_have_empty_common(self):
+        plan = kernels.join_plan(AB.attrs, Schema(["C", "D"]).attrs)
+        assert plan.common == EMPTY
+        assert plan.left_key((1, 2)) == ()
+
+
+class TestMarginalTable:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_seed_marginal(self, seed):
+        rng = random.Random(seed)
+        bag = random_bag(ABC, rng, n_tuples=8)
+        for target in (AB, BC, Schema(["B"]), EMPTY, ABC):
+            table = kernels.marginal_table(
+                bag.items(), ABC.attrs, target.attrs
+            )
+            assert Bag(target, table) == seed_marginal(bag, target)
+
+    def test_empty_bag_marginal_is_empty(self):
+        assert kernels.marginal_table(iter(()), ABC.attrs, AB.attrs) == {}
+
+
+class TestHashJoin:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_seed_bag_join(self, seed):
+        rng = random.Random(seed)
+        left = random_bag(AB, rng, n_tuples=6)
+        right = random_bag(BC, rng, n_tuples=6)
+        plan = kernels.join_plan(AB.attrs, BC.attrs)
+        buckets = kernels.group_items(right.items(), plan.right_key)
+        table = kernels.hash_join_mults(left.items(), plan, buckets)
+        assert Bag(plan.union, table) == seed_bag_join(left, right)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_seed_relation_join(self, seed):
+        rng = random.Random(seed)
+        left = random_bag(AB, rng, n_tuples=6).support()
+        right = random_bag(BC, rng, n_tuples=6).support()
+        plan = kernels.join_plan(AB.attrs, BC.attrs)
+        buckets = kernels.group_rows(right.rows, plan.right_key)
+        rows = kernels.hash_join_rows(left.rows, plan, buckets)
+        assert Relation(plan.union, rows) == _seed_relation_join(left, right)
+
+    def test_iter_join_pairs_streams_every_match(self):
+        left = Bag.from_pairs(AB, [((1, 2), 1), ((2, 9), 1)])
+        right = Bag.from_pairs(BC, [((2, 1), 1), ((2, 2), 1), ((9, 9), 1)])
+        plan = kernels.join_plan(AB.attrs, BC.attrs)
+        buckets = kernels.group_items(right.items(), plan.right_key)
+        pairs = sorted(
+            (lrow, rrow)
+            for lrow, (rrow, _) in kernels.iter_join_pairs(
+                left.support_rows(), plan, buckets
+            )
+        )
+        assert pairs == [((1, 2), (2, 1)), ((1, 2), (2, 2)), ((2, 9), (9, 9))]
+
+
+class TestSemiJoin:
+    def test_semi_join_rows_filters_by_key(self):
+        key = projection_plan(AB.attrs, Schema(["B"]).attrs)
+        rows = [(1, 2), (3, 4), (5, 2)]
+        assert kernels.semi_join_rows(rows, key, {(2,)}) == [(1, 2), (5, 2)]
+
+    def test_project_key_set(self):
+        key = projection_plan(AB.attrs, Schema(["B"]).attrs)
+        assert kernels.project_key_set([(1, 2), (3, 2)], key) == {(2,)}
+
+
+class TestAggregateTable:
+    def test_semiring_generic_aggregation(self):
+        from fractions import Fraction
+
+        items = [((1, 2), Fraction(1, 2)), ((1, 3), Fraction(1, 3))]
+        table = kernels.aggregate_table(
+            items, AB.attrs, Schema(["A"]).attrs, lambda a, b: a + b
+        )
+        assert table == {(1,): Fraction(5, 6)}

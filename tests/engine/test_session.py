@@ -1,0 +1,169 @@
+"""The Engine facade: memoization semantics and batched entry points."""
+
+import random
+
+import pytest
+
+from repro.consistency.global_ import global_witness
+from repro.consistency.pairwise import are_consistent, consistency_witness
+from repro.consistency.witness import is_witness
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.engine.session import Engine
+from repro.errors import InconsistentError
+from repro.workloads.generators import inconsistent_pair, planted_pair
+from repro.workloads.suites import run_suites
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def consistent_pair(seed=0, n=6):
+    _, r, s = planted_pair(AB, BC, random.Random(seed), n_tuples=n)
+    return r, s
+
+
+class TestPairMemoization:
+    def test_are_consistent_matches_direct(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        bad_r, bad_s = inconsistent_pair(AB, BC, random.Random(1))
+        assert engine.are_consistent(r, s) is are_consistent(r, s) is True
+        assert engine.are_consistent(bad_r, bad_s) is False
+
+    def test_repeat_query_hits_cache(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == 0
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == 1
+
+    def test_consistency_cache_is_symmetric(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        engine.are_consistent(r, s)
+        engine.are_consistent(s, r)
+        assert engine.stats.consistency_hits == 1
+
+    def test_negative_verdicts_are_cached(self):
+        engine = Engine()
+        r, s = inconsistent_pair(AB, BC, random.Random(2))
+        assert engine.are_consistent(r, s) is False
+        assert engine.are_consistent(r, s) is False
+        assert engine.stats.consistency_hits == 1
+
+    def test_join_matches_bag_join_and_caches(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        joined = engine.join(r, s)
+        assert joined == r.bag_join(s)
+        assert engine.join(r, s) is joined
+        assert engine.stats.join_hits == 1
+
+
+class TestWitness:
+    def test_witness_is_valid_and_cached(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        witness = engine.witness(r, s)
+        assert is_witness([r, s], witness)
+        assert engine.witness(r, s) is witness
+        assert engine.stats.witness_hits == 1
+
+    def test_minimal_witness_obeys_theorem5(self):
+        engine = Engine()
+        r, s = consistent_pair()
+        witness = engine.witness(r, s, minimal=True)
+        assert is_witness([r, s], witness)
+        assert witness.support_size <= r.support_size + s.support_size
+
+    def test_inconsistent_pair_raises_and_caches_the_refusal(self):
+        engine = Engine()
+        r, s = inconsistent_pair(AB, BC, random.Random(3))
+        with pytest.raises(InconsistentError):
+            engine.witness(r, s)
+        with pytest.raises(InconsistentError):
+            engine.witness(r, s)
+        assert engine.stats.witness_hits == 1
+
+    def test_witness_matches_direct_pipeline(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=4)
+        assert engine.witness(r, s) == consistency_witness(r, s)
+
+
+class TestBatchedAPI:
+    def test_are_consistent_many(self):
+        engine = Engine()
+        good = consistent_pair(seed=5)
+        bad = inconsistent_pair(AB, BC, random.Random(6))
+        assert engine.are_consistent_many([good, bad, good]) == [
+            True,
+            False,
+            True,
+        ]
+
+    def test_witness_many_yields_none_for_inconsistent_entries(self):
+        engine = Engine()
+        good = consistent_pair(seed=7)
+        bad = inconsistent_pair(AB, BC, random.Random(8))
+        witnesses = engine.witness_many([good, bad, good])
+        assert witnesses[1] is None
+        assert is_witness(list(good), witnesses[0])
+        assert witnesses[2] is witnesses[0]
+
+    def test_global_check_matches_global_witness(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=9)
+        outcome = engine.global_check([r, s])
+        direct = global_witness([r, s])
+        assert outcome.consistent == direct.consistent
+        assert outcome.method == direct.method
+
+    def test_global_check_many_shares_the_pairwise_cache(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=10)
+        results = engine.global_check_many([[r, s], [r, s, s]])
+        assert all(result.consistent for result in results)
+        # The second collection re-checks (r, s): it must be a hit.
+        assert engine.stats.consistency_hits >= 1
+
+    def test_empty_collection_raises(self):
+        engine = Engine()
+        with pytest.raises(InconsistentError):
+            engine.global_check([])
+
+
+class TestLifecycle:
+    def test_clear_resets_cache_and_stats(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=11)
+        engine.are_consistent(r, s)
+        assert len(engine) == 1
+        engine.clear()
+        assert len(engine) == 0
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == 0
+
+
+class TestSuiteWiring:
+    def test_run_suites_through_one_engine(self):
+        engine = Engine()
+        results = run_suites(
+            [
+                ("planted-path", 3, 0),
+                ("perturbed-path", 3, 0),
+                ("planted-path", 3, 0),
+            ],
+            engine=engine,
+        )
+        assert [result.ok for result in results] == [True, True, True]
+        assert results[0].consistent and not results[1].consistent
+        # The duplicate spec reuses the built bags and hits the cache.
+        assert engine.stats.global_hits >= 1
+
+    def test_run_suites_default_engine(self):
+        results = run_suites([("tseitin-cycle", 3, 0)])
+        assert results[0].consistent is False
+        assert results[0].ok is True

@@ -145,3 +145,103 @@ class TestShow:
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"schema": ["A"]}))
         assert main(["show", str(bad)]) == 2
+
+
+class TestBatch:
+    def jobs_file(self, tmp_path, r, s, bad):
+        from repro.io import bag_to_dict
+
+        jobs = {
+            "pairs": [
+                [bag_to_dict(r), bag_to_dict(s)],
+                [bag_to_dict(r), bag_to_dict(bad)],
+                [bag_to_dict(r), bag_to_dict(s)],
+            ],
+            "collections": [{"bags": [bag_to_dict(r), bag_to_dict(s)]}],
+            "suites": [["planted-path", 3, 0], ["perturbed-path", 3, 0]],
+        }
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        return path
+
+    def test_batch_report(self, tmp_path, pair_files, capsys):
+        _, _, r, s = pair_files
+        bad = s + s
+        path = self.jobs_file(tmp_path, r, s, bad)
+        assert main(["batch", str(path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [entry["consistent"] for entry in report["pairs"]] == [
+            True,
+            False,
+            True,
+        ]
+        assert report["collections"][0] == {
+            "consistent": True,
+            "method": "acyclic",
+        }
+        assert [entry["ok"] for entry in report["suites"]] == [True, True]
+        # The duplicate pair job must be served from the engine cache.
+        assert report["stats"]["consistency_hits"] >= 1
+
+    def test_batch_witnesses(self, tmp_path, pair_files, capsys):
+        from repro.consistency.witness import is_witness
+        from repro.io import bag_from_dict
+
+        _, _, r, s = pair_files
+        bad = s + s
+        path = self.jobs_file(tmp_path, r, s, bad)
+        assert main(["batch", str(path), "--witnesses"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        witness = bag_from_dict(report["pairs"][0]["witness"])
+        assert is_witness([r, s], witness)
+        assert "witness" not in report["pairs"][1]
+
+    def test_batch_output_file(self, tmp_path, pair_files, capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        out = tmp_path / "report.json"
+        assert main(["batch", str(path), "-o", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert "stats" in report
+
+    def test_batch_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"nonsense": []}))
+        assert main(["batch", str(path)]) == 2
+
+    def test_batch_rejects_unknown_suite(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"suites": [["no-such-suite", 3, 0]]}))
+        assert main(["batch", str(path)]) == 2
+        assert "bad suite spec" in capsys.readouterr().err
+
+    def test_batch_rejects_malformed_suite_spec(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"suites": [["planted-path"]]}))
+        assert main(["batch", str(path)]) == 2
+
+    def test_batch_rejects_malformed_pair_entry(self, tmp_path, capsys):
+        from repro.io import bag_to_dict
+
+        path = tmp_path / "jobs.json"
+        r = Bag.from_pairs(AB, [((1, 2), 1)])
+        path.write_text(json.dumps({"pairs": [[bag_to_dict(r)]]}))
+        assert main(["batch", str(path)]) == 2
+        assert "bad pair entry" in capsys.readouterr().err
+
+    def test_batch_rejects_malformed_collection_entry(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"collections": [{}]}))
+        assert main(["batch", str(path)]) == 2
+        assert "bad collection entry" in capsys.readouterr().err
+
+    def test_batch_method_reaches_suites(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"suites": [["planted-path", 3, 0]]}))
+        assert main(["batch", str(path), "--method", "search"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["suites"][0]["method"] == "search"
+        assert report["suites"][0]["ok"] is True
+
+    def test_batch_missing_file_exit_two(self):
+        assert main(["batch", "/nonexistent-jobs.json"]) == 2
