@@ -19,10 +19,12 @@ Usage (all inputs are the JSON encodings of :mod:`repro.io`):
   collection over an acyclic schema into global consistency.
 * ``python -m repro analyze R.json S.json`` — witness-space ambiguity
   report (per-tuple multiplicity ranges).
-* ``python -m repro batch JOBS.json [-o OUT] [--witnesses]`` — run many
-  pair checks, global checks, and named workload suites through one
-  memoizing :class:`repro.engine.Engine`; emits a JSON report with
-  per-job results plus the engine's cache statistics.
+* ``python -m repro batch JOBS.json [-o OUT] [--witnesses]
+  [--parallelism N] [--capacity N]`` — run many pair checks, global
+  checks, and named workload suites through one memoizing
+  :class:`repro.engine.Engine` (optionally over a thread pool, with a
+  bounded LRU result cache); emits a JSON report with per-job results
+  plus the engine's cache statistics.
 
 Exit codes: 0 for "yes"/success, 1 for "no" (inconsistent / cyclic),
 2 for usage or input errors.  ``batch`` exits 0 when every job ran
@@ -207,7 +209,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     unknown = set(jobs) - {"pairs", "collections", "suites"}
     if unknown:
         raise ReproError(f"unknown batch job keys: {sorted(unknown)}")
-    engine = Engine()
+    if args.parallelism < 1:
+        raise ReproError(
+            f"--parallelism must be positive, got {args.parallelism}"
+        )
+    if args.capacity is not None and args.capacity < 1:
+        raise ReproError(f"--capacity must be positive, got {args.capacity}")
+    parallelism = args.parallelism
+    engine = Engine(capacity=args.capacity)
     report: dict = {}
     # Intern value-equal bags so repeated jobs share one instance and
     # therefore one entry in the engine's identity-keyed cache.
@@ -225,10 +234,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             ]
         except (TypeError, ValueError) as exc:
             raise ReproError(f"bad pair entry: {exc}") from exc
-        verdicts = engine.are_consistent_many(pairs)
+        verdicts = engine.are_consistent_many(pairs, parallelism=parallelism)
         entries = [{"consistent": verdict} for verdict in verdicts]
         if args.witnesses:
-            for entry, witness in zip(entries, engine.witness_many(pairs)):
+            for entry, witness in zip(
+                entries, engine.witness_many(pairs, parallelism=parallelism)
+            ):
                 if witness is not None:
                     entry["witness"] = repro_io.bag_to_dict(witness)
         report["pairs"] = entries
@@ -243,7 +254,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         report["collections"] = [
             {"consistent": outcome.consistent, "method": outcome.method}
             for outcome in engine.global_check_many(
-                collections, method=args.method
+                collections, method=args.method, parallelism=parallelism
             )
         ]
     if jobs.get("suites"):
@@ -252,7 +263,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             report["suites"] = [
                 result.as_dict()
                 for result in run_suites(
-                    specs, engine=engine, method=args.method
+                    specs,
+                    engine=engine,
+                    method=args.method,
+                    parallelism=parallelism,
                 )
             ]
         except (KeyError, TypeError, ValueError) as exc:
@@ -356,6 +370,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--witnesses",
         action="store_true",
         help="include a witness bag for every consistent pair",
+    )
+    p.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan each batch over a thread pool of N workers",
+    )
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the engine cache to N results (LRU eviction)",
     )
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_batch)

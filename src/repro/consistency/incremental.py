@@ -24,6 +24,32 @@ from ..core.schema import Schema, projection_plan
 from ..errors import MultiplicityError, SchemaError
 
 
+def validate_update(
+    schema: Schema, mults: dict, row, amount: int
+) -> tuple[tuple, int]:
+    """Validate one tuple-level update against the current state.
+
+    Returns ``(row as a tuple, resulting multiplicity)``; raises
+    :class:`SchemaError` on an arity mismatch and
+    :class:`MultiplicityError` when the update would drive the
+    multiplicity negative.  Shared by every mutable-bag layer (the
+    checkers below, :class:`repro.engine.live.LiveEngine`) so the
+    validation contract cannot drift between them.
+    """
+    row = tuple(row)
+    if len(row) != len(schema):
+        raise SchemaError(
+            f"row {row!r} has arity {len(row)}, schema {schema!r} has "
+            f"arity {len(schema)}"
+        )
+    new = mults.get(row, 0) + amount
+    if new < 0:
+        raise MultiplicityError(
+            f"update would make multiplicity of {row!r} negative"
+        )
+    return row, new
+
+
 class IncrementalPairChecker:
     """Maintains consistency of two bags under tuple-level updates.
 
@@ -31,12 +57,21 @@ class IncrementalPairChecker:
     sparsely; ``disagreements`` counts non-zero cells.  Updates touch
     exactly one cell, through projection plans compiled once at
     construction (the engine's kernel primitive).
+
+    ``track_bags=False`` skips the checker's own copies of the two
+    multiplicity dicts — the delta alone decides consistency.  For an
+    owner that already holds the authoritative state and pre-validates
+    every update (the :class:`repro.engine.live.LiveEngine`), the
+    copies are pure duplication; without them :meth:`left`/:meth:`right`
+    are unavailable and updates are applied unvalidated.
     """
 
     __slots__ = ("left_schema", "right_schema", "common", "_delta",
                  "_disagreements", "_left", "_right", "_plans")
 
-    def __init__(self, left: Bag, right: Bag) -> None:
+    def __init__(
+        self, left: Bag, right: Bag, track_bags: bool = True
+    ) -> None:
         self.left_schema = left.schema
         self.right_schema = right.schema
         self.common = left.schema & right.schema
@@ -48,8 +83,8 @@ class IncrementalPairChecker:
                 self.right_schema.attrs, self.common.attrs
             ),
         }
-        self._left = dict(left.items())
-        self._right = dict(right.items())
+        self._left = dict(left.items()) if track_bags else None
+        self._right = dict(right.items()) if track_bags else None
         self._delta: dict[tuple, int] = {}
         self._disagreements = 0
         left_key = self._plans[self.left_schema]
@@ -85,23 +120,16 @@ class IncrementalPairChecker:
 
     # -- updates --------------------------------------------------------
 
-    def _apply(self, side: dict, schema: Schema, row: tuple, amount: int,
-               sign: int) -> None:
-        row = tuple(row)
-        if len(row) != len(schema):
-            raise SchemaError(
-                f"row {row!r} has arity {len(row)}, schema {schema!r} has "
-                f"arity {len(schema)}"
-            )
-        new = side.get(row, 0) + amount
-        if new < 0:
-            raise MultiplicityError(
-                f"update would make multiplicity of {row!r} negative"
-            )
-        if new == 0:
-            side.pop(row, None)
+    def _apply(self, side: dict | None, schema: Schema, row: tuple,
+               amount: int, sign: int) -> None:
+        if side is None:  # track_bags=False: the owner pre-validated
+            row = tuple(row)
         else:
-            side[row] = new
+            row, new = validate_update(schema, side, row, amount)
+            if new == 0:
+                side.pop(row, None)
+            else:
+                side[row] = new
         self._bump(self._plans[schema](row), sign * amount)
 
     def update_left(self, row: tuple, amount: int) -> None:
@@ -115,9 +143,19 @@ class IncrementalPairChecker:
     # -- snapshots -------------------------------------------------------
 
     def left(self) -> Bag:
+        if self._left is None:
+            raise ValueError(
+                "checker was built with track_bags=False; the owner "
+                "holds the bag state"
+            )
         return Bag(self.left_schema, self._left)
 
     def right(self) -> Bag:
+        if self._right is None:
+            raise ValueError(
+                "checker was built with track_bags=False; the owner "
+                "holds the bag state"
+            )
         return Bag(self.right_schema, self._right)
 
 
@@ -169,13 +207,13 @@ class IncrementalCollectionChecker:
     def update(self, index: int, row: tuple, amount: int) -> None:
         """Add ``amount`` copies of ``row`` to bag ``index`` and refresh
         every affected pair checker."""
-        row = tuple(row)
-        schema = self._schemas[index]
-        new = self._bags[index].get(row, 0) + amount
-        if new < 0:
-            raise MultiplicityError(
-                f"update would make multiplicity of {row!r} negative"
-            )
+        # Validate at the collection level, not only inside the pair
+        # checkers: a collection with fewer than two bags has no
+        # checkers, and a bad row must not corrupt the bag dict
+        # silently.
+        row, new = validate_update(
+            self._schemas[index], self._bags[index], row, amount
+        )
         for (i, j), checker in self._checkers.items():
             if i == index:
                 checker.update_left(row, amount)

@@ -7,8 +7,13 @@ Layering (lowest first):
 * :mod:`repro.engine.index` — per-instance lazy bucket/marginal caches
   (:class:`BagIndex`, :class:`RelationIndex`);
 * :mod:`repro.engine.session` — the :class:`Engine` facade: memoized
-  marginal/join/consistency queries plus the batched entry points
-  (``are_consistent_many``, ``witness_many``, ``global_check_many``);
+  marginal/join/consistency queries (bounded LRU cache, pinning,
+  per-bag invalidation) plus the batched entry points
+  (``are_consistent_many``, ``witness_many``, ``global_check_many``,
+  each with a ``parallelism=`` knob);
+* :mod:`repro.engine.live` — :class:`LiveEngine`: mutable
+  :class:`LiveBag` handles whose updates bump O(1) incremental pair
+  checkers and invalidate only the cache entries they touch;
 * :mod:`repro.engine.reference` — the seed's pre-engine loops, kept as
   the oracle for cross-check tests and speedup benchmarks.
 
@@ -24,13 +29,24 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .index import BagIndex, RelationIndex
+    from .live import LiveBag, LiveEngine
     from .session import Engine, EngineStats
 
-__all__ = ["Engine", "EngineStats", "BagIndex", "RelationIndex", "kernels"]
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "LiveEngine",
+    "LiveBag",
+    "BagIndex",
+    "RelationIndex",
+    "kernels",
+]
 
 _LAZY = {
     "Engine": ("repro.engine.session", "Engine"),
     "EngineStats": ("repro.engine.session", "EngineStats"),
+    "LiveEngine": ("repro.engine.live", "LiveEngine"),
+    "LiveBag": ("repro.engine.live", "LiveBag"),
     "BagIndex": ("repro.engine.index", "BagIndex"),
     "RelationIndex": ("repro.engine.index", "RelationIndex"),
 }
@@ -39,7 +55,7 @@ _LAZY = {
 def __getattr__(name: str):
     import importlib
 
-    if name in ("kernels", "index", "session", "reference"):
+    if name in ("kernels", "index", "session", "live", "reference"):
         return importlib.import_module(f"repro.engine.{name}")
     try:
         module_name, attr = _LAZY[name]

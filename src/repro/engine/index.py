@@ -24,10 +24,18 @@ layer's companion module, not external consumers.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from ..core.schema import Schema, projection_plan
 from . import kernels
+
+# Guards first-use index creation: two engine worker threads touching
+# the same instance must end up sharing one index, not build two and
+# discard one's memos.  The per-target memo dicts inside an index stay
+# unguarded — racing fills compute equal values and dict stores are
+# atomic, so the worst case is one duplicated computation.
+_CREATE_LOCK = threading.Lock()
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..core.bags import Bag
@@ -51,7 +59,10 @@ class BagIndex:
         """The bag's index, created on first use and cached on the bag."""
         index = bag._index
         if index is None:
-            index = bag._index = BagIndex(bag)
+            with _CREATE_LOCK:
+                index = bag._index
+                if index is None:
+                    index = bag._index = BagIndex(bag)
         return index
 
     @property
@@ -120,7 +131,10 @@ class RelationIndex:
     def of(relation: "Relation") -> "RelationIndex":
         index = relation._index
         if index is None:
-            index = relation._index = RelationIndex(relation)
+            with _CREATE_LOCK:
+                index = relation._index
+                if index is None:
+                    index = relation._index = RelationIndex(relation)
         return index
 
     def project(self, target: Schema) -> "Relation":

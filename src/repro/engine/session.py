@@ -11,23 +11,41 @@ query from scratch; the :class:`Engine` memoizes per *bag identity*:
 * pair-level results — consistency verdicts, witnesses, joins — and
   collection-level global checks are cached in the engine, keyed on
   ``id()`` of the participating bags (the engine pins a strong
-  reference to every bag it has seen, so ids cannot be recycled while
-  the cache lives).
+  reference to every bag that participates in a live cache entry, so
+  ids cannot be recycled while the entry lives).
+
+The cache is **bounded**: ``Engine(capacity=N)`` keeps at most N
+results, evicting in LRU order; evicting the last entry touching a bag
+also drops its pin.  :meth:`pin` exempts every entry touching a bag
+from eviction until :meth:`unpin` (explicitly pinned entries may push
+the cache above capacity — that is the point of pinning).  The default
+``capacity=None`` preserves the unbounded PR-1 behaviour.
+
+:meth:`invalidate` drops every cached result touching one bag — the
+primitive behind :class:`repro.engine.live.LiveEngine`, which maintains
+*mutable* bag handles and invalidates exactly the entries a streamed
+update touches.
 
 Batched entry points (:meth:`are_consistent_many`,
 :meth:`witness_many`, :meth:`global_check_many`) are the unit of the
 high-throughput workloads in :mod:`repro.workloads.suites`, the
 ``repro batch`` CLI subcommand, and ``benchmarks/bench_engine.py``.
+Each accepts ``parallelism=N`` to fan the batch over a thread pool (the
+kernels are pure; the cache is lock-protected, so concurrent workers
+share hits and at worst duplicate a miss).
 
-The memoization contract: bags are immutable, so every cached answer
-stays valid forever; :meth:`clear` exists for bounding memory, not for
-correctness.
+The memoization contract: plain :class:`repro.core.bags.Bag` objects
+are immutable, so a cached answer is dropped only for memory (eviction,
+:meth:`clear`) or because a :class:`LiveEngine` replaced the bag behind
+it (:meth:`invalidate`) — never because it went stale on its own.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 from ..core.bags import Bag
 from ..core.schema import Schema
@@ -36,30 +54,50 @@ from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
 
 __all__ = ["Engine", "EngineStats"]
 
+_MISS = object()
+
 
 @dataclass
 class EngineStats:
-    """Query/hit counters per cached operation (diagnostics and tests)."""
+    """Query/hit counters per cached operation (diagnostics and tests).
+
+    External queries (what the caller asked) are counted separately
+    from internal probes (pairwise checks issued by :meth:`Engine.witness`
+    and the pairwise phase of :meth:`Engine.global_check`), so hit-rate
+    reports reflect the served workload, not the engine's own plumbing.
+    """
 
     consistency_queries: int = 0
     consistency_hits: int = 0
+    internal_consistency_queries: int = 0
+    internal_consistency_hits: int = 0
+    marginal_queries: int = 0
+    marginal_hits: int = 0
     witness_queries: int = 0
     witness_hits: int = 0
     join_queries: int = 0
     join_hits: int = 0
     global_queries: int = 0
     global_hits: int = 0
+    evictions: int = 0
+    invalidations: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "consistency_queries": self.consistency_queries,
             "consistency_hits": self.consistency_hits,
+            "internal_consistency_queries": self.internal_consistency_queries,
+            "internal_consistency_hits": self.internal_consistency_hits,
+            "marginal_queries": self.marginal_queries,
+            "marginal_hits": self.marginal_hits,
             "witness_queries": self.witness_queries,
             "witness_hits": self.witness_hits,
             "join_queries": self.join_queries,
             "join_hits": self.join_hits,
             "global_queries": self.global_queries,
             "global_hits": self.global_hits,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -67,29 +105,129 @@ class Engine:
     """A session-scoped cache over the consistency layer.
 
     ``node_budget`` bounds the exact integer search used by cyclic
-    global checks (forwarded to the Theorem 4 dispatch).
+    global checks (forwarded to the Theorem 4 dispatch).  ``capacity``
+    bounds the number of cached results (LRU eviction; ``None`` means
+    unbounded).
     """
 
-    def __init__(self, node_budget: int | None = DEFAULT_NODE_BUDGET) -> None:
+    def __init__(
+        self,
+        node_budget: int | None = DEFAULT_NODE_BUDGET,
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
         self.node_budget = node_budget
+        self.capacity = capacity
         self.stats = EngineStats()
+        self._lock = threading.RLock()
+        # bag id -> bag, for every bag referenced by a live cache entry
+        # or explicitly pinned; the strong reference keeps ids unique.
         self._pinned: dict[int, Bag] = {}
-        self._cache: dict[tuple, object] = {}
+        self._explicit: set[int] = set()
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        # cache key -> ids of the participating bags, and the reverse
+        # index bag id -> keys; together they make per-bag invalidation
+        # and pin refcounting O(entries touched), not O(cache).
+        self._participants: dict[tuple, tuple[int, ...]] = {}
+        self._bag_keys: dict[int, set[tuple]] = {}
 
     # -- cache plumbing --------------------------------------------------
 
-    def _pin(self, bag: Bag) -> int:
-        key = id(bag)
-        if key not in self._pinned:
-            self._pinned[key] = bag
-        return key
+    def _cache_get(self, key: tuple):
+        with self._lock:
+            value = self._cache.get(key, _MISS)
+            if value is not _MISS:
+                self._cache.move_to_end(key)
+            return value
+
+    def _cache_put(self, key: tuple, value, bags: Sequence[Bag]) -> None:
+        with self._lock:
+            if key in self._cache:
+                # A concurrent worker resolved the same miss first; keep
+                # one entry (the results are equal — the kernels are
+                # deterministic) and refresh its recency.
+                self._cache[key] = value
+                self._cache.move_to_end(key)
+                return
+            ids = tuple(id(bag) for bag in bags)
+            for bag_id, bag in zip(ids, bags):
+                self._pinned.setdefault(bag_id, bag)
+                self._bag_keys.setdefault(bag_id, set()).add(key)
+            self._cache[key] = value
+            self._participants[key] = ids
+            self._evict(protect=key)
+
+    def _remove_key(self, key: tuple) -> None:
+        self._cache.pop(key, None)
+        for bag_id in self._participants.pop(key, ()):
+            keys = self._bag_keys.get(bag_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._bag_keys[bag_id]
+                    if bag_id not in self._explicit:
+                        self._pinned.pop(bag_id, None)
+
+    def _evict(self, protect: tuple | None = None) -> None:
+        if self.capacity is None or len(self._cache) <= self.capacity:
+            return
+        for key in list(self._cache):
+            if len(self._cache) <= self.capacity:
+                break
+            if key == protect:
+                # Never evict the entry being inserted: when pinned
+                # entries fill the capacity, the cache overflows rather
+                # than silently refusing to serve unpinned work.
+                continue
+            if any(b in self._explicit for b in self._participants[key]):
+                continue  # entries touching a pinned bag are exempt
+            self._remove_key(key)
+            self.stats.evictions += 1
+
+    def pin(self, bag: Bag) -> None:
+        """Exempt every cache entry touching ``bag`` from LRU eviction
+        (current and future) and keep the bag alive until :meth:`unpin`.
+        Pinned entries still count toward ``capacity`` but are skipped
+        by the evictor, so heavy pinning can hold the cache above it."""
+        with self._lock:
+            self._explicit.add(id(bag))
+            self._pinned[id(bag)] = bag
+
+    def unpin(self, bag: Bag) -> None:
+        """Make ``bag``'s entries ordinary LRU citizens again."""
+        with self._lock:
+            bag_id = id(bag)
+            self._explicit.discard(bag_id)
+            if not self._bag_keys.get(bag_id):
+                self._pinned.pop(bag_id, None)
+            self._evict()
+
+    def invalidate(self, bag: Bag) -> int:
+        """Drop every cached result touching ``bag`` — pair verdicts,
+        witnesses, joins, marginals, and global results it participates
+        in — and release its pin.  Returns the number of entries
+        dropped.  This is the :class:`LiveEngine` update primitive; for
+        immutable bags it is never needed for correctness."""
+        with self._lock:
+            keys = list(self._bag_keys.get(id(bag), ()))
+            for key in keys:
+                self._remove_key(key)
+            self._explicit.discard(id(bag))
+            self._pinned.pop(id(bag), None)
+            self.stats.invalidations += len(keys)
+            return len(keys)
 
     def clear(self) -> None:
-        """Drop every cached result and pinned bag (memory bound, not a
-        correctness operation — see the module docstring)."""
-        self._pinned.clear()
-        self._cache.clear()
-        self.stats = EngineStats()
+        """Drop every cached result, pinned bag (explicit pins
+        included), and counter."""
+        with self._lock:
+            self._pinned.clear()
+            self._explicit.clear()
+            self._cache.clear()
+            self._participants.clear()
+            self._bag_keys.clear()
+            self.stats = EngineStats()
 
     def __len__(self) -> int:
         """Number of cached results."""
@@ -98,57 +236,92 @@ class Engine:
     # -- single-query API ------------------------------------------------
 
     def marginal(self, bag: Bag, target: Schema) -> Bag:
-        """R[Z] — memoized on the bag itself, exposed for symmetry."""
-        return bag.marginal(target)
+        """R[Z] — cached (and the bag pinned) like every other entry
+        point; the bag-level :class:`~repro.engine.index.BagIndex` memo
+        still applies beneath, so a miss after eviction recomputes
+        nothing, it only re-registers the entry."""
+        with self._lock:
+            self.stats.marginal_queries += 1
+        key = ("marginal", id(bag), target.attrs)
+        value = self._cache_get(key)
+        if value is _MISS:
+            value = bag.marginal(target)
+            self._cache_put(key, value, (bag,))
+        else:
+            with self._lock:
+                self.stats.marginal_hits += 1
+        return value
 
     def join(self, left: Bag, right: Bag) -> Bag:
         """The bag join, memoized per (left, right) identity pair."""
-        self.stats.join_queries += 1
-        key = ("join", self._pin(left), self._pin(right))
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = left.bag_join(right)
-            self._cache[key] = cached
+        with self._lock:
+            self.stats.join_queries += 1
+        key = ("join", id(left), id(right))
+        value = self._cache_get(key)
+        if value is _MISS:
+            value = left.bag_join(right)
+            self._cache_put(key, value, (left, right))
         else:
-            self.stats.join_hits += 1
-        return cached
+            with self._lock:
+                self.stats.join_hits += 1
+        return value
 
-    def are_consistent(self, left: Bag, right: Bag) -> bool:
+    def _consistent(self, left: Bag, right: Bag, internal: bool) -> bool:
         """Lemma 2(2), memoized.  Consistency is symmetric, so the key
         is unordered and both orientations share one entry."""
-        self.stats.consistency_queries += 1
-        a, b = self._pin(left), self._pin(right)
+        stats = self.stats
+        with self._lock:
+            if internal:
+                stats.internal_consistency_queries += 1
+            else:
+                stats.consistency_queries += 1
+        a, b = id(left), id(right)
         key = ("consistent", a, b) if a <= b else ("consistent", b, a)
-        cached = self._cache.get(key)
-        if cached is None:
+        value = self._cache_get(key)
+        if value is _MISS:
             from ..consistency.pairwise import are_consistent
 
-            cached = are_consistent(left, right)
-            self._cache[key] = cached
+            value = are_consistent(left, right)
+            self._cache_put(key, value, (left, right))
         else:
-            self.stats.consistency_hits += 1
-        return cached
+            with self._lock:
+                if internal:
+                    stats.internal_consistency_hits += 1
+                else:
+                    stats.consistency_hits += 1
+        return value
+
+    def are_consistent(self, left: Bag, right: Bag) -> bool:
+        """Lemma 2(2), memoized (the external entry point; internal
+        probes from :meth:`witness` / :meth:`global_check` share the
+        cache but are counted separately)."""
+        return self._consistent(left, right, internal=False)
+
+    def _internal_pair_checker(self, left: Bag, right: Bag) -> bool:
+        return self._consistent(left, right, internal=True)
 
     def witness(self, left: Bag, right: Bag, minimal: bool = False) -> Bag:
         """A Corollary 1 (or Corollary 4 minimal) witness, memoized per
         ordered pair; raises :class:`InconsistentError` exactly when the
         uncached pipeline would (the refusal is cached too)."""
-        self.stats.witness_queries += 1
-        key = ("witness", self._pin(left), self._pin(right), minimal)
-        if key in self._cache:
-            self.stats.witness_hits += 1
-            cached = self._cache[key]
+        with self._lock:
+            self.stats.witness_queries += 1
+        key = ("witness", id(left), id(right), minimal)
+        cached = self._cache_get(key)
+        if cached is not _MISS:
+            with self._lock:
+                self.stats.witness_hits += 1
         else:
             from ..consistency.pairwise import consistency_witness
             from ..consistency.witness import minimal_pairwise_witness
 
-            if not self.are_consistent(left, right):
+            if not self._consistent(left, right, internal=True):
                 cached = None
             elif minimal:
                 cached = minimal_pairwise_witness(left, right)
             else:
                 cached = consistency_witness(left, right)
-            self._cache[key] = cached
+            self._cache_put(key, cached, (left, right))
         if cached is None:
             raise InconsistentError(
                 "bags are not consistent (no saturated flow in N(R, S))"
@@ -156,67 +329,112 @@ class Engine:
         return cached
 
     def global_check(
-        self, bags: Sequence[Bag], method: str = "auto"
+        self,
+        bags: Sequence[Bag],
+        method: str = "auto",
+        *,
+        _pair_checker: Callable[[Bag, Bag], bool] | None = None,
     ):
         """The GCPB decision + witness for one collection, memoized on
         the tuple of bag identities; the pairwise phase routes through
-        :meth:`are_consistent`, so shared pairs across collections are
-        checked once per engine."""
-        self.stats.global_queries += 1
+        the engine's cached consistency test (counted as internal
+        probes), so shared pairs across collections are checked once per
+        engine.
+
+        ``_pair_checker`` overrides that routing and is deliberately
+        private: it is NOT part of the cache key, so a caller must only
+        pass a checker that agrees with the exact Lemma 2(2) test on
+        these exact bag objects (the :class:`LiveEngine` passes its
+        incrementally-maintained verdicts, which do)."""
+        with self._lock:
+            self.stats.global_queries += 1
         bags = list(bags)
         key = (
             "global",
-            tuple(self._pin(bag) for bag in bags),
+            tuple(id(bag) for bag in bags),
             method,
         )
-        cached = self._cache.get(key)
-        if cached is None:
+        cached = self._cache_get(key)
+        if cached is _MISS:
             from ..consistency.global_ import global_witness
 
             cached = global_witness(
                 bags,
                 method=method,  # type: ignore[arg-type]
                 node_budget=self.node_budget,
-                pair_checker=self.are_consistent,
+                pair_checker=_pair_checker or self._internal_pair_checker,
             )
-            self._cache[key] = cached
+            self._cache_put(key, cached, bags)
         else:
-            self.stats.global_hits += 1
+            with self._lock:
+                self.stats.global_hits += 1
         return cached
 
     # -- batched API -----------------------------------------------------
 
+    def _run_batch(self, fn, items: Iterable, parallelism: int | None) -> list:
+        """Apply ``fn`` to every item, serially or over a thread pool.
+
+        ``parallelism=None``/``1`` is the serial path; ``N > 1`` fans
+        out over at most N workers.  The kernels are pure and the cache
+        is lock-protected, so workers share hits; two workers racing on
+        the same miss at worst compute it twice (both results are
+        equal, one entry survives)."""
+        items = list(items)
+        if parallelism is not None and parallelism < 1:
+            raise ValueError(
+                f"parallelism must be positive, got {parallelism}"
+            )
+        if parallelism is None or parallelism == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(parallelism, len(items))
+        ) as pool:
+            return list(pool.map(fn, items))
+
     def are_consistent_many(
-        self, pairs: Iterable[tuple[Bag, Bag]]
+        self,
+        pairs: Iterable[tuple[Bag, Bag]],
+        parallelism: int | None = None,
     ) -> list[bool]:
         """Lemma 2(2) over a batch of pairs; one verdict per pair."""
-        return [self.are_consistent(left, right) for left, right in pairs]
+        return self._run_batch(
+            lambda pair: self.are_consistent(pair[0], pair[1]),
+            pairs,
+            parallelism,
+        )
 
     def witness_many(
         self,
         pairs: Iterable[tuple[Bag, Bag]],
         minimal: bool = False,
+        parallelism: int | None = None,
     ) -> list[Bag | None]:
         """Witnesses for a batch of pairs: a witness bag per consistent
         pair, ``None`` per inconsistent one (a batch must not abort on
         the first inconsistent entry)."""
-        out: list[Bag | None] = []
-        for left, right in pairs:
+
+        def one(pair: tuple[Bag, Bag]) -> Bag | None:
             try:
-                out.append(self.witness(left, right, minimal=minimal))
+                return self.witness(pair[0], pair[1], minimal=minimal)
             except InconsistentError:
-                out.append(None)
-        return out
+                return None
+
+        return self._run_batch(one, pairs, parallelism)
 
     def global_check_many(
         self,
         collections: Iterable[Sequence[Bag]],
         method: str = "auto",
+        parallelism: int | None = None,
     ) -> list:
         """GCPB over a batch of collections, sharing the pairwise cache
         (ledger audits re-use the same reference bags across many
         collections)."""
-        return [
-            self.global_check(collection, method=method)
-            for collection in collections
-        ]
+        return self._run_batch(
+            lambda collection: self.global_check(collection, method=method),
+            collections,
+            parallelism,
+        )

@@ -204,6 +204,7 @@ def run_suites(
     specs: Sequence[tuple[str, int, int]],
     engine=None,
     method: str = "auto",
+    parallelism: int | None = None,
 ) -> list[SuiteRunResult]:
     """Evaluate ``(name, size, seed)`` specs through one shared
     :class:`repro.engine.Engine`.
@@ -211,22 +212,29 @@ def run_suites(
     This is the batched-serving entry point for workload replay: all
     specs share the engine's marginal/pairwise caches, so sweeping a
     suite across seeds or re-running a spec costs one decision, not
-    many.  ``ok`` records agreement with the suite's expected answer
-    (always true for ``expected="depends"``).
+    many.  ``parallelism`` fans the decisions over the engine's thread
+    pool (duplicate specs share one built collection, hence one cache
+    entry, regardless).  ``ok`` records agreement with the suite's
+    expected answer (always true for ``expected="depends"``).
     """
     if engine is None:
         from ..engine.session import Engine
 
         engine = Engine()
-    results = []
+    spec_list = [(name, size, seed) for name, size, seed in specs]
     built: dict[tuple[str, int, int], list[Bag]] = {}
-    for name, size, seed in specs:
+    for spec in spec_list:
+        if spec not in built:
+            name, size, seed = spec
+            built[spec] = get_suite(name).build(size, seed)
+    outcomes = engine.global_check_many(
+        [built[spec] for spec in spec_list],
+        method=method,
+        parallelism=parallelism,
+    )
+    results = []
+    for (name, size, seed), outcome in zip(spec_list, outcomes):
         suite = get_suite(name)
-        spec = (name, size, seed)
-        bags = built.get(spec)
-        if bags is None:
-            bags = built[spec] = suite.build(size, seed)
-        outcome = engine.global_check(bags, method=method)
         ok = (
             suite.expected == "depends"
             or outcome.consistent == (suite.expected == "consistent")

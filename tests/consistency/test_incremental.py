@@ -91,6 +91,33 @@ class TestPairChecker:
             )
 
 
+class TestDeltaOnlyMode:
+    """track_bags=False: the delta alone decides consistency; the owner
+    holds (and pre-validates against) the authoritative bag state."""
+
+    def test_matches_tracking_checker_under_updates(self, rng):
+        _, r, s = planted_pair(AB, BC, rng)
+        tracking = IncrementalPairChecker(r, s)
+        delta_only = IncrementalPairChecker(r, s, track_bags=False)
+        for row, amount in [((0, 1), 2), ((1, 0), 1), ((0, 1), -2)]:
+            tracking.update_left(row, amount)
+            delta_only.update_left(row, amount)
+            assert delta_only.consistent == tracking.consistent
+            assert (
+                delta_only.disagreeing_cells()
+                == tracking.disagreeing_cells()
+            )
+
+    def test_snapshots_unavailable(self):
+        checker = IncrementalPairChecker(
+            Bag.empty(AB), Bag.empty(BC), track_bags=False
+        )
+        with pytest.raises(ValueError):
+            checker.left()
+        with pytest.raises(ValueError):
+            checker.right()
+
+
 class TestCollectionChecker:
     def test_acyclic_upgrade_to_global(self, rng):
         _, bags = planted_collection([AB, BC], rng, n_tuples=3)
@@ -129,6 +156,24 @@ class TestCollectionChecker:
         checker = IncrementalCollectionChecker([r, s, t])
         checker.update(2, (9, 0), -1)
         assert checker.inconsistent_pairs() == []
+
+    def test_single_bag_collection_validates_arity(self):
+        """Regression: with fewer than two bags there are no pair
+        checkers to raise, so the collection itself must reject
+        wrong-arity rows instead of silently corrupting the bag."""
+        checker = IncrementalCollectionChecker([Bag.empty(AB)])
+        with pytest.raises(SchemaError):
+            checker.update(0, (1,), 1)
+        with pytest.raises(SchemaError):
+            checker.update(0, (1, 2, 3), 1)
+        assert checker.bag(0) == Bag.empty(AB)  # state untouched
+        checker.update(0, (1, 2), 2)
+        assert checker.bag(0) == Bag.from_pairs(AB, [((1, 2), 2)])
+
+    def test_empty_collection_update_raises(self):
+        checker = IncrementalCollectionChecker([])
+        with pytest.raises(IndexError):
+            checker.update(0, (1,), 1)
 
     @settings(deadline=None, max_examples=25)
     @given(

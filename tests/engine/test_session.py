@@ -126,8 +126,10 @@ class TestBatchedAPI:
         r, s = consistent_pair(seed=10)
         results = engine.global_check_many([[r, s], [r, s, s]])
         assert all(result.consistent for result in results)
-        # The second collection re-checks (r, s): it must be a hit.
-        assert engine.stats.consistency_hits >= 1
+        # The second collection re-checks (r, s): it must be a hit —
+        # counted as an internal probe, not an external query.
+        assert engine.stats.internal_consistency_hits >= 1
+        assert engine.stats.consistency_queries == 0
 
     def test_empty_collection_raises(self):
         engine = Engine()
@@ -145,6 +147,206 @@ class TestLifecycle:
         assert len(engine) == 0
         engine.are_consistent(r, s)
         assert engine.stats.consistency_hits == 0
+
+
+class TestStatsSeparation:
+    """Internal probes (witness / global_check plumbing) must not
+    inflate the external consistency counters — the `repro batch`
+    truthfulness bugfix."""
+
+    def test_witness_probes_count_as_internal(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=20)
+        engine.witness(r, s)
+        assert engine.stats.consistency_queries == 0
+        assert engine.stats.internal_consistency_queries == 1
+        assert engine.stats.witness_queries == 1
+
+    def test_global_check_probes_count_as_internal(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=21)
+        engine.global_check([r, s])
+        assert engine.stats.consistency_queries == 0
+        assert engine.stats.internal_consistency_queries >= 1
+
+    def test_external_hit_rate_reflects_served_queries_only(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=22)
+        engine.are_consistent(r, s)
+        engine.witness(r, s)  # internal probe hits the shared entry
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_queries == 2
+        assert engine.stats.consistency_hits == 1
+        assert engine.stats.internal_consistency_hits == 1
+
+    def test_stats_dict_has_the_new_counters(self):
+        report = Engine().stats.as_dict()
+        for field in (
+            "internal_consistency_queries",
+            "internal_consistency_hits",
+            "marginal_queries",
+            "marginal_hits",
+            "evictions",
+            "invalidations",
+        ):
+            assert field in report
+
+
+class TestMarginalFacade:
+    def test_marginal_matches_bag_and_records_stats(self):
+        engine = Engine()
+        r, _ = consistent_pair(seed=23)
+        target = Schema(["B"])
+        marg = engine.marginal(r, target)
+        assert marg == r.marginal(target)
+        assert engine.stats.marginal_queries == 1
+        assert engine.stats.marginal_hits == 0
+        assert engine.marginal(r, target) is marg
+        assert engine.stats.marginal_hits == 1
+
+    def test_marginal_pins_the_bag_like_other_entry_points(self):
+        engine = Engine()
+        r, _ = consistent_pair(seed=24)
+        engine.marginal(r, Schema(["B"]))
+        assert len(engine) == 1
+        assert engine.invalidate(r) == 1
+        assert len(engine) == 0
+
+
+class TestBoundedCache:
+    def sweep(self, engine, n, start=100):
+        pairs = [consistent_pair(seed=start + k) for k in range(n)]
+        for r, s in pairs:
+            engine.are_consistent(r, s)
+            assert len(engine) <= (engine.capacity or n)
+        return pairs
+
+    def test_capacity_never_exceeded_under_sweep(self):
+        engine = Engine(capacity=4)
+        self.sweep(engine, 20)
+        assert len(engine) == 4
+        assert engine.stats.evictions == 16
+
+    def test_eviction_drops_pins_of_dead_entries(self):
+        engine = Engine(capacity=2)
+        self.sweep(engine, 10)
+        # two live entries, each touching two bags
+        assert len(engine._pinned) <= 4
+
+    def test_lru_order_recent_survives(self):
+        engine = Engine(capacity=2)
+        (r1, s1), (r2, s2) = self.sweep(engine, 2)
+        engine.are_consistent(r1, s1)  # refresh (r1, s1): now most recent
+        r3, s3 = consistent_pair(seed=200)
+        engine.are_consistent(r3, s3)  # evicts (r2, s2), not (r1, s1)
+        hits = engine.stats.consistency_hits
+        engine.are_consistent(r1, s1)
+        assert engine.stats.consistency_hits == hits + 1
+
+    def test_explicit_pin_exempts_entries_from_eviction(self):
+        engine = Engine(capacity=2)
+        r, s = consistent_pair(seed=25)
+        engine.pin(r)
+        engine.are_consistent(r, s)
+        self.sweep(engine, 6)
+        hits = engine.stats.consistency_hits
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == hits + 1
+
+    def test_unpin_makes_entries_evictable_again(self):
+        engine = Engine(capacity=2)
+        r, s = consistent_pair(seed=26)
+        engine.pin(r)
+        engine.are_consistent(r, s)
+        engine.unpin(r)
+        self.sweep(engine, 6)
+        hits = engine.stats.consistency_hits
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == hits  # recomputed, no hit
+
+    def test_pinned_entries_filling_capacity_do_not_disable_caching(self):
+        """When pinned entries occupy the whole capacity, new unpinned
+        entries overflow the bound instead of being evicted on insert —
+        the cache must keep serving unpinned work."""
+        engine = Engine(capacity=2)
+        (r1, s1), (r2, s2) = [consistent_pair(seed=80 + k) for k in range(2)]
+        for bag in (r1, s1, r2, s2):
+            engine.pin(bag)
+        engine.are_consistent(r1, s1)
+        engine.are_consistent(r2, s2)
+        t, u = consistent_pair(seed=90)
+        engine.are_consistent(t, u)
+        engine.are_consistent(t, u)
+        assert engine.stats.consistency_hits == 1
+        assert len(engine) == 3  # overflow is documented pinning behaviour
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_only_entries_touching_the_bag(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=27)
+        t, u = consistent_pair(seed=28)
+        engine.are_consistent(r, s)
+        engine.witness(r, s)
+        engine.are_consistent(t, u)
+        assert len(engine) == 3
+        dropped = engine.invalidate(r)
+        assert dropped == 2  # the (r, s) verdict and witness
+        assert engine.stats.invalidations == 2
+        hits = engine.stats.consistency_hits
+        engine.are_consistent(t, u)  # untouched pair still cached
+        assert engine.stats.consistency_hits == hits + 1
+
+    def test_invalidate_reaches_global_results(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=29)
+        engine.global_check([r, s])
+        assert engine.invalidate(r) >= 1
+        assert len(engine) == 0
+
+    def test_invalidate_unknown_bag_is_a_noop(self):
+        engine = Engine()
+        r, _ = consistent_pair(seed=30)
+        assert engine.invalidate(r) == 0
+
+
+class TestParallelBatches:
+    def test_are_consistent_many_parallel_matches_serial(self):
+        pairs = [consistent_pair(seed=40 + k) for k in range(6)]
+        pairs.append(inconsistent_pair(AB, BC, random.Random(46)))
+        serial = Engine().are_consistent_many(pairs)
+        parallel = Engine().are_consistent_many(pairs, parallelism=4)
+        assert parallel == serial
+
+    def test_witness_many_parallel_matches_serial(self):
+        pairs = [consistent_pair(seed=50 + k) for k in range(4)]
+        pairs.insert(2, inconsistent_pair(AB, BC, random.Random(55)))
+        serial = Engine().witness_many(pairs)
+        parallel = Engine().witness_many(pairs, parallelism=3)
+        assert parallel == serial
+        assert parallel[2] is None
+
+    def test_global_check_many_parallel_matches_serial(self):
+        collections = [list(consistent_pair(seed=60 + k)) for k in range(4)]
+        serial = Engine().global_check_many(collections)
+        parallel = Engine().global_check_many(collections, parallelism=4)
+        assert [r.consistent for r in parallel] == [
+            r.consistent for r in serial
+        ]
+
+    def test_parallel_workers_share_one_cache(self):
+        engine = Engine()
+        pair = consistent_pair(seed=70)
+        engine.are_consistent_many([pair] * 8, parallelism=4)
+        assert len(engine) == 1
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().are_consistent_many([], parallelism=0)
 
 
 class TestSuiteWiring:

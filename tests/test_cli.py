@@ -235,6 +235,33 @@ class TestBatch:
         assert main(["batch", str(path)]) == 2
         assert "bad collection entry" in capsys.readouterr().err
 
+    def test_batch_parallelism_matches_serial(self, tmp_path, pair_files,
+                                              capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        assert main(["batch", str(path)]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["batch", str(path), "--parallelism", "4"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["pairs"] == serial["pairs"]
+        assert parallel["collections"] == serial["collections"]
+        assert parallel["suites"] == serial["suites"]
+
+    def test_batch_capacity_bounds_the_engine_cache(self, tmp_path,
+                                                    pair_files, capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        assert main(["batch", str(path), "--capacity", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stats"]["evictions"] >= 1
+
+    def test_batch_rejects_bad_parallelism(self, tmp_path, pair_files,
+                                           capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        assert main(["batch", str(path), "--parallelism", "0"]) == 2
+        assert "parallelism" in capsys.readouterr().err
+
     def test_batch_method_reaches_suites(self, tmp_path, capsys):
         path = tmp_path / "jobs.json"
         path.write_text(json.dumps({"suites": [["planted-path", 3, 0]]}))

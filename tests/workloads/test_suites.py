@@ -43,6 +43,21 @@ class TestExpectedAnswers:
         answer = decide_global_consistency(bags, node_budget=2_000_000)
         assert answer == (suite.expected == "consistent")
 
+    def test_run_suites_parallel_matches_serial(self):
+        from repro.workloads.suites import run_suites
+
+        specs = [
+            ("planted-path", 3, 0),
+            ("perturbed-path", 3, 1),
+            ("planted-path", 4, 2),
+            ("planted-path", 3, 0),
+        ]
+        serial = run_suites(specs)
+        parallel = run_suites(specs, parallelism=3)
+        assert [r.as_dict() for r in parallel] == [
+            r.as_dict() for r in serial
+        ]
+
     def test_determinism_under_seed(self):
         suite = get_suite("planted-path")
         assert suite.build(3, seed=7) == suite.build(3, seed=7)
