@@ -1,0 +1,219 @@
+"""E-SERVE — process-pool scaling and warm-cache daemon round-trips.
+
+Two claims:
+
+1. **Cores beat the GIL on CPU-bound misses.**  On a batch of distinct
+   cyclic global checks (planted-triangle instances force the Theorem 4
+   exact search), ``global_check_many(backend="process")`` — which
+   ships fingerprinted payloads to worker processes and merges their
+   verdict deltas back — is measurably faster than
+   ``backend="thread"``, whose workers serialize on the interpreter
+   lock.  Gated only on multi-core machines (on one core there is
+   nothing to win; the bench then still asserts verdict parity and
+   skips the timing gate).
+
+2. **A warm daemon beats cold batch re-runs.**  Replaying the same job
+   stream against one long-running ``repro serve`` engine over a
+   socket is at least 5x faster per round than cold ``repro batch``
+   semantics (a fresh engine per run), because the content-addressed
+   store turns every repeated job into a hit — JSON + socket overhead
+   included.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sizes so CI replays the file in
+seconds; ``REPRO_BENCH_OUT=path`` writes the measured trajectory (CI
+stores it as ``BENCH_serve.json`` alongside ``BENCH_live.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine.session import Engine
+from repro.server import ReproServer, ServeClient
+from repro.workloads.suites import get_suite
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+# -- claim 1: process vs thread on CPU-bound global checks --------------
+# The per-collection work must dwarf pool startup + payload pickling
+# even at smoke sizes, so smoke shrinks the batch, not the instances.
+TRIANGLE_SIZE = 5
+N_COLLECTIONS = 4 if SMOKE else 6
+MIN_PROCESS_SPEEDUP = 1.1 if SMOKE else 1.25
+
+# -- claim 2: warm serve vs cold batch ----------------------------------
+N_ROUNDS = 4 if SMOKE else 8
+STREAM_SUITES = [
+    ["planted-path", 6, seed] for seed in range(3 if SMOKE else 5)
+]
+STREAM_TRIANGLE = [["planted-triangle", 3 if SMOKE else 4, 0]]
+MIN_WARM_SPEEDUP = 5.0
+
+_MEASUREMENTS: dict = {
+    "bench": "serve",
+    "smoke": SMOKE,
+}
+
+
+def cpu_collections() -> list[list]:
+    """Distinct cyclic (search-path) instances: no two collections share
+    a verdict, so every job is a genuine CPU-bound miss."""
+    suite = get_suite("planted-triangle")
+    return [
+        suite.build(TRIANGLE_SIZE, seed=seed) for seed in range(N_COLLECTIONS)
+    ]
+
+
+def run_backend(backend: str, collections, workers: int) -> tuple[float, list]:
+    engine = Engine()
+    start = time.perf_counter()
+    results = engine.global_check_many(
+        collections, parallelism=workers, backend=backend
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, [r.consistent for r in results]
+
+
+def test_process_backend_beats_threads_on_cpu_bound_checks():
+    """Gate 1: the process executor's verdict-delta merge must buy real
+    wall-clock on CPU-bound global checks (multi-core machines only —
+    verdict parity is asserted everywhere)."""
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+    collections = cpu_collections()
+
+    serial_elapsed, serial_verdicts = run_backend(
+        "serial", collections, workers=1
+    )
+    thread_elapsed, thread_verdicts = run_backend(
+        "thread", collections, workers
+    )
+    process_elapsed, process_verdicts = run_backend(
+        "process", collections, workers
+    )
+    assert thread_verdicts == serial_verdicts == process_verdicts
+    assert all(serial_verdicts)  # planted instances are consistent
+
+    speedup = thread_elapsed / process_elapsed
+    print(
+        f"\ncpu-bound global checks ({N_COLLECTIONS} x triangle "
+        f"size {TRIANGLE_SIZE}, {workers} workers): "
+        f"serial {serial_elapsed * 1000:.0f} ms, "
+        f"thread {thread_elapsed * 1000:.0f} ms, "
+        f"process {process_elapsed * 1000:.0f} ms, "
+        f"process/thread speedup {speedup:.2f}x"
+    )
+    _MEASUREMENTS["cpu_bound"] = {
+        "cores": cores,
+        "workers": workers,
+        "n_collections": N_COLLECTIONS,
+        "triangle_size": TRIANGLE_SIZE,
+        "serial_seconds": serial_elapsed,
+        "thread_seconds": thread_elapsed,
+        "process_seconds": process_elapsed,
+        "process_over_thread": speedup,
+        "min_speedup": MIN_PROCESS_SPEEDUP,
+        "gated": cores >= 2,
+    }
+    _write_out()
+    if cores < 2:
+        pytest.skip(
+            "single-core machine: process parallelism has nothing to win"
+        )
+    assert speedup >= MIN_PROCESS_SPEEDUP, (
+        f"process backend only {speedup:.2f}x over threads "
+        f"(required {MIN_PROCESS_SPEEDUP}x on {cores} cores)"
+    )
+
+
+def stream_jobs() -> dict:
+    return {"suites": STREAM_SUITES + STREAM_TRIANGLE}
+
+
+def run_cold_rounds(n: int) -> float:
+    """Cold `repro batch` semantics: a fresh engine per round (exactly
+    what each CLI invocation pays, minus interpreter startup — a
+    baseline *favourable* to cold)."""
+    from repro.engine.jobs import parse_jobs, run_jobs
+
+    start = time.perf_counter()
+    for _ in range(n):
+        run_jobs(parse_jobs(stream_jobs()), Engine())
+    return time.perf_counter() - start
+
+
+def run_warm_rounds(address, n: int) -> tuple[float, dict]:
+    with ServeClient(address) as client:
+        client.request(stream_jobs())  # warm the store once
+        start = time.perf_counter()
+        for _ in range(n):
+            response = client.request(stream_jobs())
+            assert response["ok"]
+        elapsed = time.perf_counter() - start
+        stats = client.request({"op": "stats"})
+    return elapsed, stats
+
+
+def test_warm_serve_rounds_beat_cold_batch():
+    """Gate 2: warm daemon round-trips >= 5x over cold per-run engines
+    on a repeated-job stream."""
+    server = ReproServer()
+    address = server.bind_tcp()
+    server.serve_in_background()
+    try:
+        warm_elapsed, stats = run_warm_rounds(address, N_ROUNDS)
+    finally:
+        server.shutdown()
+    cold_elapsed = run_cold_rounds(N_ROUNDS)
+
+    assert stats["store"]["hit_rate"] > 0.5  # the stream really repeats
+    speedup = cold_elapsed / warm_elapsed
+    print(
+        f"\nrepeated-job stream x{N_ROUNDS}: cold batch "
+        f"{cold_elapsed * 1000:.0f} ms, warm serve "
+        f"{warm_elapsed * 1000:.0f} ms, speedup {speedup:.1f}x "
+        f"(store hit rate {stats['store']['hit_rate']:.2f})"
+    )
+    _MEASUREMENTS["warm_serve"] = {
+        "n_rounds": N_ROUNDS,
+        "cold_seconds": cold_elapsed,
+        "warm_seconds": warm_elapsed,
+        "speedup": speedup,
+        "store_hit_rate": stats["store"]["hit_rate"],
+        "min_speedup": MIN_WARM_SPEEDUP,
+    }
+    _write_out()
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm serve only {speedup:.2f}x over cold batch "
+        f"(required {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+def _write_out() -> None:
+    """Write the trajectory after every gate so a failing assert still
+    leaves the measurements behind (CI uploads them on failure too)."""
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(_MEASUREMENTS, fh, indent=2)
+
+
+def test_serve_stream_timing(benchmark):
+    server = ReproServer()
+    address = server.bind_tcp()
+    server.serve_in_background()
+    try:
+        with ServeClient(address) as client:
+            client.request(stream_jobs())
+
+            def round_trip():
+                return client.request(stream_jobs())
+
+            response = benchmark(round_trip)
+            assert response["ok"]
+    finally:
+        server.shutdown()

@@ -20,15 +20,23 @@ Usage (all inputs are the JSON encodings of :mod:`repro.io`):
 * ``python -m repro analyze R.json S.json`` — witness-space ambiguity
   report (per-tuple multiplicity ranges).
 * ``python -m repro batch JOBS.json [-o OUT] [--witnesses]
-  [--parallelism N] [--capacity N]`` — run many pair checks, global
-  checks, and named workload suites through one memoizing
-  :class:`repro.engine.Engine` (optionally over a thread pool, with a
-  bounded LRU result cache); emits a JSON report with per-job results
-  plus the engine's cache statistics.
+  [--parallelism N] [--backend B] [--capacity N]`` — run many pair
+  checks, global checks, and named workload suites through one
+  memoizing :class:`repro.engine.Engine` (with a bounded LRU result
+  store and a selectable execution backend — ``serial``, ``thread``,
+  or ``process`` for CPU-bound batches); emits a JSON report with
+  per-job results plus the engine's cache statistics.
+* ``python -m repro serve (--socket PATH | --port N) [--capacity N]
+  [--parallelism N] [--backend B]`` — a long-running daemon speaking
+  the batch JSON protocol over a Unix/TCP socket, one shared
+  content-addressed engine across all connections (see
+  :mod:`repro.server` for the wire protocol and ``stats`` endpoint).
 
 Exit codes: 0 for "yes"/success, 1 for "no" (inconsistent / cyclic),
 2 for usage or input errors.  ``batch`` exits 0 when every job ran
-(individual verdicts live in the report).
+(individual verdicts live in the report); malformed job files exit 2
+with a structured one-line error.  ``serve`` exits 0 on a clean
+shutdown (the ``shutdown`` op or Ctrl-C).
 """
 
 from __future__ import annotations
@@ -186,98 +194,84 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    """Batched serving: one engine, many jobs.
-
-    The jobs file is a JSON object with any of the keys:
-
-    * ``"pairs"``: a list of two-element lists of bag encodings —
-      consistency of each pair (plus a witness with ``--witnesses``);
-    * ``"collections"``: a list of collection encodings
-      (``{"bags": [...]}``) — the GCPB decision for each;
-    * ``"suites"``: a list of ``[name, size, seed]`` specs resolved via
-      :mod:`repro.workloads.suites`.
-    """
-    import json as json_module
-
-    from .engine.session import Engine
-    from .workloads.suites import run_suites
-
-    jobs = json_module.loads(Path(args.jobs).read_text())
-    if not isinstance(jobs, dict):
-        raise ReproError("batch file must be a JSON object")
-    unknown = set(jobs) - {"pairs", "collections", "suites"}
-    if unknown:
-        raise ReproError(f"unknown batch job keys: {sorted(unknown)}")
-    if args.parallelism < 1:
+def _validate_batch_knobs(args: argparse.Namespace) -> None:
+    if args.parallelism is not None and args.parallelism < 1:
         raise ReproError(
             f"--parallelism must be positive, got {args.parallelism}"
         )
     if args.capacity is not None and args.capacity < 1:
         raise ReproError(f"--capacity must be positive, got {args.capacity}")
-    parallelism = args.parallelism
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Batched serving: one engine, many jobs.
+
+    Job parsing/validation lives in :mod:`repro.engine.jobs` (shared
+    with ``repro serve``); a malformed jobs file exits 2 with one
+    structured error line.
+    """
+    import json as json_module
+
+    from .engine.jobs import parse_jobs_text, run_jobs
+    from .engine.session import Engine
+
+    _validate_batch_knobs(args)
+    jobs = parse_jobs_text(Path(args.jobs).read_text())
     engine = Engine(capacity=args.capacity)
-    report: dict = {}
-    # Intern value-equal bags so repeated jobs share one instance and
-    # therefore one entry in the engine's identity-keyed cache.
-    interned: dict = {}
-
-    def load_bag(encoded: dict):
-        bag = repro_io.bag_from_dict(encoded)
-        return interned.setdefault(bag, bag)
-
-    if jobs.get("pairs"):
-        try:
-            pairs = [
-                (load_bag(left), load_bag(right))
-                for left, right in jobs["pairs"]
-            ]
-        except (TypeError, ValueError) as exc:
-            raise ReproError(f"bad pair entry: {exc}") from exc
-        verdicts = engine.are_consistent_many(pairs, parallelism=parallelism)
-        entries = [{"consistent": verdict} for verdict in verdicts]
-        if args.witnesses:
-            for entry, witness in zip(
-                entries, engine.witness_many(pairs, parallelism=parallelism)
-            ):
-                if witness is not None:
-                    entry["witness"] = repro_io.bag_to_dict(witness)
-        report["pairs"] = entries
-    if jobs.get("collections"):
-        try:
-            collections = [
-                [load_bag(encoded) for encoded in entry["bags"]]
-                for entry in jobs["collections"]
-            ]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ReproError(f"bad collection entry: {exc}") from exc
-        report["collections"] = [
-            {"consistent": outcome.consistent, "method": outcome.method}
-            for outcome in engine.global_check_many(
-                collections, method=args.method, parallelism=parallelism
-            )
-        ]
-    if jobs.get("suites"):
-        specs = [tuple(spec) for spec in jobs["suites"]]
-        try:
-            report["suites"] = [
-                result.as_dict()
-                for result in run_suites(
-                    specs,
-                    engine=engine,
-                    method=args.method,
-                    parallelism=parallelism,
-                )
-            ]
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ReproError(f"bad suite spec: {exc}") from exc
-    report["stats"] = engine.stats.as_dict()
+    report = run_jobs(
+        jobs,
+        engine,
+        method=args.method,
+        witnesses=args.witnesses,
+        parallelism=args.parallelism,
+        backend=args.backend,
+    )
     text = json_module.dumps(report, indent=2)
     if args.output:
         Path(args.output).write_text(text)
         print(f"batch report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The long-running daemon: bind, announce, serve until shutdown."""
+    from .server import ReproServer
+
+    _validate_batch_knobs(args)
+    if (args.socket is None) == (args.port is None):
+        raise ReproError("serve needs exactly one of --socket or --port")
+    server = ReproServer(
+        capacity=args.capacity,
+        method=args.method,
+        witnesses=args.witnesses,
+        parallelism=args.parallelism,
+        backend=args.backend,
+    )
+    try:
+        if args.socket:
+            address = server.bind_unix(args.socket)
+            print(f"serving on unix socket {address}", flush=True)
+        else:
+            host, port = server.bind_tcp(args.host, args.port)
+            print(f"serving on tcp {host}:{port}", flush=True)
+    except OSError as exc:
+        # address in use, bad permissions, unwritable socket path: a
+        # usage error (exit 2), not a traceback
+        raise ReproError(f"cannot bind: {exc}") from exc
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    finally:
+        if args.socket:
+            import contextlib
+            import os
+
+            with contextlib.suppress(OSError):
+                os.unlink(args.socket)
+    print("serve shut down cleanly", flush=True)
     return 0
 
 
@@ -371,24 +365,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include a witness bag for every consistent pair",
     )
+    _add_engine_knobs(p)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running batch daemon over a Unix/TCP socket",
+    )
+    p.add_argument(
+        "--socket", metavar="PATH", help="listen on a Unix domain socket"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, metavar="N", help="listen on TCP host:port"
+    )
+    p.add_argument(
+        "--method", choices=["auto", "acyclic", "search"], default="auto"
+    )
+    p.add_argument(
+        "--witnesses",
+        action="store_true",
+        help="include a witness bag for every consistent pair",
+    )
+    _add_engine_knobs(p)
+    p.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def _add_engine_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--parallelism",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="fan each batch over a thread pool of N workers",
+        help="fan each batch over N workers (default: serial, or every "
+        "core when --backend thread/process is chosen)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend for batches (process scales CPU-bound "
+        "global checks across cores)",
     )
     p.add_argument(
         "--capacity",
         type=int,
         default=None,
         metavar="N",
-        help="bound the engine cache to N results (LRU eviction)",
+        help="bound the engine's verdict store to N results (LRU eviction)",
     )
-    p.add_argument("-o", "--output")
-    p.set_defaults(func=_cmd_batch)
-
-    return parser
 
 
 def main(argv: list[str] | None = None) -> int:

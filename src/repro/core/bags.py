@@ -189,6 +189,13 @@ class Bag:
     def __hash__(self) -> int:
         return hash((self._schema, frozenset(self._mults.items())))
 
+    def __reduce__(self):
+        """Pickle as (schema, multiplicities) only: the lazily-built
+        index (and anything adopted through the fingerprint registry)
+        is per-process state and must not travel — process-executor
+        payloads and returned witnesses rebuild it on demand."""
+        return (_rebuild_bag, (self._schema, dict(self._mults)))
+
     def __repr__(self) -> str:
         shown = sorted(self._mults.items(), key=repr)[:6]
         suffix = ", ..." if len(self._mults) > 6 else ""
@@ -312,6 +319,12 @@ class Bag:
     def active_domain(self, attr: Attribute) -> set:
         idx = self._schema.index_of(attr)
         return {row[idx] for row in self._mults}
+
+
+def _rebuild_bag(schema: Schema, mults: dict[tuple, int]) -> Bag:
+    """Unpickle target for :meth:`Bag.__reduce__` (rows were validated
+    when the pickled bag was built, so the clean path applies)."""
+    return Bag._from_clean(schema, mults)
 
 
 def bag_join_all(bags: Sequence[Bag]) -> Bag:

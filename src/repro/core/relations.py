@@ -137,6 +137,11 @@ class Relation:
             raise SchemaError("containment requires equal schemas")
         return self._rows <= other._rows
 
+    def __reduce__(self):
+        """Pickle as (schema, rows) only — the per-process index stays
+        behind, mirroring :meth:`repro.core.bags.Bag.__reduce__`."""
+        return (_rebuild_relation, (self._schema, self._rows))
+
     def __repr__(self) -> str:
         shown = sorted(self._rows, key=repr)[:6]
         suffix = ", ..." if len(self._rows) > 6 else ""
@@ -189,6 +194,11 @@ class Relation:
         """All values the attribute takes in this relation."""
         idx = self._schema.index_of(attr)
         return {row[idx] for row in self._rows}
+
+
+def _rebuild_relation(schema: Schema, rows: frozenset) -> Relation:
+    """Unpickle target for :meth:`Relation.__reduce__`."""
+    return Relation._from_clean(schema, rows)
 
 
 def join_all(relations: Sequence[Relation]) -> Relation:

@@ -30,11 +30,12 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .index import BagIndex, RelationIndex
     from .live import LiveBag, LiveEngine
-    from .session import Engine, EngineStats
+    from .session import Engine, EngineStats, VerdictStore
 
 __all__ = [
     "Engine",
     "EngineStats",
+    "VerdictStore",
     "LiveEngine",
     "LiveBag",
     "BagIndex",
@@ -45,17 +46,29 @@ __all__ = [
 _LAZY = {
     "Engine": ("repro.engine.session", "Engine"),
     "EngineStats": ("repro.engine.session", "EngineStats"),
+    "VerdictStore": ("repro.engine.session", "VerdictStore"),
     "LiveEngine": ("repro.engine.live", "LiveEngine"),
     "LiveBag": ("repro.engine.live", "LiveBag"),
     "BagIndex": ("repro.engine.index", "BagIndex"),
     "RelationIndex": ("repro.engine.index", "RelationIndex"),
 }
 
+_MODULES = (
+    "kernels",
+    "index",
+    "fingerprint",
+    "session",
+    "executors",
+    "jobs",
+    "live",
+    "reference",
+)
+
 
 def __getattr__(name: str):
     import importlib
 
-    if name in ("kernels", "index", "session", "live", "reference"):
+    if name in _MODULES:
         return importlib.import_module(f"repro.engine.{name}")
     try:
         module_name, attr = _LAZY[name]

@@ -1,0 +1,263 @@
+"""Pluggable execution backends for the batched engine entry points.
+
+Three backends, selected by name (``backend=`` on the ``*_many``
+methods, ``--backend`` on ``repro batch`` / ``repro serve``):
+
+* ``serial`` — plain loop, no pools.  The default when no parallelism
+  is requested.
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor` over
+  the pure kernels.  Workers share the engine's verdict store, so this
+  backend shines on cache-heavy workloads (overlapping pairs, repeated
+  suites) but cannot speed up CPU-bound misses: the interpreter lock
+  serializes them.
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The engine pre-filters the batch against its store, ships the
+  *misses* as fingerprinted job payloads (bags pickled without their
+  per-process indexes, fingerprints seeded on arrival so workers never
+  rescan), and each worker runs the batch through a private engine.
+  Workers return their store's **verdict deltas** — every
+  ``(key, value, participant_fps)`` they computed — which the parent
+  merges back into the shared store; fingerprint keys are
+  process-independent, so a final local replay of the whole batch is
+  pure hits.  This is the only backend that scales the CPU-bound
+  global checks (Theorem 4 search instances) across cores.
+
+``backend=None`` preserves the PR-2 contract: serial unless
+``parallelism > 1``, which selects threads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import InconsistentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.bags import Bag
+    from .session import Engine
+
+__all__ = [
+    "BACKENDS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "is_process_backend",
+    "resolve_executor",
+    "run_process_batch",
+]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _default_workers(parallelism: int | None) -> int:
+    if parallelism is not None:
+        if parallelism < 1:
+            raise ValueError(
+                f"parallelism must be positive, got {parallelism}"
+            )
+        return parallelism
+    return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """The no-pool baseline: apply ``fn`` in submission order."""
+
+    name = "serial"
+
+    def run(self, fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor:
+    """A bounded thread pool.  The kernels are pure and the verdict
+    store is lock-protected, so workers share hits; two workers racing
+    on the same miss at worst compute it twice (deterministic results —
+    one entry survives)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"parallelism must be positive, got {workers}")
+        self.workers = workers
+
+    def run(self, fn, items: list) -> list:
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        ) as pool:
+            return list(pool.map(fn, items))
+
+
+def is_process_backend(backend: str | None) -> bool:
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    return backend == "process"
+
+
+def resolve_executor(
+    backend: str | None, parallelism: int | None, n_items: int
+):
+    """The in-process executor for a batch (``process`` is handled by
+    :func:`run_process_batch` before this is consulted)."""
+    if backend is None:
+        # Legacy contract: parallelism alone selects threads.
+        if parallelism is not None and parallelism < 1:
+            raise ValueError(
+                f"parallelism must be positive, got {parallelism}"
+            )
+        if parallelism is None or parallelism == 1:
+            return SerialExecutor()
+        return ThreadExecutor(parallelism)
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(_default_workers(parallelism))
+    raise ValueError(
+        f"unknown backend {backend!r}; choose one of {BACKENDS}"
+    )
+
+
+# -- the process backend ------------------------------------------------
+#
+# Payload shape per job kind (everything picklable; fingerprints ride
+# along so workers seed instead of rescanning):
+#   "consistent"/"witness": (left_bag, left_fp, right_bag, right_fp)
+#   "global":               ([bags], (fps...))
+
+
+def _freeze_pair(pair: "tuple[Bag, Bag]"):
+    from . import fingerprint
+
+    left, right = pair
+    return (left, fingerprint.of_bag(left),
+            right, fingerprint.of_bag(right))
+
+
+def _freeze_collection(bags: "Sequence[Bag]"):
+    from . import fingerprint
+
+    return (list(bags), fingerprint.of_collection(bags))
+
+
+def _consistent_key(lfp: int, rfp: int) -> tuple:
+    return (
+        ("consistent", lfp, rfp) if lfp <= rfp else ("consistent", rfp, lfp)
+    )
+
+
+def _job_keys(kind: str, frozen, minimal: bool, method: str) -> list[tuple]:
+    """The store keys a local replay of this job will probe — the
+    pre-filter that keeps already-answered jobs off the wire."""
+    if kind == "consistent":
+        _, lfp, _, rfp = frozen
+        return [_consistent_key(lfp, rfp)]
+    if kind == "witness":
+        _, lfp, _, rfp = frozen
+        return [("witness", lfp, rfp, minimal)]
+    _, fps = frozen
+    return [("global", fps, method)]
+
+
+def _worker_run(
+    kind: str,
+    payload: list,
+    node_budget: int | None,
+    minimal: bool,
+    method: str,
+):
+    """Top-level (picklable) worker body: thaw the payload, run it
+    through a private engine, and return the engine's verdict deltas."""
+    from . import fingerprint
+    from .session import Engine
+
+    engine = Engine(node_budget=node_budget)
+    if kind == "global":
+        collections = []
+        for bags, fps in payload:
+            for bag, fp in zip(bags, fps):
+                fingerprint.seed(bag, fp)
+            collections.append(bags)
+        engine.global_check_many(collections, method=method)
+    else:
+        pairs = []
+        for left, lfp, right, rfp in payload:
+            fingerprint.seed(left, lfp)
+            fingerprint.seed(right, rfp)
+            pairs.append((left, right))
+        if kind == "consistent":
+            engine.are_consistent_many(pairs)
+        else:
+            engine.witness_many(pairs, minimal=minimal)
+    return engine.store.export()
+
+
+def run_process_batch(
+    engine: "Engine",
+    kind: str,
+    items: list,
+    parallelism: int | None,
+    minimal: bool = False,
+    method: str = "auto",
+) -> list:
+    """Fan a batch's cache misses over worker processes, merge their
+    verdict deltas into ``engine``'s store, then replay the whole batch
+    locally (hits all the way down, preserving order, ``None``
+    refusals, and exception behaviour)."""
+    workers = _default_workers(parallelism)
+    frozen = (
+        [_freeze_collection(item) for item in items]
+        if kind == "global"
+        else [_freeze_pair(item) for item in items]
+    )
+    missing: list = []
+    seen_keys: set[tuple] = set()
+    for entry in frozen:
+        keys = _job_keys(kind, entry, minimal, method)
+        if any(engine.store.contains(key) for key in keys):
+            continue
+        key = keys[0]
+        if key in seen_keys:
+            continue  # duplicate job in one batch: ship it once
+        seen_keys.add(key)
+        missing.append(entry)
+    if missing and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        n_chunks = min(workers, len(missing))
+        chunks = [missing[i::n_chunks] for i in range(n_chunks)]
+        with ProcessPoolExecutor(max_workers=n_chunks) as pool:
+            futures = [
+                pool.submit(
+                    _worker_run,
+                    kind,
+                    chunk,
+                    engine.node_budget,
+                    minimal,
+                    method,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:
+                engine.store.merge(future.result())
+    # Replay locally: merged misses are hits; anything left (workers
+    # disabled, or a racing invalidation) is computed here.
+    if kind == "consistent":
+        return [engine.are_consistent(left, right) for left, right in items]
+    if kind == "witness":
+        results = []
+        for left, right in items:
+            try:
+                results.append(engine.witness(left, right, minimal=minimal))
+            except InconsistentError:
+                results.append(None)
+        return results
+    return [
+        engine.global_check(collection, method=method)
+        for collection in items
+    ]

@@ -1,0 +1,228 @@
+"""Content fingerprints: canonical hashes for schemas, bags, relations.
+
+The PR-1/PR-2 engine keyed every cached result on *object identity*
+(``id()``), so two value-equal bags — the same ledger parsed by two
+requests, the same suite built twice, a bag rebuilt after an undo —
+never shared a verdict.  This module gives every schema, bag, and
+relation a deterministic **content fingerprint** so caches can be keyed
+on *what a bag is* rather than *which object holds it*:
+
+* fingerprints are pure functions of the value: schema attributes, and
+  the (row, multiplicity) multiset for bags (row set for relations);
+* they are **order-insensitive over rows** — the per-row digests are
+  combined with a commutative modular sum, so insertion order, dict
+  order, and construction route (``from_pairs``, ``KRelation`` round
+  trips, kernel outputs) cannot matter;
+* they are **multiplicity-aware** — the multiplicity is hashed into
+  each row's term, so bags with equal supports but different counts
+  never share a fingerprint;
+* they are **process-independent** — digests are BLAKE2b over a
+  type-qualified ``repr`` encoding, never the salted builtin ``hash``,
+  so fingerprints computed in a worker process or another daemon match
+  the parent's (the process executor and ``repro serve`` depend on
+  this);
+* they support **O(1) incremental maintenance** — changing one row's
+  multiplicity shifts the commutative sum by a two-term delta
+  (:func:`shift_content`), which is how :class:`repro.engine.live.LiveBag`
+  keeps its fingerprint current across update streams without rescans.
+
+Fingerprints are 128-bit integers.  A collision requires two unequal
+values whose digest sums agree mod 2**128; we treat that as impossible
+in practice, but the index-sharing path (:func:`of_bag`) still verifies
+value equality before letting two bags share one :class:`BagIndex`.
+
+The computed fingerprint is cached on the instance's index (one content
+scan per object lifetime); :func:`seed` installs an externally-known
+fingerprint — the live engine seeds snapshots from its incrementally
+maintained sum, and the process executor seeds shipped payloads so
+workers never rescan.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from functools import lru_cache
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .index import BagIndex, RelationIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.bags import Bag
+    from ..core.relations import Relation
+    from ..core.schema import Schema
+
+__all__ = [
+    "MASK",
+    "content_sum",
+    "of_bag",
+    "of_collection",
+    "of_relation",
+    "of_schema",
+    "row_term",
+    "seed",
+    "shift_content",
+]
+
+MASK = (1 << 128) - 1
+
+# fingerprint -> the index already serving a bag/relation with that
+# content; value-equal instances adopt it so marginals, buckets, and
+# sorted orders are computed once per *value*, not once per object.
+_BAG_INDEXES: "weakref.WeakValueDictionary[int, BagIndex]"
+_BAG_INDEXES = weakref.WeakValueDictionary()
+_RELATION_INDEXES: "weakref.WeakValueDictionary[int, RelationIndex]"
+_RELATION_INDEXES = weakref.WeakValueDictionary()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _digest(payload: bytes) -> int:
+    return int.from_bytes(blake2b(payload, digest_size=16).digest(), "big")
+
+
+def _encode_value(value: object) -> str:
+    """A stable, type-qualified encoding of one attribute value.
+
+    ``repr`` distinguishes ``1`` from ``"1"`` already; prefixing the
+    type name also separates values whose reprs collide across types
+    (e.g. ``True`` vs a hypothetical class repr).  Deterministic across
+    processes for every built-in scalar and for any type with a
+    value-based ``repr``.
+    """
+    return f"{type(value).__qualname__}:{value!r}"
+
+
+@lru_cache(maxsize=65536)
+def _attrs_fingerprint(attrs: tuple) -> int:
+    payload = "schema|" + "|".join(_encode_value(a) for a in attrs)
+    return _digest(payload.encode("utf-8", "surrogatepass"))
+
+
+def of_schema(schema: "Schema") -> int:
+    """The schema's content fingerprint (canonical attribute order, so
+    ``Schema(["A","B"])`` and ``Schema(["B","A"])`` agree)."""
+    return _attrs_fingerprint(schema.attrs)
+
+
+@lru_cache(maxsize=262144)
+def _row_term_cached(encoded: str) -> int:
+    return _digest(encoded.encode("utf-8", "surrogatepass"))
+
+
+def row_term(row: tuple, mult: int) -> int:
+    """The commutative-sum term for one ``(row, multiplicity)`` entry.
+
+    Only defined for positive multiplicities — a stored bag never holds
+    a zero row, and the incremental shift skips the zero side.
+    """
+    encoded = "row|" + "|".join(_encode_value(v) for v in row) + f"|#{mult}"
+    return _row_term_cached(encoded)
+
+
+def content_sum(items: Iterable[tuple[tuple, int]]) -> int:
+    """The order-insensitive combination of every row term (mod 2**128)."""
+    total = 0
+    for row, mult in items:
+        total += row_term(row, mult)
+    return total & MASK
+
+
+def shift_content(content: int, row: tuple, old: int, new: int) -> int:
+    """The O(1) incremental update: move ``row`` from multiplicity
+    ``old`` to ``new`` (either side may be zero = absent)."""
+    if old > 0:
+        content -= row_term(row, old)
+    if new > 0:
+        content += row_term(row, new)
+    return content & MASK
+
+
+def bag_fingerprint(schema_fp: int, content: int, support_size: int) -> int:
+    """Combine the maintained parts into the final bag fingerprint."""
+    return _digest(b"bag|%d|%d|%d" % (schema_fp, support_size, content))
+
+
+def relation_fingerprint(schema_fp: int, content: int, size: int) -> int:
+    return _digest(b"rel|%d|%d|%d" % (schema_fp, size, content))
+
+
+def _relation_content(rows: Iterable[tuple]) -> int:
+    return content_sum((row, 1) for row in rows)
+
+
+def of_bag(bag: "Bag") -> int:
+    """The bag's content fingerprint, computed once and cached on its
+    :class:`BagIndex`.
+
+    First computation also consults the shared-index registry: if a
+    value-equal bag already owns an index, this bag **adopts** it (after
+    an equality check guarding against fingerprint collisions), so the
+    two share cached marginals, buckets, and row orders from then on.
+    """
+    index = BagIndex.of(bag)
+    fp = index._fingerprint
+    if fp is not None:
+        return fp
+    fp = bag_fingerprint(
+        of_schema(bag._schema),
+        content_sum(bag._mults.items()),
+        len(bag._mults),
+    )
+    index._fingerprint = fp
+    with _REGISTRY_LOCK:
+        shared = _BAG_INDEXES.get(fp)
+        if shared is not None and shared is not index:
+            if shared._bag == bag:
+                bag._index = shared
+            return fp
+        _BAG_INDEXES[fp] = index
+    return fp
+
+
+def of_relation(relation: "Relation") -> int:
+    """The relation's content fingerprint (cached + index sharing, the
+    set-semantics sibling of :func:`of_bag`)."""
+    index = RelationIndex.of(relation)
+    fp = index._fingerprint
+    if fp is not None:
+        return fp
+    fp = relation_fingerprint(
+        of_schema(relation._schema),
+        _relation_content(relation._rows),
+        len(relation._rows),
+    )
+    index._fingerprint = fp
+    with _REGISTRY_LOCK:
+        shared = _RELATION_INDEXES.get(fp)
+        if shared is not None and shared is not index:
+            if shared._relation == relation:
+                relation._index = shared
+            return fp
+        _RELATION_INDEXES[fp] = index
+    return fp
+
+
+def of_collection(bags: Sequence["Bag"]) -> tuple[int, ...]:
+    """Fingerprints of a bag sequence, in order (collection-level cache
+    keys preserve order, exactly as the identity-keyed keys did)."""
+    return tuple(of_bag(bag) for bag in bags)
+
+
+def seed(bag: "Bag", fp: int) -> "Bag":
+    """Install a fingerprint known from elsewhere — the live engine's
+    incrementally maintained sum, or a process payload's precomputed
+    value — so the bag's first engine query skips the content scan.
+    Registers the bag's index for sharing like :func:`of_bag`; returns
+    the bag for chaining."""
+    index = BagIndex.of(bag)
+    if index._fingerprint is None:
+        index._fingerprint = fp
+        with _REGISTRY_LOCK:
+            shared = _BAG_INDEXES.get(fp)
+            if shared is not None and shared is not index:
+                if shared._bag == bag:
+                    bag._index = shared
+                return bag
+            _BAG_INDEXES[fp] = index
+    return bag

@@ -43,9 +43,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 
 class BagIndex:
-    """Lazy, memoized access structures for one immutable :class:`Bag`."""
+    """Lazy, memoized access structures for one immutable :class:`Bag`.
 
-    __slots__ = ("_bag", "_marginals", "_buckets", "_key_sets", "_sorted")
+    Also the home of the bag's content fingerprint
+    (:mod:`repro.engine.fingerprint`): computed once, cached in the
+    ``_fingerprint`` slot, and — because the fingerprint registry lets
+    value-equal bags *adopt* each other's index — potentially shared by
+    every bag with the same content (hence the ``__weakref__`` slot:
+    the registry holds indexes weakly).
+    """
+
+    __slots__ = (
+        "_bag",
+        "_marginals",
+        "_buckets",
+        "_key_sets",
+        "_sorted",
+        "_fingerprint",
+        "__weakref__",
+    )
 
     def __init__(self, bag: "Bag") -> None:
         self._bag = bag
@@ -53,6 +69,7 @@ class BagIndex:
         self._buckets: dict[tuple, dict] = {}
         self._key_sets: dict[tuple, set] = {}
         self._sorted: list[tuple] | None = None
+        self._fingerprint: int | None = None
 
     @staticmethod
     def of(bag: "Bag") -> "BagIndex":
@@ -119,13 +136,21 @@ class RelationIndex:
     :class:`Relation` — the set-semantics sibling of :class:`BagIndex`,
     shared by the full-reducer and Yannakakis passes."""
 
-    __slots__ = ("_relation", "_projections", "_buckets", "_key_sets")
+    __slots__ = (
+        "_relation",
+        "_projections",
+        "_buckets",
+        "_key_sets",
+        "_fingerprint",
+        "__weakref__",
+    )
 
     def __init__(self, relation: "Relation") -> None:
         self._relation = relation
         self._projections: dict[tuple, "Relation"] = {}
         self._buckets: dict[tuple, dict] = {}
         self._key_sets: dict[tuple, frozenset] = {}
+        self._fingerprint: int | None = None
 
     @staticmethod
     def of(relation: "Relation") -> "RelationIndex":

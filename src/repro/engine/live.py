@@ -17,8 +17,10 @@ is acyclic.  A :class:`LiveEngine` wires both into the engine cache:
   memoized answers;
 * heavyweight queries (witnesses, joins, global checks) run against an
   immutable *snapshot* of the handle, reused until the next update, so
-  the inner engine's identity-keyed memoization applies unchanged
-  between updates.
+  the inner engine's content-keyed memoization applies unchanged
+  between updates — and because each handle maintains its fingerprint
+  incrementally, snapshots are born pre-fingerprinted and invalidation
+  never rescans a bag.
 
 The consistency-checking-as-serving loop this enables —
 ``update(...); globally_consistent()`` — is the streaming workload of
@@ -34,7 +36,8 @@ from ..consistency.incremental import IncrementalPairChecker, validate_update
 from ..core.bags import Bag
 from ..core.schema import Schema
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
-from .session import Engine, EngineStats
+from . import fingerprint
+from .session import Engine, EngineStats, VerdictStore
 
 __all__ = ["LiveBag", "LiveEngine"]
 
@@ -44,13 +47,18 @@ class LiveBag:
 
     Holds the current multiplicities and a lazily-built immutable
     snapshot :class:`Bag`.  The snapshot object is reused until the next
-    update, so identity-keyed caches see an unchanged bag exactly while
-    the handle is untouched.  All mutation goes through
-    :meth:`LiveEngine.update` (which also maintains the pair checkers
-    and the cache); the handle itself is read-only.
+    update, so the content-keyed store sees an unchanged fingerprint
+    exactly while the handle is untouched.  The handle also maintains
+    its **content fingerprint incrementally**: every update shifts the
+    commutative row-term sum by a two-term delta
+    (:func:`repro.engine.fingerprint.shift_content`), so snapshots are
+    born with a seeded fingerprint and invalidation never rescans the
+    bag.  All mutation goes through :meth:`LiveEngine.update` (which
+    also maintains the pair checkers and the store); the handle itself
+    is read-only.
     """
 
-    __slots__ = ("schema", "name", "_mults", "_snapshot")
+    __slots__ = ("schema", "name", "_mults", "_snapshot", "_content")
 
     def __init__(
         self, schema: Schema, mults: Mapping[tuple, int], name: str
@@ -59,13 +67,26 @@ class LiveBag:
         self.name = name
         self._mults: dict[tuple, int] = dict(mults)
         self._snapshot: Bag | None = None
+        self._content = fingerprint.content_sum(self._mults.items())
+
+    def fingerprint(self) -> int:
+        """The current content fingerprint, from the incrementally
+        maintained parts — O(1) regardless of bag size."""
+        return fingerprint.bag_fingerprint(
+            fingerprint.of_schema(self.schema),
+            self._content,
+            len(self._mults),
+        )
 
     def bag(self) -> Bag:
-        """The current contents as an immutable snapshot."""
+        """The current contents as an immutable snapshot (fingerprint
+        pre-seeded from the maintained sum, so engine queries on the
+        snapshot never pay a content scan)."""
         if self._snapshot is None:
             # _mults holds only validated rows with positive counts, so
             # the validation-free constructor applies.
-            self._snapshot = Bag._from_clean(self.schema, dict(self._mults))
+            snapshot = Bag._from_clean(self.schema, dict(self._mults))
+            self._snapshot = fingerprint.seed(snapshot, self.fingerprint())
         return self._snapshot
 
     def multiplicity(self, row) -> int:
@@ -106,8 +127,18 @@ class LiveEngine:
         bags: Iterable[Bag] = (),
         node_budget: int | None = DEFAULT_NODE_BUDGET,
         capacity: int | None = None,
+        store: VerdictStore | None = None,
     ) -> None:
-        self._engine = Engine(node_budget=node_budget, capacity=capacity)
+        self._engine = Engine(
+            node_budget=node_budget, capacity=capacity, store=store
+        )
+        # Content-addressed entries never go stale, so invalidating on
+        # update is purely a memory lever.  Over a private store we keep
+        # it (a streaming session would otherwise accumulate an entry
+        # per historical content); over a *shared* store we must not —
+        # the entries this handle leaves behind may be serving other
+        # engines, and the shared store's own capacity bounds memory.
+        self._invalidate_on_update = store is None
         self._handles: list[LiveBag] = []
         self._slots: dict[LiveBag, int] = {}
         # (slot i, slot j) with i < j -> the maintained checker; lazy,
@@ -148,7 +179,9 @@ class LiveEngine:
         handle = LiveBag(
             bag.schema, dict(bag.items()), name or f"bag{len(self._handles)}"
         )
-        handle._snapshot = bag  # the given bag IS the initial snapshot
+        # The given bag IS the initial snapshot; its fingerprint is the
+        # handle's maintained one, so seed it rather than rescanning.
+        handle._snapshot = fingerprint.seed(bag, handle.fingerprint())
         self._slots[handle] = len(self._handles)
         self._handles.append(handle)
         self._acyclic = None  # schema set changed
@@ -181,13 +214,17 @@ class LiveEngine:
                 checker.update_left(row, amount)
             else:
                 checker.update_right(row, amount)
+        handle._content = fingerprint.shift_content(
+            handle._content, row, new - amount, new
+        )
         if new == 0:
             handle._mults.pop(row, None)
         else:
             handle._mults[row] = new
         old = handle._snapshot
         if old is not None:
-            self._engine.invalidate(old)
+            if self._invalidate_on_update:
+                self._engine.invalidate(old)
             handle._snapshot = None
         self.updates += 1
 

@@ -1,43 +1,50 @@
-"""The :class:`Engine` facade: memoized, batched bag-consistency serving.
+"""The :class:`Engine` facade over a content-addressed verdict store.
 
 A production deployment answers many queries against a slowly-changing
 population of bags: the same ledger pair is checked after every sync,
 the same collection is audited under several methods, a dashboard asks
 for witnesses the moment a check passes.  The seed recomputed each
-query from scratch; the :class:`Engine` memoizes per *bag identity*:
+query from scratch; PR 1 memoized per *bag identity*; since the
+content-addressing refactor the engine memoizes per *bag value*:
 
 * marginals and join buckets live on the bags themselves (see
-  :mod:`repro.engine.index`), so they are shared across engines;
+  :mod:`repro.engine.index`), shared across value-equal bags through
+  the fingerprint registry;
 * pair-level results — consistency verdicts, witnesses, joins — and
-  collection-level global checks are cached in the engine, keyed on
-  ``id()`` of the participating bags (the engine pins a strong
-  reference to every bag that participates in a live cache entry, so
-  ids cannot be recycled while the entry lives).
+  collection-level global checks live in a :class:`VerdictStore`,
+  keyed on the **content fingerprints** of the participating bags
+  (:mod:`repro.engine.fingerprint`), so two separately-constructed but
+  value-equal bags share one entry — across calls, across engines
+  handed the same store, and across ``repro serve`` connections.
 
-The cache is **bounded**: ``Engine(capacity=N)`` keeps at most N
-results, evicting in LRU order; evicting the last entry touching a bag
-also drops its pin.  :meth:`pin` exempts every entry touching a bag
-from eviction until :meth:`unpin` (explicitly pinned entries may push
-the cache above capacity — that is the point of pinning).  The default
-``capacity=None`` preserves the unbounded PR-1 behaviour.
+The store is **bounded**: ``Engine(capacity=N)`` keeps at most N
+results, evicting in LRU order.  :meth:`pin` exempts every entry
+touching a bag's content from eviction until :meth:`unpin` (explicitly
+pinned entries may push the store above capacity — that is the point
+of pinning).  The default ``capacity=None`` preserves the unbounded
+behaviour.  Pass ``store=`` to share one :class:`VerdictStore` between
+several engines — each engine keeps its own :class:`EngineStats`, so
+hit rates still describe each served workload.
 
-:meth:`invalidate` drops every cached result touching one bag — the
-primitive behind :class:`repro.engine.live.LiveEngine`, which maintains
-*mutable* bag handles and invalidates exactly the entries a streamed
-update touches.
+:meth:`invalidate` drops every cached result touching one bag's
+content — the primitive behind :class:`repro.engine.live.LiveEngine`,
+whose mutable handles maintain their fingerprints incrementally.
 
 Batched entry points (:meth:`are_consistent_many`,
 :meth:`witness_many`, :meth:`global_check_many`) are the unit of the
 high-throughput workloads in :mod:`repro.workloads.suites`, the
-``repro batch`` CLI subcommand, and ``benchmarks/bench_engine.py``.
-Each accepts ``parallelism=N`` to fan the batch over a thread pool (the
-kernels are pure; the cache is lock-protected, so concurrent workers
-share hits and at worst duplicate a miss).
+``repro batch`` / ``repro serve`` surfaces, and the benchmarks.  Each
+accepts ``parallelism=N`` and ``backend=`` selecting an executor from
+:mod:`repro.engine.executors`: ``serial``, ``thread`` (pool sharing
+this process's store — best for cache-heavy workloads), or ``process``
+(fingerprinted payloads shipped to worker processes, verdict deltas
+merged back into the shared store — the only backend that scales the
+CPU-bound global checks past the GIL).
 
 The memoization contract: plain :class:`repro.core.bags.Bag` objects
-are immutable, so a cached answer is dropped only for memory (eviction,
-:meth:`clear`) or because a :class:`LiveEngine` replaced the bag behind
-it (:meth:`invalidate`) — never because it went stale on its own.
+are immutable and entries are pure functions of their fingerprints, so
+a cached answer is dropped only for memory (eviction, :meth:`clear`,
+:meth:`invalidate`) — it can never go stale.
 """
 
 from __future__ import annotations
@@ -51,8 +58,9 @@ from ..core.bags import Bag
 from ..core.schema import Schema
 from ..errors import InconsistentError
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
+from . import fingerprint
 
-__all__ = ["Engine", "EngineStats"]
+__all__ = ["Engine", "EngineStats", "VerdictStore"]
 
 _MISS = object()
 
@@ -101,166 +109,286 @@ class EngineStats:
         }
 
 
+class VerdictStore:
+    """A bounded, content-addressed result store.
+
+    Keys are tuples of an operation tag plus the participating bags'
+    content fingerprints; values are whatever the engine cached (bool
+    verdicts, witness bags, ``None`` refusals, global results).  The
+    store is lock-protected and deliberately engine-agnostic, so one
+    store can back many :class:`Engine` instances (``repro serve``
+    backs every connection with one) and absorb merged deltas from
+    worker processes.
+
+    Bookkeeping: every key records its participant fingerprints and a
+    reverse index maps each fingerprint to the keys touching it, making
+    per-content invalidation and pin exemption O(entries touched), not
+    O(store).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[tuple, object] = OrderedDict()
+        self._participants: dict[tuple, tuple[int, ...]] = {}
+        self._fp_keys: dict[int, set[tuple]] = {}
+        self._pinned_fps: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.merged = 0
+
+    # -- primitive operations -------------------------------------------
+
+    def get(self, key: tuple):
+        """The cached value (refreshing recency) or the ``_MISS``
+        sentinel exposed as ``VerdictStore.MISS``."""
+        with self._lock:
+            value = self._cache.get(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._cache.move_to_end(key)
+            return value
+
+    MISS = _MISS
+
+    def contains(self, key: tuple) -> bool:
+        """Presence test without touching recency or hit counters (the
+        process executor's pre-filter)."""
+        with self._lock:
+            return key in self._cache
+
+    def put(self, key: tuple, value, fps: Sequence[int]) -> int:
+        """Insert one result; returns the number of entries evicted to
+        respect ``capacity``."""
+        with self._lock:
+            if key in self._cache:
+                # A concurrent worker resolved the same miss first; keep
+                # one entry (results are deterministic functions of the
+                # fingerprints) and refresh its recency.
+                self._cache[key] = value
+                self._cache.move_to_end(key)
+                return 0
+            for fp in fps:
+                self._fp_keys.setdefault(fp, set()).add(key)
+            self._cache[key] = value
+            self._participants[key] = tuple(fps)
+            return self._evict(protect=key)
+
+    def _remove_key(self, key: tuple) -> None:
+        self._cache.pop(key, None)
+        for fp in self._participants.pop(key, ()):
+            keys = self._fp_keys.get(fp)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._fp_keys[fp]
+
+    def _evict(self, protect: tuple | None = None) -> int:
+        if self.capacity is None or len(self._cache) <= self.capacity:
+            return 0
+        evicted = 0
+        for key in list(self._cache):
+            if len(self._cache) <= self.capacity:
+                break
+            if key == protect:
+                # Never evict the entry being inserted: when pinned
+                # entries fill the capacity, the store overflows rather
+                # than silently refusing to serve unpinned work.
+                continue
+            if any(fp in self._pinned_fps for fp in self._participants[key]):
+                continue  # entries touching pinned content are exempt
+            self._remove_key(key)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def pin_fp(self, fp: int) -> None:
+        with self._lock:
+            self._pinned_fps.add(fp)
+
+    def unpin_fp(self, fp: int) -> int:
+        with self._lock:
+            self._pinned_fps.discard(fp)
+            return self._evict()
+
+    def invalidate_fp(self, fp: int) -> int:
+        """Drop every entry whose participants include ``fp``; returns
+        the number dropped."""
+        with self._lock:
+            keys = list(self._fp_keys.get(fp, ()))
+            for key in keys:
+                self._remove_key(key)
+            self._pinned_fps.discard(fp)
+            self.invalidations += len(keys)
+            return len(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._participants.clear()
+            self._fp_keys.clear()
+            self._pinned_fps.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- bulk transfer (the process executor's merge path) ---------------
+
+    def export(self) -> list[tuple[tuple, object, tuple[int, ...]]]:
+        """Every entry as ``(key, value, participant_fps)`` — what a
+        worker process ships back to the parent."""
+        with self._lock:
+            return [
+                (key, value, self._participants[key])
+                for key, value in self._cache.items()
+            ]
+
+    def merge(
+        self, entries: Iterable[tuple[tuple, object, tuple[int, ...]]]
+    ) -> int:
+        """Absorb exported entries (idempotent — fingerprint keys are
+        process-independent); returns the number merged."""
+        count = 0
+        for key, value, fps in entries:
+            self.put(key, value, fps)
+            count += 1
+        with self._lock:
+            self.merged += count
+        return count
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._cache),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "merged": self.merged,
+                "pinned": len(self._pinned_fps),
+            }
+
+
 class Engine:
-    """A session-scoped cache over the consistency layer.
+    """A session facade over a content-addressed :class:`VerdictStore`.
 
     ``node_budget`` bounds the exact integer search used by cyclic
     global checks (forwarded to the Theorem 4 dispatch).  ``capacity``
-    bounds the number of cached results (LRU eviction; ``None`` means
-    unbounded).
+    bounds the number of stored results (LRU eviction; ``None`` means
+    unbounded).  ``store`` shares an existing :class:`VerdictStore`
+    between engines (``capacity`` must then be left unset — the store
+    already owns the bound).
     """
 
     def __init__(
         self,
         node_budget: int | None = DEFAULT_NODE_BUDGET,
         capacity: int | None = None,
+        store: VerdictStore | None = None,
     ) -> None:
-        if capacity is not None and capacity < 1:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+        if store is not None and capacity is not None:
+            raise ValueError(
+                "pass capacity= either to the Engine or to the shared "
+                "VerdictStore, not both"
+            )
         self.node_budget = node_budget
-        self.capacity = capacity
+        self.store = store if store is not None else VerdictStore(capacity)
         self.stats = EngineStats()
         self._lock = threading.RLock()
-        # bag id -> bag, for every bag referenced by a live cache entry
-        # or explicitly pinned; the strong reference keeps ids unique.
-        self._pinned: dict[int, Bag] = {}
-        self._explicit: set[int] = set()
-        self._cache: OrderedDict[tuple, object] = OrderedDict()
-        # cache key -> ids of the participating bags, and the reverse
-        # index bag id -> keys; together they make per-bag invalidation
-        # and pin refcounting O(entries touched), not O(cache).
-        self._participants: dict[tuple, tuple[int, ...]] = {}
-        self._bag_keys: dict[int, set[tuple]] = {}
 
-    # -- cache plumbing --------------------------------------------------
+    @property
+    def capacity(self) -> int | None:
+        return self.store.capacity
 
-    def _cache_get(self, key: tuple):
-        with self._lock:
-            value = self._cache.get(key, _MISS)
-            if value is not _MISS:
-                self._cache.move_to_end(key)
-            return value
-
-    def _cache_put(self, key: tuple, value, bags: Sequence[Bag]) -> None:
-        with self._lock:
-            if key in self._cache:
-                # A concurrent worker resolved the same miss first; keep
-                # one entry (the results are equal — the kernels are
-                # deterministic) and refresh its recency.
-                self._cache[key] = value
-                self._cache.move_to_end(key)
-                return
-            ids = tuple(id(bag) for bag in bags)
-            for bag_id, bag in zip(ids, bags):
-                self._pinned.setdefault(bag_id, bag)
-                self._bag_keys.setdefault(bag_id, set()).add(key)
-            self._cache[key] = value
-            self._participants[key] = ids
-            self._evict(protect=key)
-
-    def _remove_key(self, key: tuple) -> None:
-        self._cache.pop(key, None)
-        for bag_id in self._participants.pop(key, ()):
-            keys = self._bag_keys.get(bag_id)
-            if keys is not None:
-                keys.discard(key)
-                if not keys:
-                    del self._bag_keys[bag_id]
-                    if bag_id not in self._explicit:
-                        self._pinned.pop(bag_id, None)
-
-    def _evict(self, protect: tuple | None = None) -> None:
-        if self.capacity is None or len(self._cache) <= self.capacity:
-            return
-        for key in list(self._cache):
-            if len(self._cache) <= self.capacity:
-                break
-            if key == protect:
-                # Never evict the entry being inserted: when pinned
-                # entries fill the capacity, the cache overflows rather
-                # than silently refusing to serve unpinned work.
-                continue
-            if any(b in self._explicit for b in self._participants[key]):
-                continue  # entries touching a pinned bag are exempt
-            self._remove_key(key)
-            self.stats.evictions += 1
+    # -- lifecycle -------------------------------------------------------
 
     def pin(self, bag: Bag) -> None:
-        """Exempt every cache entry touching ``bag`` from LRU eviction
-        (current and future) and keep the bag alive until :meth:`unpin`.
-        Pinned entries still count toward ``capacity`` but are skipped
-        by the evictor, so heavy pinning can hold the cache above it."""
-        with self._lock:
-            self._explicit.add(id(bag))
-            self._pinned[id(bag)] = bag
+        """Exempt every store entry touching ``bag``'s content from LRU
+        eviction (current and future) until :meth:`unpin`.  Pinned
+        entries still count toward ``capacity`` but are skipped by the
+        evictor, so heavy pinning can hold the store above it."""
+        self.store.pin_fp(fingerprint.of_bag(bag))
 
     def unpin(self, bag: Bag) -> None:
-        """Make ``bag``'s entries ordinary LRU citizens again."""
+        """Make the entries touching ``bag``'s content ordinary LRU
+        citizens again."""
+        evicted = self.store.unpin_fp(fingerprint.of_bag(bag))
         with self._lock:
-            bag_id = id(bag)
-            self._explicit.discard(bag_id)
-            if not self._bag_keys.get(bag_id):
-                self._pinned.pop(bag_id, None)
-            self._evict()
+            self.stats.evictions += evicted
 
     def invalidate(self, bag: Bag) -> int:
-        """Drop every cached result touching ``bag`` — pair verdicts,
-        witnesses, joins, marginals, and global results it participates
-        in — and release its pin.  Returns the number of entries
-        dropped.  This is the :class:`LiveEngine` update primitive; for
-        immutable bags it is never needed for correctness."""
+        """Drop every stored result touching ``bag``'s content — pair
+        verdicts, witnesses, joins, marginals, and global results it
+        participates in — and release its pin.  Returns the number of
+        entries dropped.  This is the :class:`LiveEngine` update
+        primitive; for immutable bags it is only ever a memory lever
+        (content-addressed entries cannot go stale)."""
+        dropped = self.store.invalidate_fp(fingerprint.of_bag(bag))
         with self._lock:
-            keys = list(self._bag_keys.get(id(bag), ()))
-            for key in keys:
-                self._remove_key(key)
-            self._explicit.discard(id(bag))
-            self._pinned.pop(id(bag), None)
-            self.stats.invalidations += len(keys)
-            return len(keys)
+            self.stats.invalidations += dropped
+        return dropped
 
     def clear(self) -> None:
-        """Drop every cached result, pinned bag (explicit pins
-        included), and counter."""
+        """Drop every stored result and pin, and reset the counters.
+        With a shared store this clears it for every engine using it."""
+        self.store.clear()
         with self._lock:
-            self._pinned.clear()
-            self._explicit.clear()
-            self._cache.clear()
-            self._participants.clear()
-            self._bag_keys.clear()
             self.stats = EngineStats()
 
     def __len__(self) -> int:
-        """Number of cached results."""
-        return len(self._cache)
+        """Number of stored results (shared-store entries included)."""
+        return len(self.store)
+
+    # -- cache plumbing --------------------------------------------------
+
+    def _get(self, key: tuple):
+        return self.store.get(key)
+
+    def _put(self, key: tuple, value, fps: Sequence[int]) -> None:
+        evicted = self.store.put(key, value, fps)
+        if evicted:
+            with self._lock:
+                self.stats.evictions += evicted
 
     # -- single-query API ------------------------------------------------
 
     def marginal(self, bag: Bag, target: Schema) -> Bag:
-        """R[Z] — cached (and the bag pinned) like every other entry
-        point; the bag-level :class:`~repro.engine.index.BagIndex` memo
-        still applies beneath, so a miss after eviction recomputes
-        nothing, it only re-registers the entry."""
+        """R[Z] — stored like every other entry point; the bag-level
+        :class:`~repro.engine.index.BagIndex` memo still applies
+        beneath, so a miss after eviction recomputes nothing, it only
+        re-registers the entry."""
         with self._lock:
             self.stats.marginal_queries += 1
-        key = ("marginal", id(bag), target.attrs)
-        value = self._cache_get(key)
+        fp = fingerprint.of_bag(bag)
+        key = ("marginal", fp, target.attrs)
+        value = self._get(key)
         if value is _MISS:
             value = bag.marginal(target)
-            self._cache_put(key, value, (bag,))
+            self._put(key, value, (fp,))
         else:
             with self._lock:
                 self.stats.marginal_hits += 1
         return value
 
     def join(self, left: Bag, right: Bag) -> Bag:
-        """The bag join, memoized per (left, right) identity pair."""
+        """The bag join, memoized per (left, right) content pair."""
         with self._lock:
             self.stats.join_queries += 1
-        key = ("join", id(left), id(right))
-        value = self._cache_get(key)
+        lfp, rfp = fingerprint.of_bag(left), fingerprint.of_bag(right)
+        key = ("join", lfp, rfp)
+        value = self._get(key)
         if value is _MISS:
             value = left.bag_join(right)
-            self._cache_put(key, value, (left, right))
+            self._put(key, value, (lfp, rfp))
         else:
             with self._lock:
                 self.stats.join_hits += 1
@@ -275,14 +403,14 @@ class Engine:
                 stats.internal_consistency_queries += 1
             else:
                 stats.consistency_queries += 1
-        a, b = id(left), id(right)
+        a, b = fingerprint.of_bag(left), fingerprint.of_bag(right)
         key = ("consistent", a, b) if a <= b else ("consistent", b, a)
-        value = self._cache_get(key)
+        value = self._get(key)
         if value is _MISS:
             from ..consistency.pairwise import are_consistent
 
             value = are_consistent(left, right)
-            self._cache_put(key, value, (left, right))
+            self._put(key, value, (a, b))
         else:
             with self._lock:
                 if internal:
@@ -294,7 +422,7 @@ class Engine:
     def are_consistent(self, left: Bag, right: Bag) -> bool:
         """Lemma 2(2), memoized (the external entry point; internal
         probes from :meth:`witness` / :meth:`global_check` share the
-        cache but are counted separately)."""
+        store but are counted separately)."""
         return self._consistent(left, right, internal=False)
 
     def _internal_pair_checker(self, left: Bag, right: Bag) -> bool:
@@ -302,12 +430,13 @@ class Engine:
 
     def witness(self, left: Bag, right: Bag, minimal: bool = False) -> Bag:
         """A Corollary 1 (or Corollary 4 minimal) witness, memoized per
-        ordered pair; raises :class:`InconsistentError` exactly when the
-        uncached pipeline would (the refusal is cached too)."""
+        ordered content pair; raises :class:`InconsistentError` exactly
+        when the uncached pipeline would (the refusal is cached too)."""
         with self._lock:
             self.stats.witness_queries += 1
-        key = ("witness", id(left), id(right), minimal)
-        cached = self._cache_get(key)
+        lfp, rfp = fingerprint.of_bag(left), fingerprint.of_bag(right)
+        key = ("witness", lfp, rfp, minimal)
+        cached = self._get(key)
         if cached is not _MISS:
             with self._lock:
                 self.stats.witness_hits += 1
@@ -321,7 +450,7 @@ class Engine:
                 cached = minimal_pairwise_witness(left, right)
             else:
                 cached = consistency_witness(left, right)
-            self._cache_put(key, cached, (left, right))
+            self._put(key, cached, (lfp, rfp))
         if cached is None:
             raise InconsistentError(
                 "bags are not consistent (no saturated flow in N(R, S))"
@@ -336,25 +465,22 @@ class Engine:
         _pair_checker: Callable[[Bag, Bag], bool] | None = None,
     ):
         """The GCPB decision + witness for one collection, memoized on
-        the tuple of bag identities; the pairwise phase routes through
+        the tuple of bag fingerprints; the pairwise phase routes through
         the engine's cached consistency test (counted as internal
         probes), so shared pairs across collections are checked once per
-        engine.
+        store.
 
         ``_pair_checker`` overrides that routing and is deliberately
         private: it is NOT part of the cache key, so a caller must only
         pass a checker that agrees with the exact Lemma 2(2) test on
-        these exact bag objects (the :class:`LiveEngine` passes its
+        these exact bag contents (the :class:`LiveEngine` passes its
         incrementally-maintained verdicts, which do)."""
         with self._lock:
             self.stats.global_queries += 1
         bags = list(bags)
-        key = (
-            "global",
-            tuple(id(bag) for bag in bags),
-            method,
-        )
-        cached = self._cache_get(key)
+        fps = fingerprint.of_collection(bags)
+        key = ("global", fps, method)
+        cached = self._get(key)
         if cached is _MISS:
             from ..consistency.global_ import global_witness
 
@@ -364,7 +490,7 @@ class Engine:
                 node_budget=self.node_budget,
                 pair_checker=_pair_checker or self._internal_pair_checker,
             )
-            self._cache_put(key, cached, bags)
+            self._put(key, cached, fps)
         else:
             with self._lock:
                 self.stats.global_hits += 1
@@ -372,38 +498,45 @@ class Engine:
 
     # -- batched API -----------------------------------------------------
 
-    def _run_batch(self, fn, items: Iterable, parallelism: int | None) -> list:
-        """Apply ``fn`` to every item, serially or over a thread pool.
+    def _run_batch(
+        self,
+        fn,
+        items: list,
+        parallelism: int | None,
+        backend: str | None,
+    ) -> list:
+        """Apply ``fn`` to every item through the resolved in-process
+        executor (``serial`` or ``thread``; ``process`` never reaches
+        here — the batched entry points route it through
+        :func:`repro.engine.executors.run_process_batch`)."""
+        from .executors import resolve_executor
 
-        ``parallelism=None``/``1`` is the serial path; ``N > 1`` fans
-        out over at most N workers.  The kernels are pure and the cache
-        is lock-protected, so workers share hits; two workers racing on
-        the same miss at worst compute it twice (both results are
-        equal, one entry survives)."""
-        items = list(items)
-        if parallelism is not None and parallelism < 1:
-            raise ValueError(
-                f"parallelism must be positive, got {parallelism}"
-            )
-        if parallelism is None or parallelism == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        from concurrent.futures import ThreadPoolExecutor
+        executor = resolve_executor(backend, parallelism, len(items))
+        return executor.run(fn, items)
 
-        with ThreadPoolExecutor(
-            max_workers=min(parallelism, len(items))
-        ) as pool:
-            return list(pool.map(fn, items))
+    @staticmethod
+    def _wants_process(backend: str | None) -> bool:
+        from .executors import is_process_backend
+
+        return is_process_backend(backend)
 
     def are_consistent_many(
         self,
         pairs: Iterable[tuple[Bag, Bag]],
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> list[bool]:
         """Lemma 2(2) over a batch of pairs; one verdict per pair."""
+        pairs = list(pairs)
+        if self._wants_process(backend):
+            from .executors import run_process_batch
+
+            return run_process_batch(self, "consistent", pairs, parallelism)
         return self._run_batch(
             lambda pair: self.are_consistent(pair[0], pair[1]),
             pairs,
             parallelism,
+            backend,
         )
 
     def witness_many(
@@ -411,10 +544,18 @@ class Engine:
         pairs: Iterable[tuple[Bag, Bag]],
         minimal: bool = False,
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> list[Bag | None]:
         """Witnesses for a batch of pairs: a witness bag per consistent
         pair, ``None`` per inconsistent one (a batch must not abort on
         the first inconsistent entry)."""
+        pairs = list(pairs)
+        if self._wants_process(backend):
+            from .executors import run_process_batch
+
+            return run_process_batch(
+                self, "witness", pairs, parallelism, minimal=minimal
+            )
 
         def one(pair: tuple[Bag, Bag]) -> Bag | None:
             try:
@@ -422,19 +563,31 @@ class Engine:
             except InconsistentError:
                 return None
 
-        return self._run_batch(one, pairs, parallelism)
+        return self._run_batch(one, pairs, parallelism, backend)
 
     def global_check_many(
         self,
         collections: Iterable[Sequence[Bag]],
         method: str = "auto",
         parallelism: int | None = None,
+        backend: str | None = None,
     ) -> list:
-        """GCPB over a batch of collections, sharing the pairwise cache
+        """GCPB over a batch of collections, sharing the pairwise store
         (ledger audits re-use the same reference bags across many
-        collections)."""
+        collections).  ``backend="process"`` is the CPU-bound scaling
+        path: misses fan out over worker processes and their verdict
+        deltas merge back before a local (all-hit) replay."""
+        collections = [list(collection) for collection in collections]
+        if self._wants_process(backend):
+            from .executors import run_process_batch
+
+            return run_process_batch(
+                self, "global", collections, parallelism, method=method
+            )
         return self._run_batch(
             lambda collection: self.global_check(collection, method=method),
             collections,
             parallelism,
+            backend,
         )
+

@@ -1,0 +1,305 @@
+"""``repro serve``: a long-running consistency-checking daemon.
+
+The serve daemon keeps **one content-addressed engine** alive across
+connections and speaks the existing batch JSON protocol over a Unix or
+TCP socket, so a fleet of clients re-checking overlapping ledgers pays
+each verdict once, process-wide:
+
+* every connection multiplexes requests as **newline-delimited JSON**:
+  one request object per line in, one response object per line out, in
+  order;
+* a request is either an ``op`` request (``{"op": "stats"}``,
+  ``{"op": "ping"}``, ``{"op": "shutdown"}``) or a **batch payload** —
+  exactly the object ``repro batch`` reads from a file (``pairs`` /
+  ``collections`` / ``suites``; an explicit ``{"op": "batch", ...}``
+  wrapper is also accepted with the job keys inline);
+* responses always carry ``"ok"``; successful batch responses put the
+  usual report under ``"report"``, failures put a one-line message
+  under ``"error"`` (malformed jobs never tear down the connection,
+  let alone the daemon);
+* ``stats`` exposes the engine counters, the verdict store's hit rate
+  and size, and daemon-level request totals — the observability hook
+  for the warm-cache serving claims.
+
+Because bags are interned by *content*, two connections posting
+value-equal jobs share verdicts, witnesses, and indexes: the second
+connection's queries are pure cache hits (see
+``benchmarks/bench_serve.py``).
+
+A worked session (one line per message)::
+
+    $ repro serve --socket /tmp/repro.sock &
+    $ python - <<'PY'
+    from repro.server import ServeClient
+    client = ServeClient("/tmp/repro.sock")
+    print(client.request({"pairs": [[{"schema": ["A"], "tuples": [[[1], 2]]},
+                                     {"schema": ["A"], "tuples": [[[1], 2]]}]]}))
+    print(client.request({"op": "stats"})["store"]["hit_rate"])
+    client.request({"op": "shutdown"})
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Iterable
+
+from .engine.jobs import JobError, parse_jobs, run_jobs
+from .engine.session import Engine
+from .errors import ReproError
+from .lp.integer_feasibility import DEFAULT_NODE_BUDGET
+
+__all__ = ["ReproServer", "ServeClient"]
+
+_OPS = ("batch", "ping", "stats", "shutdown")
+
+
+class ReproServer:
+    """The daemon: one shared engine, many socket connections.
+
+    ``method`` / ``witnesses`` / ``parallelism`` / ``backend`` are the
+    serving defaults applied to every batch request (the same knobs
+    ``repro batch`` takes per invocation).  Bind with :meth:`bind_unix`
+    or :meth:`bind_tcp`, then :meth:`serve_forever` (blocking) or
+    :meth:`serve_in_background` (tests, embedding).
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        capacity: int | None = None,
+        node_budget: int | None = DEFAULT_NODE_BUDGET,
+        method: str = "auto",
+        witnesses: bool = False,
+        parallelism: int | None = None,
+        backend: str | None = None,
+    ) -> None:
+        self.engine = engine if engine is not None else Engine(
+            node_budget=node_budget, capacity=capacity
+        )
+        self.method = method
+        self.witnesses = witnesses
+        self.parallelism = parallelism
+        self.backend = backend
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+        self.started = time.monotonic()
+        # handler threads race on the counters above; the engine/store
+        # counters are locked internally, so lock these too or the
+        # stats endpoint undercounts under concurrent connections
+        self._stats_lock = threading.Lock()
+        self._jobs_lock = threading.Lock()
+        self._server: socketserver.BaseServer | None = None
+        self._thread: threading.Thread | None = None
+        self.address: str | tuple[str, int] | None = None
+
+    # -- binding and lifecycle -------------------------------------------
+
+    def bind_unix(self, path: str) -> str:
+        """Listen on a Unix domain socket at ``path``.
+
+        A *stale* socket file (left by a killed daemon — nothing is
+        accepting on it) is unlinked and rebound; a *live* one (another
+        daemon answers) raises the usual address-in-use error."""
+        try:
+            self._server = _ThreadingUnixServer(path, _Handler)
+        except OSError as exc:
+            import errno
+
+            if exc.errno != errno.EADDRINUSE or not _is_stale_socket(path):
+                raise
+            os.unlink(path)
+            self._server = _ThreadingUnixServer(path, _Handler)
+        self._server.owner = self  # type: ignore[attr-defined]
+        self.address = path
+        return path
+
+    def bind_tcp(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Listen on TCP ``host:port`` (port 0 picks a free one);
+        returns the bound address."""
+        self._server = _ThreadingTCPServer((host, port), _Handler)
+        self._server.owner = self  # type: ignore[attr-defined]
+        self.address = self._server.server_address[:2]
+        return self.address
+
+    def serve_forever(self) -> None:
+        if self._server is None:
+            raise ReproError("bind_unix() or bind_tcp() before serving")
+        self._server.serve_forever(poll_interval=0.1)
+
+    def serve_in_background(self) -> None:
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- request handling -------------------------------------------------
+
+    def count_request(self, error: bool = False) -> None:
+        with self._stats_lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+
+    def handle_payload(self, payload: object) -> dict:
+        """One request object in, one response object out (exceptions
+        become ``{"ok": false, "error": one-line}``)."""
+        self.count_request()
+        try:
+            if not isinstance(payload, dict):
+                raise JobError("request must be a JSON object")
+            op = payload.get("op", "batch")
+            if op not in _OPS:
+                raise JobError(
+                    f"unknown op {op!r}; expected one of {list(_OPS)}"
+                )
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                return {"ok": True, "op": "stats", **self.stats()}
+            if op == "shutdown":
+                # Stop accepting from a helper thread: shutdown() blocks
+                # until serve_forever exits, which must not wait on the
+                # handler thread that is writing this response.
+                threading.Thread(target=self.shutdown, daemon=True).start()
+                return {"ok": True, "op": "shutdown", "bye": True}
+            jobs = parse_jobs(
+                {k: v for k, v in payload.items() if k != "op"}
+            )
+            # One batch at a time: batches already fan out internally
+            # via parallelism/backend, and serializing them keeps the
+            # process-pool path from oversubscribing the machine.
+            with self._stats_lock:
+                self.batches += 1
+            with self._jobs_lock:
+                report = run_jobs(
+                    jobs,
+                    self.engine,
+                    method=self.method,
+                    witnesses=self.witnesses,
+                    parallelism=self.parallelism,
+                    backend=self.backend,
+                )
+            return {"ok": True, "op": "batch", "report": report}
+        except ReproError as exc:
+            with self._stats_lock:
+                self.errors += 1
+            return {"ok": False, "error": str(exc)}
+
+    def stats(self) -> dict:
+        """The ``stats`` endpoint body: engine counters, store hit
+        rate/size, daemon totals."""
+        with self._stats_lock:
+            requests, batches, errors = self.requests, self.batches, self.errors
+        return {
+            "stats": self.engine.stats.as_dict(),
+            "store": self.engine.store.stats_dict(),
+            "requests": requests,
+            "batches": batches,
+            "request_errors": errors,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+
+
+def _is_stale_socket(path: str) -> bool:
+    """True when a socket file exists but nothing accepts on it."""
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(path)
+    except (ConnectionRefusedError, FileNotFoundError):
+        return True
+    except OSError:
+        return False
+    else:
+        return False
+    finally:
+        probe.close()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        owner: ReproServer = self.server.owner  # type: ignore[attr-defined]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                owner.count_request(error=True)
+                response = {"ok": False, "error": f"invalid JSON: {exc}"}
+            else:
+                response = owner.handle_payload(payload)
+            self.wfile.write(
+                (json.dumps(response) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+            if response.get("bye"):
+                break
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+
+
+class ServeClient:
+    """A minimal blocking client for the serve protocol.
+
+    ``address`` is a Unix socket path (``str``) or a ``(host, port)``
+    tuple.  One persistent connection; :meth:`request` sends one JSON
+    object and waits for its one-line response.  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self, address: str | tuple[str, int], timeout: float | None = 30.0
+    ) -> None:
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            address = (address[0], address[1])
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError("serve connection closed before responding")
+        return json.loads(line)
+
+    def request_many(self, payloads: Iterable[dict]) -> list[dict]:
+        return [self.request(payload) for payload in payloads]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Execution backends: serial/thread/process parity and the process
+merge-back path."""
+
+import random
+
+import pytest
+
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.engine.executors import (
+    BACKENDS,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.engine.session import Engine
+from repro.workloads.generators import inconsistent_pair, planted_pair
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def pairs_workload(n=5):
+    out = []
+    for seed in range(n):
+        _, r, s = planted_pair(AB, BC, random.Random(seed), n_tuples=5)
+        out.append((r, s))
+    out.append(inconsistent_pair(AB, BC, random.Random(99)))
+    return out
+
+
+class TestResolution:
+    def test_legacy_contract(self):
+        assert isinstance(resolve_executor(None, None, 5), SerialExecutor)
+        assert isinstance(resolve_executor(None, 1, 5), SerialExecutor)
+        assert isinstance(resolve_executor(None, 3, 5), ThreadExecutor)
+
+    def test_explicit_backends(self):
+        assert isinstance(resolve_executor("serial", 8, 5), SerialExecutor)
+        thread = resolve_executor("thread", 3, 5)
+        assert isinstance(thread, ThreadExecutor)
+        assert thread.workers == 3
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_executor("gpu", None, 5)
+        with pytest.raises(ValueError, match="unknown backend"):
+            Engine().are_consistent_many([], backend="gpu")
+
+    def test_bad_parallelism_rejected(self):
+        with pytest.raises(ValueError, match="parallelism"):
+            resolve_executor("thread", 0, 5)
+
+    def test_backends_tuple_is_the_cli_contract(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+
+class TestBackendParity:
+    def test_pairs_all_backends_agree(self):
+        workload = pairs_workload()
+        expected = Engine().are_consistent_many(workload)
+        for backend in BACKENDS:
+            engine = Engine()
+            got = engine.are_consistent_many(
+                workload, parallelism=2, backend=backend
+            )
+            assert got == expected, backend
+
+    def test_witnesses_all_backends_agree(self):
+        workload = pairs_workload(3)
+        expected = Engine().witness_many(workload)
+        for backend in BACKENDS:
+            got = Engine().witness_many(
+                workload, parallelism=2, backend=backend
+            )
+            assert got == expected, backend
+            assert got[-1] is None  # the inconsistent pair
+
+    def test_global_all_backends_agree(self):
+        collections = [
+            [bag for bag in planted_pair(
+                AB, BC, random.Random(seed), n_tuples=5)[1:]]
+            for seed in range(4)
+        ]
+        expected = [
+            r.consistent for r in Engine().global_check_many(collections)
+        ]
+        for backend in BACKENDS:
+            got = [
+                r.consistent
+                for r in Engine().global_check_many(
+                    collections, parallelism=2, backend=backend
+                )
+            ]
+            assert got == expected, backend
+
+
+class TestProcessMerge:
+    def test_worker_deltas_land_in_the_parent_store(self):
+        workload = pairs_workload(4)
+        engine = Engine()
+        engine.are_consistent_many(workload, parallelism=2, backend="process")
+        assert engine.store.merged >= len(workload)
+        # the replay after the merge must be pure hits
+        before = engine.store.hits
+        engine.are_consistent_many(workload)
+        assert engine.store.hits >= before + len(workload)
+
+    def test_cached_jobs_are_not_reshipped(self):
+        workload = pairs_workload(3)
+        engine = Engine()
+        engine.are_consistent_many(workload)  # warm locally
+        merged_before = engine.store.merged
+        engine.are_consistent_many(workload, parallelism=2, backend="process")
+        assert engine.store.merged == merged_before  # nothing shipped
+
+    def test_duplicate_jobs_shipped_once(self):
+        pair = pairs_workload(1)[0]
+        engine = Engine()
+        verdicts = engine.are_consistent_many(
+            [pair] * 6, parallelism=2, backend="process"
+        )
+        assert verdicts == [True] * 6
+        assert len(engine) == 1
+
+    def test_global_results_survive_the_pickle_round_trip(self):
+        from repro.consistency.witness import is_witness
+
+        _, r, s = planted_pair(AB, BC, random.Random(7), n_tuples=5)
+        engine = Engine()
+        (result,) = engine.global_check_many(
+            [[r, s]], parallelism=2, backend="process"
+        )
+        assert result.consistent
+        assert result.witness is not None
+        assert is_witness([r, s], result.witness)

@@ -1,0 +1,220 @@
+"""Content-fingerprint semantics: order-insensitivity, multiplicity
+awareness, cross-engine sharing, and incremental maintenance."""
+
+import random
+
+from repro.core.bags import Bag
+from repro.core.krelations import KRelation
+from repro.core.relations import Relation
+from repro.core.schema import Schema
+from repro.engine import fingerprint
+from repro.engine.live import LiveEngine
+from repro.engine.session import Engine, VerdictStore
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def consistent_pair(seed=0, n=6):
+    from repro.workloads.generators import planted_pair
+
+    _, r, s = planted_pair(AB, BC, random.Random(seed), n_tuples=n)
+    return r, s
+
+
+def rebuild(bag: Bag, shuffle_seed: int = 0) -> Bag:
+    """A value-equal bag constructed independently, rows in a different
+    order (never the same object, never the same dict order)."""
+    items = list(bag.items())
+    random.Random(shuffle_seed).shuffle(items)
+    return Bag.from_pairs(bag.schema, items)
+
+
+class TestFingerprintValue:
+    def test_row_order_is_irrelevant(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 1), ((3, 1), 5)])
+        assert fingerprint.of_bag(r) == fingerprint.of_bag(rebuild(r, 7))
+
+    def test_schema_attr_order_is_irrelevant(self):
+        assert fingerprint.of_schema(Schema(["A", "B"])) == \
+            fingerprint.of_schema(Schema(["B", "A"]))
+
+    def test_unequal_multiplicities_never_collide(self):
+        base = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 1)])
+        seen = {fingerprint.of_bag(base)}
+        for bump in (1, 2, 100, 2**40):
+            other = Bag.from_pairs(AB, [((1, 2), 2 + bump), ((2, 2), 1)])
+            fp = fingerprint.of_bag(other)
+            assert fp not in seen
+            seen.add(fp)
+
+    def test_support_vs_multiplicity_no_collision(self):
+        # same total multiplicity, different distribution
+        a = Bag.from_pairs(AB, [((1, 2), 3)])
+        b = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 1)])
+        assert fingerprint.of_bag(a) != fingerprint.of_bag(b)
+
+    def test_type_distinguished_values(self):
+        a = Bag.from_pairs(AB, [((1, 2), 1)])
+        b = Bag.from_pairs(AB, [(("1", 2), 1)])
+        assert fingerprint.of_bag(a) != fingerprint.of_bag(b)
+
+    def test_schema_reaches_the_bag_fingerprint(self):
+        a = Bag.from_pairs(AB, [((1, 2), 1)])
+        b = Bag.from_pairs(Schema(["A", "C"]), [((1, 2), 1)])
+        assert fingerprint.of_bag(a) != fingerprint.of_bag(b)
+
+    def test_relation_fingerprint_shares_semantics(self):
+        r = Relation.from_pairs(AB, [(1, 2), (2, 2)])
+        s = Relation.from_pairs(AB, [(2, 2), (1, 2)])
+        assert fingerprint.of_relation(r) == fingerprint.of_relation(s)
+        assert fingerprint.of_relation(r) != fingerprint.of_relation(
+            Relation.from_pairs(AB, [(1, 2)])
+        )
+
+    def test_deterministic_across_instances(self):
+        # the digest must be a pure function of the value, not of the
+        # interpreter's salted hash()
+        r = Bag.from_pairs(AB, [((1, "x"), 2)])
+        assert fingerprint.of_bag(r) == fingerprint.of_bag(rebuild(r))
+
+
+class TestCacheSharing:
+    def test_value_equal_bags_share_entries_one_engine(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=1)
+        engine.are_consistent(r, s)
+        assert engine.stats.consistency_hits == 0
+        engine.are_consistent(rebuild(r, 1), rebuild(s, 2))
+        assert engine.stats.consistency_hits == 1
+
+    def test_krelation_round_trip_shares_entries(self):
+        engine = Engine()
+        r, s = consistent_pair(seed=2)
+        engine.witness(r, s)
+        r2 = KRelation.from_bag(r).to_bag()
+        s2 = KRelation.from_bag(s).to_bag()
+        assert r2 is not r
+        w = engine.witness(r2, s2)
+        assert engine.stats.witness_hits == 1
+        assert w is engine.witness(r, s)
+
+    def test_two_engines_share_a_store(self):
+        """The acceptance criterion: two distinct Engine instances
+        given value-equal but separately-constructed collections show
+        cache hits on the second evaluation."""
+        store = VerdictStore()
+        first, second = Engine(store=store), Engine(store=store)
+        r, s = consistent_pair(seed=3)
+        first.global_check([r, s])
+        assert first.stats.global_hits == 0
+        second.global_check([rebuild(r, 3), rebuild(s, 4)])
+        assert second.stats.global_hits == 1
+        # per-engine stats stay separate
+        assert first.stats.global_hits == 0
+
+    def test_live_update_keeps_shared_store_entries(self):
+        """A LiveEngine over a *shared* store must not invalidate
+        entries other engines may still be serving — content-addressed
+        results never go stale, and the content may come back."""
+        store = VerdictStore()
+        serving = Engine(store=store)
+        r, s = consistent_pair(seed=5)
+        serving.are_consistent(r, s)
+        live = LiveEngine([rebuild(r, 1), rebuild(s, 2)], store=store)
+        h0, _ = live.handles
+        live.update(h0, (7, 7), 1)
+        serving.are_consistent(r, s)
+        assert serving.stats.consistency_hits == 1  # entry survived
+        live.update(h0, (7, 7), -1)  # back to the shared content
+        assert live.are_consistent(*live.handles)  # checker still exact
+
+    def test_live_update_still_invalidates_private_store(self):
+        live = LiveEngine([Bag.from_pairs(AB, [((1, 2), 1)]),
+                           Bag.from_pairs(BC, [((2, 3), 1)])])
+        h0, h1 = live.handles
+        live.witness(h0, h1)
+        assert len(live.engine) >= 1
+        live.update(h0, (1, 2), 1)
+        assert live.stats.invalidations >= 1
+
+    def test_value_equal_bags_share_one_index(self):
+        r = Bag.from_pairs(AB, [((1, 2), 2), ((2, 2), 1)])
+        r2 = rebuild(r, 9)
+        fingerprint.of_bag(r)
+        fingerprint.of_bag(r2)
+        assert r._index is r2._index
+
+    def test_fingerprint_cached_on_the_index(self):
+        r, _ = consistent_pair(seed=4)
+        assert fingerprint.of_bag(r) == fingerprint.of_bag(r)
+        assert r._index._fingerprint is not None
+
+
+class TestIncrementalMaintenance:
+    SCHEMAS = [AB, BC, Schema(["C", "D"]), AB]  # two handles share AB
+
+    def _random_update(self, rng, live, handles):
+        handle = handles[rng.randrange(len(handles))]
+        rows = sorted(handle.items(), key=repr)
+        if rows and rng.random() < 0.45:
+            row, mult = rows[rng.randrange(len(rows))]
+            amount = -mult if rng.random() < 0.5 else -1  # incl. to-zero
+        else:
+            row = tuple(rng.randrange(3) for _ in handle.schema.attrs)
+            amount = rng.randint(1, 2)
+        live.update(handle, row, amount)
+
+    def test_stream_fingerprints_match_from_scratch(self):
+        """After every update (inserts, deletes, delete-to-zero), the
+        incrementally maintained fingerprint equals one recomputed from
+        a freshly built value-equal bag."""
+        rng = random.Random(20260729)
+        live = LiveEngine([Bag.empty(schema) for schema in self.SCHEMAS])
+        handles = live.handles
+        for step in range(80):
+            self._random_update(rng, live, handles)
+            for handle in handles:
+                fresh = Bag.from_pairs(handle.schema, list(handle.items()))
+                assert handle.fingerprint() == fingerprint.of_bag(fresh), (
+                    f"step {step}: incremental fingerprint diverged"
+                )
+
+    def test_stream_verdicts_match_identity_free_recompute(self):
+        """Fingerprint-keyed verdicts along an update stream equal the
+        verdicts a fresh identity-style engine computes from scratch on
+        value-equal copies — content addressing changes the keys, never
+        the answers."""
+        from repro.consistency.global_ import decide_global_consistency
+        from repro.consistency.pairwise import are_consistent
+
+        rng = random.Random(20260730)
+        live = LiveEngine([Bag.empty(schema) for schema in self.SCHEMAS])
+        handles = live.handles
+        for _ in range(40):
+            self._random_update(rng, live, handles)
+            bags = [h.bag() for h in handles]
+            copies = [rebuild(bag) for bag in bags]
+            for i in range(len(handles)):
+                for j in range(i + 1, len(handles)):
+                    assert live.are_consistent(handles[i], handles[j]) == \
+                        are_consistent(copies[i], copies[j])
+            assert live.globally_consistent() == decide_global_consistency(
+                copies
+            )
+
+    def test_return_to_previous_content_restores_fingerprint(self):
+        live = LiveEngine([Bag.from_pairs(AB, [((1, 2), 2)])])
+        handle = live.handles[0]
+        before = handle.fingerprint()
+        live.update(handle, (5, 5), 3)
+        assert handle.fingerprint() != before
+        live.update(handle, (5, 5), -3)  # delete-to-zero
+        assert handle.fingerprint() == before
+
+    def test_snapshot_fingerprint_is_seeded(self):
+        live = LiveEngine([Bag.from_pairs(AB, [((1, 2), 2)])])
+        handle = live.handles[0]
+        live.update(handle, (3, 3), 1)
+        snapshot = handle.bag()
+        assert snapshot._index._fingerprint == handle.fingerprint()

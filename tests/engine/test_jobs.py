@@ -1,0 +1,111 @@
+"""Batch job parsing/validation (`repro.engine.jobs`), shared by the
+`batch` CLI and the serve daemon."""
+
+import json
+
+import pytest
+
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.engine.jobs import JobError, parse_jobs, parse_jobs_text, run_jobs
+from repro.engine.session import Engine
+from repro.io import bag_to_dict
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+R = Bag.from_pairs(AB, [((1, 2), 2)])
+S = Bag.from_pairs(BC, [((2, 3), 2)])
+
+
+def payload():
+    return {
+        "pairs": [[bag_to_dict(R), bag_to_dict(S)]],
+        "collections": [{"bags": [bag_to_dict(R), bag_to_dict(S)]}],
+        "suites": [["planted-path", 3, 0]],
+    }
+
+
+class TestParsing:
+    def test_round_trip(self):
+        jobs = parse_jobs(payload())
+        assert jobs.n_jobs == 3
+        assert jobs.pairs[0][0] == R
+        assert jobs.suites == [("planted-path", 3, 0)]
+
+    def test_interning_collapses_value_equal_bags(self):
+        jobs = parse_jobs(payload())
+        assert jobs.pairs[0][0] is jobs.collections[0][0]
+
+    def test_text_entry_point_rejects_invalid_json(self):
+        with pytest.raises(JobError, match="invalid JSON"):
+            parse_jobs_text("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(JobError, match="JSON object"):
+            parse_jobs([1, 2, 3])
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(JobError, match="unknown batch job keys"):
+            parse_jobs({"nonsense": []})
+
+    def test_bad_pair_entry_names_the_index(self):
+        bad = payload()
+        bad["pairs"].append([bag_to_dict(R)])  # only one side
+        with pytest.raises(JobError, match=r"bad pair entry: #1"):
+            parse_jobs(bad)
+
+    def test_bad_collection_entry(self):
+        with pytest.raises(JobError, match=r"bad collection entry: #0"):
+            parse_jobs({"collections": [{}]})
+
+    def test_bad_bag_encoding(self):
+        with pytest.raises(JobError, match="bad pair entry"):
+            parse_jobs({"pairs": [[{"schema": ["A"]}, bag_to_dict(S)]]})
+
+    def test_bad_suite_spec_shape(self):
+        with pytest.raises(JobError, match=r"bad suite spec: #0"):
+            parse_jobs({"suites": [["planted-path"]]})
+
+    def test_bad_suite_spec_types(self):
+        with pytest.raises(JobError, match="bad suite spec"):
+            parse_jobs({"suites": [["planted-path", "three", 0]]})
+
+    def test_error_messages_are_one_line(self):
+        for bad in (
+            "{not json",
+            json.dumps({"pairs": [[{"schema": ["A"]}, {"schema": ["A"]}]]}),
+            json.dumps({"suites": [[1, 2, 3]]}),
+        ):
+            with pytest.raises(JobError) as excinfo:
+                parse_jobs_text(bad)
+            assert "\n" not in str(excinfo.value)
+
+
+class TestRunning:
+    def test_report_shape(self):
+        engine = Engine()
+        report = run_jobs(parse_jobs(payload()), engine)
+        assert report["pairs"] == [{"consistent": True}]
+        assert report["collections"][0]["consistent"] is True
+        assert report["suites"][0]["ok"] is True
+        assert "consistency_queries" in report["stats"]
+        assert report["store"]["entries"] == len(engine)
+
+    def test_sections_absent_when_not_requested(self):
+        report = run_jobs(parse_jobs({"pairs": []}), Engine())
+        assert "pairs" not in report
+        assert "collections" not in report
+
+    def test_witnesses_included_on_request(self):
+        report = run_jobs(
+            parse_jobs({"pairs": payload()["pairs"]}),
+            Engine(),
+            witnesses=True,
+        )
+        assert "witness" in report["pairs"][0]
+
+    def test_unknown_suite_surfaces_as_job_error(self):
+        jobs = parse_jobs({"suites": [["no-such-suite", 3, 0]]})
+        with pytest.raises(JobError, match="bad suite spec"):
+            run_jobs(jobs, Engine())

@@ -1,0 +1,218 @@
+"""The serve daemon: wire protocol, cross-connection sharing, shutdown."""
+
+import json
+
+import pytest
+
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.io import bag_to_dict
+from repro.server import ReproServer, ServeClient
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def pair_jobs(mult=2):
+    r = Bag.from_pairs(AB, [((1, 2), mult), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 3), mult + 1)])
+    return {"pairs": [[bag_to_dict(r), bag_to_dict(s)]]}
+
+
+@pytest.fixture
+def tcp_server():
+    server = ReproServer()
+    address = server.bind_tcp()
+    server.serve_in_background()
+    yield server, address
+    server.shutdown()
+
+
+class TestProtocol:
+    def test_ping(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            assert client.request({"op": "ping"}) == {"ok": True, "op": "ping"}
+
+    def test_batch_report_matches_cli_shape(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            response = client.request(pair_jobs())
+            assert response["ok"]
+            report = response["report"]
+            assert report["pairs"] == [{"consistent": True}]
+            assert "stats" in report and "store" in report
+
+    def test_explicit_batch_op_accepted(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            response = client.request({"op": "batch", **pair_jobs()})
+            assert response["ok"]
+
+    def test_multiple_requests_per_connection(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            responses = client.request_many([pair_jobs(), pair_jobs(5)])
+            assert all(r["ok"] for r in responses)
+
+    def test_malformed_jobs_do_not_kill_the_connection(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            bad = client.request({"bogus": []})
+            assert bad["ok"] is False
+            assert "unknown batch job keys" in bad["error"]
+            assert "\n" not in bad["error"]
+            assert client.request({"op": "ping"})["ok"]
+
+    def test_invalid_json_line_reported(self, tcp_server):
+        import socket as socket_module
+
+        _, address = tcp_server
+        raw = socket_module.create_connection(address, timeout=10)
+        with raw:
+            raw.sendall(b"{this is not json}\n")
+            response = json.loads(raw.makefile("rb").readline())
+        assert response["ok"] is False
+        assert "invalid JSON" in response["error"]
+
+    def test_unknown_op_rejected(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            response = client.request({"op": "fly"})
+            assert response["ok"] is False and "unknown op" in response["error"]
+
+
+class TestSharedEngine:
+    def test_second_connection_hits_the_first_connections_verdicts(
+        self, tcp_server
+    ):
+        """The acceptance criterion: two serve connections posting
+        value-equal but separately-encoded jobs share the store."""
+        server, address = tcp_server
+        with ServeClient(address) as first:
+            first.request(pair_jobs())
+        with ServeClient(address) as second:
+            report = second.request(pair_jobs())["report"]
+        assert report["stats"]["consistency_hits"] >= 1
+        assert server.engine.store.hits >= 1
+
+    def test_stats_endpoint_exposes_hit_rate_and_size(self, tcp_server):
+        _, address = tcp_server
+        with ServeClient(address) as client:
+            client.request(pair_jobs())
+            client.request(pair_jobs())
+            stats = client.request({"op": "stats"})
+        assert stats["ok"]
+        assert stats["store"]["entries"] >= 1
+        assert 0.0 < stats["store"]["hit_rate"] <= 1.0
+        assert stats["requests"] >= 3
+        assert stats["batches"] == 2
+        assert stats["uptime_seconds"] >= 0.0
+
+
+class TestLifecycle:
+    def test_shutdown_op_stops_the_server(self):
+        server = ReproServer()
+        address = server.bind_tcp()
+        server.serve_in_background()
+        with ServeClient(address) as client:
+            response = client.request({"op": "shutdown"})
+            assert response["ok"] and response["bye"]
+        server.shutdown()  # idempotent
+        with pytest.raises(OSError):
+            ServeClient(address, timeout=0.5).request({"op": "ping"})
+
+    def test_unix_socket_round_trip(self, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        server = ReproServer()
+        assert server.bind_unix(path) == path
+        server.serve_in_background()
+        try:
+            with ServeClient(path) as client:
+                assert client.request(pair_jobs())["ok"]
+                stats = client.request({"op": "stats"})
+                assert stats["ok"] and stats["batches"] == 1
+        finally:
+            server.shutdown()
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        import socket as socket_module
+
+        path = str(tmp_path / "stale.sock")
+        # a killed daemon's leftover: a bound socket file nobody accepts on
+        leftover = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        leftover.bind(path)
+        leftover.close()
+        server = ReproServer()
+        assert server.bind_unix(path) == path
+        server.serve_in_background()
+        try:
+            with ServeClient(path) as client:
+                assert client.request({"op": "ping"})["ok"]
+        finally:
+            server.shutdown()
+
+    def test_live_socket_is_not_stolen(self, tmp_path):
+        path = str(tmp_path / "live.sock")
+        first = ReproServer()
+        first.bind_unix(path)
+        first.serve_in_background()
+        try:
+            with pytest.raises(OSError):
+                ReproServer().bind_unix(path)
+            with ServeClient(path) as client:  # first daemon untouched
+                assert client.request({"op": "ping"})["ok"]
+        finally:
+            first.shutdown()
+
+    def test_cli_bind_failure_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "held.sock")
+        holder = ReproServer()
+        holder.bind_unix(path)
+        holder.serve_in_background()
+        try:
+            assert main(["serve", "--socket", path]) == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            holder.shutdown()
+
+    def test_concurrent_connections_count_every_request(self):
+        import threading
+
+        server = ReproServer()
+        address = server.bind_tcp()
+        server.serve_in_background()
+        per_thread, n_threads = 20, 4
+        try:
+            def hammer():
+                with ServeClient(address) as client:
+                    for _ in range(per_thread):
+                        assert client.request({"op": "ping"})["ok"]
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServeClient(address) as client:
+                stats = client.request({"op": "stats"})
+        finally:
+            server.shutdown()
+        assert stats["requests"] == per_thread * n_threads + 1
+
+    def test_serve_defaults_apply_to_every_batch(self):
+        server = ReproServer(witnesses=True, method="auto")
+        address = server.bind_tcp()
+        server.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                report = client.request(pair_jobs())["report"]
+                assert "witness" in report["pairs"][0]
+        finally:
+            server.shutdown()

@@ -227,11 +227,12 @@ class TestBoundedCache:
         assert len(engine) == 4
         assert engine.stats.evictions == 16
 
-    def test_eviction_drops_pins_of_dead_entries(self):
+    def test_eviction_drops_bookkeeping_of_dead_entries(self):
         engine = Engine(capacity=2)
         self.sweep(engine, 10)
-        # two live entries, each touching two bags
-        assert len(engine._pinned) <= 4
+        # two live entries, each touching two fingerprints: the reverse
+        # index must not accumulate the history of evicted contents
+        assert len(engine.store._fp_keys) <= 4
 
     def test_lru_order_recent_survives(self):
         engine = Engine(capacity=2)

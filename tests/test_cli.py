@@ -272,3 +272,51 @@ class TestBatch:
 
     def test_batch_missing_file_exit_two(self):
         assert main(["batch", "/nonexistent-jobs.json"]) == 2
+
+    def test_batch_invalid_json_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text("{definitely not json")
+        assert main(["batch", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid JSON" in err
+        assert len(err.strip().splitlines()) == 1  # one structured line
+
+    def test_batch_backend_matches_serial(self, tmp_path, pair_files,
+                                          capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        assert main(["batch", str(path)]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        for backend in ("serial", "thread", "process"):
+            assert main(
+                ["batch", str(path), "--backend", backend,
+                 "--parallelism", "2"]
+            ) == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["pairs"] == serial["pairs"]
+            assert report["collections"] == serial["collections"]
+            assert report["suites"] == serial["suites"]
+
+    def test_batch_report_includes_store_stats(self, tmp_path, pair_files,
+                                               capsys):
+        _, _, r, s = pair_files
+        path = self.jobs_file(tmp_path, r, s, s + s)
+        assert main(["batch", str(path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["store"]["entries"] >= 1
+        assert 0.0 <= report["store"]["hit_rate"] <= 1.0
+
+
+class TestServe:
+    def test_serve_requires_exactly_one_bind(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--socket or --port" in capsys.readouterr().err
+        assert main(
+            ["serve", "--socket", "/tmp/x.sock", "--port", "1"]
+        ) == 2
+
+    def test_serve_rejects_bad_knobs(self, capsys):
+        assert main(["serve", "--port", "0", "--parallelism", "0"]) == 2
+        assert "parallelism" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--capacity", "0"]) == 2
+        assert "capacity" in capsys.readouterr().err
