@@ -5,7 +5,6 @@ supports.  Series: number of relations m along a chain, and edge width
 for chains of wide overlapping edges.
 """
 
-import random
 
 import pytest
 

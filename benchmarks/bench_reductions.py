@@ -23,7 +23,6 @@ from repro.reductions.three_dct import (
     decide_3dct,
     random_consistent_instance,
 )
-from repro.workloads.generators import random_collection_over
 
 
 @pytest.mark.parametrize("target", [5, 7, 9])

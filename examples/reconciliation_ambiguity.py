@@ -14,7 +14,7 @@ reveal the cell).
 Run:  python examples/reconciliation_ambiguity.py
 """
 
-from repro import Bag, Schema, bag_table
+from repro import Bag, bag_table
 from repro.consistency import (
     ConsistencyProgram,
     multiplicity_range,

@@ -19,7 +19,6 @@ Run:  python examples/warehouse_inventory.py
 
 from repro import (
     Bag,
-    Schema,
     acyclic_global_witness,
     bag_table,
     collection_summary,

@@ -27,10 +27,19 @@ Usage (all inputs are the JSON encodings of :mod:`repro.io`):
   or ``process`` for CPU-bound batches); emits a JSON report with
   per-job results plus the engine's cache statistics.
 * ``python -m repro serve (--socket PATH | --port N) [--capacity N]
-  [--parallelism N] [--backend B]`` — a long-running daemon speaking
-  the batch JSON protocol over a Unix/TCP socket, one shared
-  content-addressed engine across all connections (see
-  :mod:`repro.server` for the wire protocol and ``stats`` endpoint).
+  [--parallelism N] [--backend B] [--store-dir DIR] [--max-inflight N]``
+  — a long-running daemon speaking the batch JSON protocol over a
+  Unix/TCP socket, one shared content-addressed verdict store across
+  all connections with an engine per connection and a batch admission
+  cap (see :mod:`repro.server` for the wire protocol and ``stats``
+  endpoint).  With ``--store-dir`` the store is durable: a restarted
+  daemon reopens its shards and answers repeat traffic warm.
+* ``python -m repro batch JOBS.json --store-dir DIR`` — same durable
+  store for one-shot batches: verdicts computed today are disk hits
+  tomorrow.
+* ``python -m repro store (stats|compact|clear) --store-dir DIR`` —
+  offline maintenance of a persistent store; prints one JSON line
+  (per-shard record/byte counts, compaction results) for scripting.
 
 Exit codes: 0 for "yes"/success, 1 for "no" (inconsistent / cyclic),
 2 for usage or input errors.  ``batch`` exits 0 when every job ran
@@ -201,6 +210,24 @@ def _validate_batch_knobs(args: argparse.Namespace) -> None:
         )
     if args.capacity is not None and args.capacity < 1:
         raise ReproError(f"--capacity must be positive, got {args.capacity}")
+    if getattr(args, "shards", None) is not None:
+        if args.shards < 1:
+            raise ReproError(f"--shards must be positive, got {args.shards}")
+        if args.store_dir is None:
+            raise ReproError("--shards only makes sense with --store-dir")
+
+
+def _open_store(args: argparse.Namespace):
+    """The persistent store for ``--store-dir`` (``None`` without it).
+    ``--capacity`` then bounds the store's hot tier, not a private
+    engine store."""
+    if getattr(args, "store_dir", None) is None:
+        return None
+    from .store import PersistentVerdictStore
+
+    return PersistentVerdictStore(
+        args.store_dir, shards=args.shards, capacity=args.capacity
+    )
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -217,15 +244,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     _validate_batch_knobs(args)
     jobs = parse_jobs_text(Path(args.jobs).read_text())
-    engine = Engine(capacity=args.capacity)
-    report = run_jobs(
-        jobs,
-        engine,
-        method=args.method,
-        witnesses=args.witnesses,
-        parallelism=args.parallelism,
-        backend=args.backend,
+    store = _open_store(args)
+    engine = (
+        Engine(store=store) if store is not None
+        else Engine(capacity=args.capacity)
     )
+    try:
+        report = run_jobs(
+            jobs,
+            engine,
+            method=args.method,
+            witnesses=args.witnesses,
+            parallelism=args.parallelism,
+            backend=args.backend,
+        )
+    finally:
+        if store is not None:
+            store.close()  # flush the write-behind tail
     text = json_module.dumps(report, indent=2)
     if args.output:
         Path(args.output).write_text(text)
@@ -242,13 +277,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _validate_batch_knobs(args)
     if (args.socket is None) == (args.port is None):
         raise ReproError("serve needs exactly one of --socket or --port")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise ReproError(
+            f"--max-inflight must be positive, got {args.max_inflight}"
+        )
     server = ReproServer(
         capacity=args.capacity,
         method=args.method,
         witnesses=args.witnesses,
         parallelism=args.parallelism,
         backend=args.backend,
+        store_dir=args.store_dir,
+        shards=args.shards,
+        max_inflight=args.max_inflight,
     )
+    if args.store_dir:
+        persisted = server.store.stats_dict()["persistent"]
+        print(
+            f"persistent store at {args.store_dir}: "
+            f"{persisted['shards']} shards, "
+            f"{persisted['records']} records warm",
+            flush=True,
+        )
     try:
         if args.socket:
             address = server.bind_unix(args.socket)
@@ -263,8 +313,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        server.shutdown()
+        pass
     finally:
+        # Reached on Ctrl-C *and* on the wire `shutdown` op (which
+        # stops serve_forever from a helper thread): shutdown() is
+        # idempotent and blocks until the store flush has happened, so
+        # the process cannot exit with an unflushed write-behind tail.
+        server.shutdown()
         if args.socket:
             import contextlib
             import os
@@ -272,6 +327,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with contextlib.suppress(OSError):
                 os.unlink(args.socket)
     print("serve shut down cleanly", flush=True)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Offline persistent-store maintenance: one-line JSON per action
+    (``stats`` / ``compact`` / ``clear``) for scripting."""
+    import json as json_module
+
+    from .store import PersistentVerdictStore
+
+    if not (Path(args.store_dir) / "META.json").exists():
+        raise ReproError(
+            f"no verdict store at {args.store_dir} (missing META.json); "
+            f"create one with `repro batch --store-dir` or "
+            f"`repro serve --store-dir`"
+        )
+    store = PersistentVerdictStore(args.store_dir)
+    try:
+        if args.action == "stats":
+            persisted = store.stats_dict()["persistent"]
+            persisted["per_shard"] = [
+                {
+                    "shard": i,
+                    "records": s["records"],
+                    "dead_records": s["dead_records"],
+                    "bytes": s["bytes"],
+                    "segments": s["segments"],
+                    "torn_tails": s["torn_tails"],
+                }
+                for i, s in enumerate(store.shard_stats())
+            ]
+            out = {"action": "stats", **persisted}
+        elif args.action == "compact":
+            live = store.compact()
+            out = {
+                "action": "compact",
+                "store_dir": str(args.store_dir),
+                "live_records": live,
+                "disk_bytes": store.stats_dict()["persistent"]["disk_bytes"],
+            }
+        else:  # clear
+            store.clear()
+            out = {
+                "action": "clear",
+                "store_dir": str(args.store_dir),
+                "cleared": True,
+            }
+    finally:
+        store.close()
+    print(json_module.dumps(out))
     return 0
 
 
@@ -389,7 +494,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="include a witness bag for every consistent pair",
     )
     _add_engine_knobs(p)
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission cap: at most N batches execute concurrently "
+        "(default: scaled to the core count)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect or maintain a persistent verdict store directory",
+    )
+    p.add_argument("action", choices=["stats", "compact", "clear"])
+    p.add_argument(
+        "--store-dir",
+        required=True,
+        metavar="DIR",
+        help="the persistent store directory (as given to batch/serve)",
+    )
+    p.set_defaults(func=_cmd_store)
 
     return parser
 
@@ -415,7 +541,25 @@ def _add_engine_knobs(p: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="bound the engine's verdict store to N results (LRU eviction)",
+        help="bound the engine's verdict store to N results (LRU "
+        "eviction; with --store-dir this bounds the in-memory hot "
+        "tier — disk is unbounded)",
+    )
+    p.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="durable sharded verdict store: verdicts/witnesses/global "
+        "results spill to segment logs here and are reloaded warm on "
+        "the next run",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count when creating a new --store-dir (default 8; "
+        "an existing store keeps its count)",
     )
 
 

@@ -29,7 +29,6 @@ from ..core.relations import Relation, join_all
 from ..core.schema import Schema, projection_plan
 from ..engine import kernels
 from ..engine.index import BagIndex, RelationIndex
-from ..errors import CyclicSchemaError, SchemaError
 from ..hypergraphs.acyclicity import JoinTree, join_tree
 from ..hypergraphs.hypergraph import Hypergraph
 

@@ -25,7 +25,7 @@ from ..core.bags import Bag
 from ..core.schema import Schema
 from ..errors import CyclicSchemaError, InconsistentError
 from ..hypergraphs.acyclicity import is_acyclic, running_intersection_order
-from ..hypergraphs.hypergraph import Hypergraph, hypergraph_of_bags
+from ..hypergraphs.hypergraph import hypergraph_of_bags
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET, find_solution
 from ..lp.simplex import solve_lp
 from .pairwise import are_consistent, consistency_witness

@@ -32,12 +32,11 @@ from typing import Sequence
 from ..core.bags import Bag
 from ..core.krelations import KRelation
 from ..core.semirings import NONNEG_RATIONALS
-from ..errors import AcyclicSchemaError, MultiplicityError
+from ..errors import MultiplicityError
 from ..hypergraphs.hypergraph import Hypergraph
 from .local_global import counterexample_for_cyclic
 from .semiring_consistency import (
     acyclic_global_witness_rationals,
-    is_krelation_witness,
     krelations_consistent,
     rational_pairwise_witness,
 )
@@ -54,7 +53,6 @@ def is_distribution(k: KRelation) -> bool:
 def distribution(schema_rows: dict, schema=None) -> KRelation:
     """Build a distribution from ``{row: probability}``; probabilities
     are normalized exactly if they do not already sum to 1."""
-    from ..core.schema import Schema
 
     if schema is None:
         raise MultiplicityError("distribution() requires schema=")

@@ -30,7 +30,7 @@ from typing import Sequence
 
 from ..core.bags import Bag
 from ..core.schema import Schema, project_values
-from ..errors import CyclicSchemaError, InconsistentError
+from ..errors import InconsistentError
 from ..hypergraphs.acyclicity import join_tree
 from ..hypergraphs.hypergraph import hypergraph_of_bags
 

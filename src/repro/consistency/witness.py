@@ -19,7 +19,6 @@ statements of Theorems 3 and 5:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -28,7 +28,6 @@ from typing import Sequence
 
 from ..core.relations import Relation, join_all
 from ..core.schema import Schema
-from ..errors import CyclicSchemaError
 from .full_reducer import fully_reduce, fully_reduce_with_tree
 
 

@@ -245,6 +245,10 @@ def run_process_batch(
             ]
             for future in futures:
                 engine.store.merge(future.result())
+        # A persistent store makes merged worker deltas durable at the
+        # batch boundary (no-op 0 for the in-memory store): a daemon
+        # killed right after a process batch keeps those verdicts.
+        engine.flush()
     # Replay locally: merged misses are hits; anything left (workers
     # disabled, or a racing invalidation) is computed here.
     if kind == "consistent":

@@ -44,7 +44,12 @@ CPU-bound global checks past the GIL).
 The memoization contract: plain :class:`repro.core.bags.Bag` objects
 are immutable and entries are pure functions of their fingerprints, so
 a cached answer is dropped only for memory (eviction, :meth:`clear`,
-:meth:`invalidate`) — it can never go stale.
+:meth:`invalidate`) — it can never go stale.  That is also why the
+store can outlive the process: ``store=`` accepts a
+:class:`repro.store.PersistentVerdictStore`, which spills verdicts,
+witnesses, and global results to sharded segment logs and answers
+repeat traffic from disk after a restart (:meth:`flush` exposes its
+write-behind flush through the engine).
 """
 
 from __future__ import annotations
@@ -343,6 +348,13 @@ class Engine:
         self.store.clear()
         with self._lock:
             self.stats = EngineStats()
+
+    def flush(self) -> int:
+        """Flush a persistent backing store's write-behind buffers to
+        disk (:class:`repro.store.PersistentVerdictStore`); a no-op 0
+        for the in-memory store.  Returns the operations written."""
+        flush = getattr(self.store, "flush", None)
+        return flush() if flush is not None else 0
 
     def __len__(self) -> int:
         """Number of stored results (shared-store entries included)."""

@@ -15,7 +15,6 @@ condition: every source-leaving and sink-entering edge runs at capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
 
 from .network import FlowNetwork, Node
 

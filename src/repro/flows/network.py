@@ -13,7 +13,7 @@ tuples.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterator
 
 Node = Hashable
 

@@ -14,7 +14,6 @@ linear-time route [RTL76, TY84] is implemented here:
 
 from __future__ import annotations
 
-from typing import Hashable
 
 from .graphs import Graph, Vertex
 

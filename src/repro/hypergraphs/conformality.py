@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from itertools import combinations
 
-from ..core.schema import Schema
 from .hypergraph import Hypergraph
 
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from ..core.schema import Schema
 from .hypergraph import Hypergraph
 
 

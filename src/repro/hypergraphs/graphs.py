@@ -63,13 +63,8 @@ class Graph:
 
     def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
         keep = frozenset(keep) & self._vertices
-        edges = [
-            (u, v)
-            for u in keep
-            for v in self._adj[u]
-            if v in keep and repr(u) < repr(v)
-        ]
-        # repr-ordering may miss edges whose reprs tie; fall back to a set.
+        # dedupe via frozensets: repr-ordering may miss edges whose
+        # reprs tie
         all_edges = {
             frozenset((u, v))
             for u in keep

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal
 
-from ..core.schema import Attribute
 from ..errors import AcyclicSchemaError
 from .acyclicity import is_acyclic
 from .chordality import is_chordal_graph

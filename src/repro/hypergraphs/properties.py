@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..core.schema import Attribute, Schema
 from .hypergraph import Hypergraph
 
 

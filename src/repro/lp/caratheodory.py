@@ -26,7 +26,6 @@ import math
 from fractions import Fraction
 from typing import Sequence
 
-from ..errors import SearchLimitExceeded
 from .integer_feasibility import (
     DEFAULT_NODE_BUDGET,
     ZeroOneSystem,

@@ -18,7 +18,7 @@ tables (the planted-witness generator used by tests and benchmarks).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import random
 

@@ -1,9 +1,11 @@
 """``repro serve``: a long-running consistency-checking daemon.
 
-The serve daemon keeps **one content-addressed engine** alive across
-connections and speaks the existing batch JSON protocol over a Unix or
-TCP socket, so a fleet of clients re-checking overlapping ledgers pays
-each verdict once, process-wide:
+The serve daemon keeps **one content-addressed verdict store** alive
+across connections and speaks the existing batch JSON protocol over a
+Unix or TCP socket, so a fleet of clients re-checking overlapping
+ledgers pays each verdict once, process-wide — and, with
+``--store-dir``, once *ever*: the store spills to sharded segment logs
+on disk and a restarted daemon reopens them warm.
 
 * every connection multiplexes requests as **newline-delimited JSON**:
   one request object per line in, one response object per line out, in
@@ -17,18 +19,27 @@ each verdict once, process-wide:
   usual report under ``"report"``, failures put a one-line message
   under ``"error"`` (malformed jobs never tear down the connection,
   let alone the daemon);
-* ``stats`` exposes the engine counters, the verdict store's hit rate
-  and size, and daemon-level request totals — the observability hook
-  for the warm-cache serving claims.
+* ``stats`` exposes the aggregated engine counters, the verdict
+  store's hit rate and size — including the persistent tier (shard
+  count, disk bytes, hot hits vs read-through disk hits) when one is
+  attached — and daemon-level request totals.
 
-Because bags are interned by *content*, two connections posting
-value-equal jobs share verdicts, witnesses, and indexes: the second
-connection's queries are pure cache hits (see
-``benchmarks/bench_serve.py``).
+Concurrency model (the multi-client upgrade):
+
+* **an engine per connection over the shared store** — each handler
+  thread runs its own :class:`~repro.engine.session.Engine`, so
+  connections never serialize on another connection's stats lock, and
+  per-connection reports still describe that client's workload; the
+  verdicts themselves flow through the one shared store (per-shard
+  locks when it is persistent, one lock when in-memory);
+* **batch admission cap** — at most ``max_inflight`` batches execute
+  at once; further batches wait up to ``admission_timeout`` seconds
+  and are then refused with a one-line error instead of queueing
+  unboundedly (``ping``/``stats``/``shutdown`` are never gated).
 
 A worked session (one line per message)::
 
-    $ repro serve --socket /tmp/repro.sock &
+    $ repro serve --socket /tmp/repro.sock --store-dir /var/lib/repro &
     $ python - <<'PY'
     from repro.server import ServeClient
     client = ServeClient("/tmp/repro.sock")
@@ -50,7 +61,7 @@ import time
 from typing import Iterable
 
 from .engine.jobs import JobError, parse_jobs, run_jobs
-from .engine.session import Engine
+from .engine.session import Engine, EngineStats
 from .errors import ReproError
 from .lp.integer_feasibility import DEFAULT_NODE_BUDGET
 
@@ -59,14 +70,29 @@ __all__ = ["ReproServer", "ServeClient"]
 _OPS = ("batch", "ping", "stats", "shutdown")
 
 
+def _default_inflight() -> int:
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def _merge_stats(target: EngineStats, source: dict) -> None:
+    for field, value in source.items():
+        setattr(target, field, getattr(target, field) + value)
+
+
 class ReproServer:
-    """The daemon: one shared engine, many socket connections.
+    """The daemon: one shared verdict store, an engine per connection.
 
     ``method`` / ``witnesses`` / ``parallelism`` / ``backend`` are the
     serving defaults applied to every batch request (the same knobs
-    ``repro batch`` takes per invocation).  Bind with :meth:`bind_unix`
-    or :meth:`bind_tcp`, then :meth:`serve_forever` (blocking) or
-    :meth:`serve_in_background` (tests, embedding).
+    ``repro batch`` takes per invocation).  ``store_dir`` attaches a
+    :class:`repro.store.PersistentVerdictStore` (created on first use,
+    reopened warm thereafter; the daemon owns it and closes it on
+    shutdown); ``store`` shares an existing store object instead.
+    ``max_inflight`` caps concurrently executing batches
+    (``admission_timeout`` seconds of waiting, then a refusal).  Bind
+    with :meth:`bind_unix` or :meth:`bind_tcp`, then
+    :meth:`serve_forever` (blocking) or :meth:`serve_in_background`
+    (tests, embedding).
     """
 
     def __init__(
@@ -78,23 +104,68 @@ class ReproServer:
         witnesses: bool = False,
         parallelism: int | None = None,
         backend: str | None = None,
+        store=None,
+        store_dir: str | None = None,
+        shards: int | None = None,
+        max_inflight: int | None = None,
+        admission_timeout: float = 60.0,
     ) -> None:
-        self.engine = engine if engine is not None else Engine(
-            node_budget=node_budget, capacity=capacity
-        )
+        if max_inflight is not None and max_inflight < 1:
+            raise ReproError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self._owns_store = False
+        if engine is not None:
+            self.engine = engine
+        else:
+            if store is None and store_dir is not None:
+                from .store import PersistentVerdictStore
+
+                store = PersistentVerdictStore(
+                    store_dir, shards=shards, capacity=capacity
+                )
+                capacity = None  # the store owns the bound now
+                self._owns_store = True
+            self.engine = Engine(
+                node_budget=node_budget, capacity=capacity, store=store
+            )
+        self.store = self.engine.store
+        self.node_budget = self.engine.node_budget
         self.method = method
         self.witnesses = witnesses
         self.parallelism = parallelism
         self.backend = backend
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else _default_inflight()
+        )
+        self.admission_timeout = admission_timeout
+        self._admission = threading.BoundedSemaphore(self.max_inflight)
         self.requests = 0
         self.batches = 0
         self.errors = 0
+        self.admission_refusals = 0
+        self.connections = 0
         self.started = time.monotonic()
         # handler threads race on the counters above; the engine/store
         # counters are locked internally, so lock these too or the
         # stats endpoint undercounts under concurrent connections
         self._stats_lock = threading.Lock()
-        self._jobs_lock = threading.Lock()
+        # process-backend batches each spawn a full worker pool; admit
+        # them one at a time or N overlapping batches oversubscribe the
+        # machine with N x cpu_count workers (thread/serial batches
+        # share this process and are gated by max_inflight alone)
+        self._process_lock = threading.Lock()
+        # shutdown may be reached twice (wire op's helper thread + the
+        # CLI's serve_forever exit); the lock makes the second caller
+        # wait for the first one's store flush instead of racing it
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._inflight = 0
+        self.peak_inflight = 0
+        # per-connection engines: live ones are summed into stats() on
+        # the fly, closed ones fold into _retired so nothing is lost
+        self._active_engines: set[Engine] = set()
+        self._retired = EngineStats()
         self._server: socketserver.BaseServer | None = None
         self._thread: threading.Thread | None = None
         self.address: str | tuple[str, int] | None = None
@@ -138,12 +209,47 @@ class ReproServer:
         self._thread.start()
 
     def shutdown(self) -> None:
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop accepting, then make buffered verdicts durable.  Safe
+        to call from several threads (the wire ``shutdown`` op's helper
+        and the CLI's post-``serve_forever`` cleanup both land here):
+        the first caller does the work, later callers block until it is
+        done — so by the time *any* ``shutdown()`` returns, the store
+        flush has happened."""
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            self._shutdown_done = True
+            if self._server is not None:
+                self._server.shutdown()
+                self._server.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5)
+                self._thread = None
+            # Durable on every clean stop; fully close the store only
+            # if this daemon created it.
+            flush = getattr(self.store, "flush", None)
+            if flush is not None:
+                flush()
+            if self._owns_store:
+                self.store.close()
+
+    # -- per-connection engines ------------------------------------------
+
+    def connection_engine(self) -> Engine:
+        """A fresh engine over the shared store for one connection (its
+        stats describe that client; the verdicts are shared)."""
+        engine = Engine(node_budget=self.node_budget, store=self.store)
+        with self._stats_lock:
+            self.connections += 1
+            self._active_engines.add(engine)
+        return engine
+
+    def retire_engine(self, engine: Engine) -> None:
+        """Fold a closed connection's counters into the daemon totals."""
+        with self._stats_lock:
+            if engine in self._active_engines:
+                self._active_engines.discard(engine)
+                _merge_stats(self._retired, engine.stats.as_dict())
 
     # -- request handling -------------------------------------------------
 
@@ -153,10 +259,14 @@ class ReproServer:
             if error:
                 self.errors += 1
 
-    def handle_payload(self, payload: object) -> dict:
+    def handle_payload(self, payload: object, engine: Engine | None = None) -> dict:
         """One request object in, one response object out (exceptions
-        become ``{"ok": false, "error": one-line}``)."""
+        become ``{"ok": false, "error": one-line}``).  ``engine`` is the
+        per-connection engine; embedders may omit it to use the base
+        engine."""
         self.count_request()
+        if engine is None:
+            engine = self.engine
         try:
             if not isinstance(payload, dict):
                 raise JobError("request must be a JSON object")
@@ -178,37 +288,84 @@ class ReproServer:
             jobs = parse_jobs(
                 {k: v for k, v in payload.items() if k != "op"}
             )
-            # One batch at a time: batches already fan out internally
-            # via parallelism/backend, and serializing them keeps the
-            # process-pool path from oversubscribing the machine.
-            with self._stats_lock:
-                self.batches += 1
-            with self._jobs_lock:
-                report = run_jobs(
-                    jobs,
-                    self.engine,
-                    method=self.method,
-                    witnesses=self.witnesses,
-                    parallelism=self.parallelism,
-                    backend=self.backend,
-                )
+            # Admission control: overlapping connections run batches
+            # concurrently up to max_inflight; beyond that, callers wait
+            # briefly and are then refused with a one-line error rather
+            # than queueing without bound (each batch already fans out
+            # internally via parallelism/backend).
+            if not self._admission.acquire(timeout=self.admission_timeout):
+                with self._stats_lock:
+                    self.admission_refusals += 1
+                    self.errors += 1
+                return {
+                    "ok": False,
+                    "error": (
+                        f"server at capacity: {self.max_inflight} batches "
+                        f"in flight (waited {self.admission_timeout:g}s)"
+                    ),
+                }
+            try:
+                with self._stats_lock:
+                    self.batches += 1
+                    self._inflight += 1
+                    self.peak_inflight = max(
+                        self.peak_inflight, self._inflight
+                    )
+                if self.backend == "process":
+                    # one worker pool at a time (see _process_lock)
+                    with self._process_lock:
+                        report = self._run_jobs(jobs, engine)
+                else:
+                    report = self._run_jobs(jobs, engine)
+            finally:
+                with self._stats_lock:
+                    self._inflight -= 1
+                self._admission.release()
             return {"ok": True, "op": "batch", "report": report}
         except ReproError as exc:
             with self._stats_lock:
                 self.errors += 1
             return {"ok": False, "error": str(exc)}
 
+    def _run_jobs(self, jobs, engine: Engine) -> dict:
+        return run_jobs(
+            jobs,
+            engine,
+            method=self.method,
+            witnesses=self.witnesses,
+            parallelism=self.parallelism,
+            backend=self.backend,
+        )
+
     def stats(self) -> dict:
-        """The ``stats`` endpoint body: engine counters, store hit
-        rate/size, daemon totals."""
+        """The ``stats`` endpoint body: aggregated engine counters
+        (base + every connection, live and closed), store hit
+        rate/size (persistent tier included when attached), daemon
+        totals, and admission state."""
         with self._stats_lock:
             requests, batches, errors = self.requests, self.batches, self.errors
+            aggregated = EngineStats()
+            _merge_stats(aggregated, self._retired.as_dict())
+            _merge_stats(aggregated, self.engine.stats.as_dict())
+            for engine in self._active_engines:
+                _merge_stats(aggregated, engine.stats.as_dict())
+            connections = self.connections
+            active = len(self._active_engines)
+            inflight = self._inflight
+            refusals = self.admission_refusals
+            peak = self.peak_inflight
         return {
-            "stats": self.engine.stats.as_dict(),
-            "store": self.engine.store.stats_dict(),
+            "stats": aggregated.as_dict(),
+            "store": self.store.stats_dict(),
             "requests": requests,
             "batches": batches,
             "request_errors": errors,
+            "connections": connections,
+            "active_connections": active,
+            "max_inflight": self.max_inflight,
+            "inflight_batches": inflight,
+            "peak_inflight": peak,
+            "admission_refusals": refusals,
             "uptime_seconds": time.monotonic() - self.started,
         }
 
@@ -232,23 +389,27 @@ def _is_stale_socket(path: str) -> bool:
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         owner: ReproServer = self.server.owner  # type: ignore[attr-defined]
-        for line in self.rfile:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                owner.count_request(error=True)
-                response = {"ok": False, "error": f"invalid JSON: {exc}"}
-            else:
-                response = owner.handle_payload(payload)
-            self.wfile.write(
-                (json.dumps(response) + "\n").encode("utf-8")
-            )
-            self.wfile.flush()
-            if response.get("bye"):
-                break
+        engine = owner.connection_engine()
+        try:
+            for line in self.rfile:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    owner.count_request(error=True)
+                    response = {"ok": False, "error": f"invalid JSON: {exc}"}
+                else:
+                    response = owner.handle_payload(payload, engine=engine)
+                self.wfile.write(
+                    (json.dumps(response) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+                if response.get("bye"):
+                    break
+        finally:
+            owner.retire_engine(engine)
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):

@@ -1,0 +1,202 @@
+"""On-disk record framing for the persistent verdict store.
+
+One **segment file** is a fixed header followed by a run of CRC-framed
+records.  The format is deliberately boring — append-only, no in-place
+mutation, every record independently checksummed — so that the only
+crash mode a log can exhibit is a *torn tail*: a prefix of intact
+records followed by garbage where the final append was cut short.
+
+Segment header (10 bytes)::
+
+    MAGIC   6 bytes  b"RVSSEG"
+    version u16 BE   FORMAT_VERSION
+
+Record frame::
+
+    length  u32 BE   byte length of `body`
+    crc32   u32 BE   zlib.crc32 over `body`
+    body    length bytes:
+        kind     u8          RECORD_PUT | RECORD_TOMBSTONE
+        key_len  u32 BE      byte length of the key blob
+        key      key_len bytes
+        value    the rest
+
+For a ``PUT`` the key blob is ``pickle((key, participant_fps))`` and
+the value blob is ``pickle(value)`` — split so that opening a shard can
+index every record (key, fingerprints, value location) **without**
+unpickling any values; values are read lazily on the first read-through
+miss.  For a ``TOMBSTONE`` the key blob is ``pickle(fp)`` (drop every
+earlier record whose participants include ``fp``) and the value blob is
+empty.
+
+Crash tolerance on open (:func:`scan_segment`):
+
+* a record whose frame runs past end-of-file, whose CRC disagrees, or
+  whose body cannot be parsed marks the **torn tail** — everything from
+  its offset on is ignored and the caller may physically truncate it;
+* a file whose magic is not ours, or whose version is newer than this
+  code, is **skipped whole** (reported, preserved, never rewritten) —
+  a downgraded reader must not destroy a newer store's data.
+
+Pickle is the value codec: the store holds engine results (bools,
+``Bag`` witnesses, ``GlobalConsistencyResult``) produced by this
+codebase on this machine; the trust boundary is the local filesystem,
+exactly as for any on-disk cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "RECORD_PUT",
+    "RECORD_TOMBSTONE",
+    "ScannedRecord",
+    "SegmentScan",
+    "encode_put",
+    "encode_tombstone",
+    "read_value",
+    "scan_segment",
+    "write_header",
+]
+
+MAGIC = b"RVSSEG"
+FORMAT_VERSION = 1
+HEADER = struct.Struct(">6sH")
+FRAME = struct.Struct(">II")
+BODY_HEAD = struct.Struct(">BI")
+
+RECORD_PUT = 1
+RECORD_TOMBSTONE = 2
+
+
+def write_header(fh: BinaryIO, version: int = FORMAT_VERSION) -> None:
+    fh.write(HEADER.pack(MAGIC, version))
+
+
+def _frame(body: bytes) -> bytes:
+    return FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def encode_put(key: tuple, value: object, fps: tuple) -> bytes:
+    """One framed PUT record (key + fingerprints separate from the
+    lazily-read value blob)."""
+    key_blob = pickle.dumps((key, tuple(fps)), protocol=pickle.HIGHEST_PROTOCOL)
+    value_blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    body = BODY_HEAD.pack(RECORD_PUT, len(key_blob)) + key_blob + value_blob
+    return _frame(body)
+
+
+def encode_tombstone(fp: int) -> bytes:
+    """One framed tombstone: drop every earlier record touching ``fp``."""
+    key_blob = pickle.dumps(fp, protocol=pickle.HIGHEST_PROTOCOL)
+    body = BODY_HEAD.pack(RECORD_TOMBSTONE, len(key_blob)) + key_blob
+    return _frame(body)
+
+
+@dataclass(frozen=True)
+class ScannedRecord:
+    """One intact record met during a segment scan.
+
+    ``value_offset``/``value_length`` locate the pickled value inside
+    the segment file for lazy reads; tombstones carry ``fp`` instead.
+    """
+
+    kind: int
+    key: tuple | None
+    fps: tuple
+    fp: int | None
+    value_offset: int
+    value_length: int
+
+
+@dataclass
+class SegmentScan:
+    """The outcome of scanning one segment.
+
+    ``usable`` is False for foreign or newer-versioned files (skip,
+    preserve).  ``truncate_at`` is the byte offset of the torn tail
+    when one was found (``None`` for a clean file): every byte from
+    there on failed framing and should be cut before appending.
+    """
+
+    usable: bool
+    version: int | None
+    records: list[ScannedRecord]
+    truncate_at: int | None
+    reason: str | None = None
+
+
+def scan_segment(fh: BinaryIO) -> SegmentScan:
+    """Scan an opened segment from the start, stopping at the first
+    framing violation (the torn tail) — never raising for corruption."""
+    header = fh.read(HEADER.size)
+    if len(header) < HEADER.size:
+        # shorter than a header: a creation cut short; everything goes
+        return SegmentScan(True, None, [], 0, "truncated header")
+    magic, version = HEADER.unpack(header)
+    if magic != MAGIC:
+        return SegmentScan(False, None, [], None, "foreign file (bad magic)")
+    if version > FORMAT_VERSION:
+        return SegmentScan(
+            False, version, [], None, f"format version {version} is newer"
+        )
+    records: list[ScannedRecord] = []
+    offset = HEADER.size
+    while True:
+        frame = fh.read(FRAME.size)
+        if not frame:
+            return SegmentScan(True, version, records, None)
+        if len(frame) < FRAME.size:
+            return SegmentScan(True, version, records, offset, "torn frame")
+        length, crc = FRAME.unpack(frame)
+        body = fh.read(length)
+        if len(body) < length or zlib.crc32(body) != crc:
+            return SegmentScan(True, version, records, offset, "torn body")
+        record = _parse_body(body, record_start=offset)
+        if record is None:
+            return SegmentScan(True, version, records, offset, "bad body")
+        records.append(record)
+        offset += FRAME.size + length
+
+
+def _parse_body(body: bytes, record_start: int) -> ScannedRecord | None:
+    """Decode one CRC-verified body; ``None`` on any malformation (a
+    CRC collision or a foreign writer — treated like a torn tail)."""
+    if len(body) < BODY_HEAD.size:
+        return None
+    kind, key_len = BODY_HEAD.unpack_from(body)
+    key_end = BODY_HEAD.size + key_len
+    if key_end > len(body):
+        return None
+    try:
+        key_obj = pickle.loads(body[BODY_HEAD.size:key_end])
+    except Exception:
+        return None
+    value_offset = record_start + FRAME.size + key_end
+    value_length = len(body) - key_end
+    if kind == RECORD_PUT:
+        if not isinstance(key_obj, tuple) or len(key_obj) != 2:
+            return None
+        key, fps = key_obj
+        if not isinstance(key, tuple) or not isinstance(fps, tuple):
+            return None
+        return ScannedRecord(kind, key, fps, None, value_offset, value_length)
+    if kind == RECORD_TOMBSTONE:
+        if not isinstance(key_obj, int):
+            return None
+        return ScannedRecord(kind, None, (), key_obj, value_offset, 0)
+    return None  # unknown record kind: stop here, keep the prefix
+
+
+def read_value(fh: BinaryIO, record: ScannedRecord) -> object:
+    """The lazily-read value of a PUT record (read-through path)."""
+    fh.seek(record.value_offset)
+    blob = fh.read(record.value_length)
+    return pickle.loads(blob)

@@ -1,0 +1,408 @@
+"""One disk shard: an append-only segment log with compaction.
+
+A shard owns one directory (``shard-07/``) holding numbered segment
+files (``00000001.seg``, ``00000002.seg``, ...).  All appends go to the
+highest-numbered segment; compaction writes a **snapshot** — every live
+record, exactly once — into a fresh higher-numbered segment and then
+deletes the segments it subsumed.  Records never mutate in place, so
+the invariants are:
+
+* **replay order is truth** — scanning segments in numeric order and
+  applying records in sequence (later PUT of a key supersedes earlier;
+  a tombstone drops every earlier key touching its fingerprint)
+  reconstructs exactly the live map;
+* **a crash loses at most the unflushed tail** — appends are buffered
+  (write-behind) until :meth:`flush`; a torn final record is detected
+  by its CRC frame on the next open and physically truncated away;
+* **foreign and newer-versioned segments are preserved, never
+  rewritten** — they are skipped on open and left out of compaction's
+  delete list, so a downgraded reader cannot destroy data it does not
+  understand.
+
+The in-memory side is an index only: ``key -> (segment, value offset,
+length, fps)`` plus a fingerprint reverse index.  Values stay on disk
+until a read-through asks for one (:meth:`lookup`), so reopening a
+large store is one sequential scan per segment with **zero** value
+unpickling.
+
+Thread safety: every public method takes the shard's own lock — this
+is the per-shard locking that lets concurrent serve connections touch
+disjoint shards without serializing on one global store lock.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from pathlib import Path
+
+from . import format as fmt
+
+__all__ = ["Shard", "ShardStats"]
+
+_SEGMENT_SUFFIX = ".seg"
+
+
+class ShardStats:
+    """Mutable counters one shard exposes (merged by the store)."""
+
+    __slots__ = (
+        "appends", "flushes", "lookups", "tombstones", "compactions",
+        "torn_tails", "skipped_segments",
+    )
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.flushes = 0
+        self.lookups = 0
+        self.tombstones = 0
+        self.compactions = 0
+        self.torn_tails = 0
+        self.skipped_segments = 0
+
+
+class Shard:
+    """One fingerprint-prefix shard of the persistent verdict store."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        flush_every: int = 64,
+        auto_compact: bool = True,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.auto_compact = auto_compact
+        self._lock = threading.RLock()
+        # key -> (segment Path, value_offset, value_length, fps)
+        self._index: dict[tuple, tuple[Path, int, int, tuple]] = {}
+        self._fp_keys: dict[int, set[tuple]] = {}
+        # write-behind buffer: ("put", key, value, fps) | ("del", fp)
+        self._pending: list[tuple] = []
+        self._pending_index: dict[tuple, tuple[object, tuple]] = {}
+        self._dead = 0  # superseded/tombstoned records still on disk
+        self._tail: Path | None = None
+        self._tail_fh = None
+        self._skipped: list[Path] = []
+        # readable but older-versioned segments: replayed and compacted
+        # away, never appended to (appends always carry FORMAT_VERSION)
+        self._no_append: set[Path] = set()
+        self.stats = ShardStats()
+        self._open()
+
+    # -- open / recovery -------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.path.glob(f"*{_SEGMENT_SUFFIX}"))
+
+    def _segment_number(self, segment: Path) -> int:
+        try:
+            return int(segment.stem)
+        except ValueError:
+            return 0
+
+    def _open(self) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        for segment in self._segments():
+            self._replay_segment(segment)
+        self._tail = None  # appends open (or create) a tail lazily
+
+    def _replay_segment(self, segment: Path) -> None:
+        with segment.open("rb") as fh:
+            scan = fmt.scan_segment(fh)
+        if not scan.usable:
+            self._skipped.append(segment)
+            self.stats.skipped_segments += 1
+            return
+        if scan.truncate_at is not None:
+            # Torn tail: drop the garbage physically so the next append
+            # starts on a clean frame boundary.
+            with segment.open("r+b") as fh:
+                fh.truncate(scan.truncate_at)
+            self.stats.torn_tails += 1
+        if scan.version is not None and scan.version != fmt.FORMAT_VERSION:
+            self._no_append.add(segment)
+        for record in scan.records:
+            if record.kind == fmt.RECORD_TOMBSTONE:
+                self._apply_tombstone(record.fp)
+            else:
+                self._apply_put(
+                    record.key,
+                    (segment, record.value_offset, record.value_length),
+                    record.fps,
+                )
+
+    def _apply_put(self, key, location, fps) -> None:
+        if key in self._index:
+            self._dead += 1  # superseded: the old record is garbage now
+        else:
+            for fp in fps:
+                self._fp_keys.setdefault(fp, set()).add(key)
+        self._index[key] = (*location, tuple(fps))
+
+    def _apply_tombstone(self, fp: int) -> None:
+        for key in self._fp_keys.pop(fp, set()):
+            entry = self._index.pop(key, None)
+            if entry is None:
+                continue
+            self._dead += 1
+            for other in entry[3]:
+                if other != fp:
+                    keys = self._fp_keys.get(other)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            del self._fp_keys[other]
+
+    # -- the read path ---------------------------------------------------
+
+    def contains(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._pending_index or key in self._index
+
+    def lookup(self, key: tuple):
+        """``(value, fps)`` for a stored key, or ``None`` — the
+        read-through miss path (one seek + one value unpickle)."""
+        with self._lock:
+            self.stats.lookups += 1
+            pending = self._pending_index.get(key)
+            if pending is not None:
+                return pending
+            entry = self._index.get(key)
+            if entry is None:
+                return None
+            segment, offset, length, fps = entry
+            with segment.open("rb") as fh:
+                fh.seek(offset)
+                blob = fh.read(length)
+            return pickle.loads(blob), fps
+
+    def keys(self) -> list[tuple]:
+        with self._lock:
+            merged = set(self._index)
+            merged.update(self._pending_index)
+            return list(merged)
+
+    # -- the write path --------------------------------------------------
+
+    def append(self, key: tuple, value, fps) -> None:
+        """Buffer one PUT (write-behind); flushes automatically every
+        ``flush_every`` buffered operations."""
+        with self._lock:
+            fps = tuple(fps)
+            if key in self._pending_index or key in self._index:
+                # Results are deterministic functions of the key; a
+                # second append would only write a byte-identical dead
+                # record.
+                return
+            self._pending.append(("put", key, value, fps))
+            self._pending_index[key] = (value, fps)
+            self.stats.appends += 1
+            if len(self._pending) >= self.flush_every:
+                self._flush_locked()
+
+    def tombstone(self, fp: int) -> int:
+        """Drop every stored key touching ``fp`` (buffered like a PUT);
+        returns the number of keys dropped."""
+        with self._lock:
+            dropped = 0
+            hit_disk = fp in self._fp_keys
+            for key in [
+                k for k, (_, fps) in self._pending_index.items() if fp in fps
+            ]:
+                del self._pending_index[key]
+                self._pending = [
+                    op for op in self._pending
+                    if not (op[0] == "put" and op[1] == key)
+                ]
+                dropped += 1
+            if hit_disk:
+                dropped += len(self._fp_keys[fp])
+                self._apply_tombstone(fp)
+                self._pending.append(("del", fp))
+                self.stats.tombstones += 1
+                if len(self._pending) >= self.flush_every:
+                    self._flush_locked()
+            return dropped
+
+    def flush(self) -> int:
+        """Write every buffered operation to the tail segment; returns
+        the number of operations written."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _tail_handle(self):
+        if self._tail_fh is None:
+            if self._tail is None:
+                segments = [
+                    s for s in self._segments()
+                    if s not in self._skipped and s not in self._no_append
+                ]
+                self._tail = segments[-1] if segments else None
+            if self._tail is None:
+                self._tail = self._next_segment_path()
+                self._tail_fh = self._tail.open("ab")
+                fmt.write_header(self._tail_fh)
+            else:
+                self._tail_fh = self._tail.open("ab")
+                if self._tail_fh.tell() < fmt.HEADER.size:
+                    self._tail_fh.truncate(0)
+                    fmt.write_header(self._tail_fh)
+        return self._tail_fh
+
+    def _next_segment_path(self) -> Path:
+        highest = max(
+            (self._segment_number(s) for s in self._segments()), default=0
+        )
+        return self.path / f"{highest + 1:08d}{_SEGMENT_SUFFIX}"
+
+    def _flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        fh = self._tail_handle()
+        written = 0
+        for op in self._pending:
+            if op[0] == "put":
+                _, key, value, fps = op
+                offset = fh.tell()
+                frame = fmt.encode_put(key, value, fps)
+                fh.write(frame)
+                value_length = len(
+                    frame
+                ) - fmt.FRAME.size - fmt.BODY_HEAD.size - self._key_blob_len(
+                    frame
+                )
+                value_offset = offset + len(frame) - value_length
+                self._apply_put(key, (self._tail, value_offset, value_length), fps)
+            else:
+                fh.write(fmt.encode_tombstone(op[1]))
+            written += 1
+        fh.flush()
+        self._pending.clear()
+        self._pending_index.clear()
+        self.stats.flushes += 1
+        if self.auto_compact and self._dead > max(64, len(self._index)):
+            self._compact_locked()
+        return written
+
+    @staticmethod
+    def _key_blob_len(frame: bytes) -> int:
+        _, key_len = fmt.BODY_HEAD.unpack_from(frame, fmt.FRAME.size)
+        return key_len
+
+    # -- maintenance -----------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite every live record into one fresh snapshot segment and
+        delete the segments it subsumes; returns live record count."""
+        with self._lock:
+            self._flush_locked()
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        old_segments = [s for s in self._segments() if s not in self._skipped]
+        if not old_segments:
+            return 0  # nothing on disk, nothing to rewrite
+        self._close_tail()
+        if not self._index:
+            # All records are dead: reclaim the segments, skip the
+            # empty snapshot.
+            for segment in old_segments:
+                segment.unlink(missing_ok=True)
+                self._no_append.discard(segment)
+            self._dead = 0
+            self.stats.compactions += 1
+            return 0
+        snapshot = self._next_segment_path()
+        live = sorted(self._index.items(), key=lambda item: repr(item[0]))
+        new_index: dict[tuple, tuple[Path, int, int, tuple]] = {}
+        with snapshot.open("wb") as fh:
+            fmt.write_header(fh)
+            for key, (segment, offset, length, fps) in live:
+                with segment.open("rb") as src:
+                    src.seek(offset)
+                    blob = src.read(length)
+                value = pickle.loads(blob)
+                record_offset = fh.tell()
+                frame = fmt.encode_put(key, value, fps)
+                fh.write(frame)
+                value_length = len(frame) - fmt.FRAME.size \
+                    - fmt.BODY_HEAD.size - self._key_blob_len(frame)
+                new_index[key] = (
+                    snapshot,
+                    record_offset + len(frame) - value_length,
+                    value_length,
+                    fps,
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._index = new_index
+        for segment in old_segments:
+            if segment != snapshot:
+                segment.unlink(missing_ok=True)
+                self._no_append.discard(segment)
+        self._dead = 0
+        self._tail = snapshot
+        self.stats.compactions += 1
+        return len(new_index)
+
+    def clear(self) -> None:
+        """Drop everything this shard understands (skipped foreign /
+        newer-versioned segments are preserved)."""
+        with self._lock:
+            self._close_tail()
+            for segment in self._segments():
+                if segment not in self._skipped:
+                    segment.unlink(missing_ok=True)
+                    self._no_append.discard(segment)
+            self._index.clear()
+            self._fp_keys.clear()
+            self._pending.clear()
+            self._pending_index.clear()
+            self._dead = 0
+            self._tail = None
+
+    def _close_tail(self) -> None:
+        if self._tail_fh is not None:
+            self._tail_fh.close()
+            self._tail_fh = None
+        self._tail = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._flush_locked()
+            self._close_tail()
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index) + len(self._pending_index)
+
+    def disk_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                segment.stat().st_size
+                for segment in self._segments()
+                if segment.exists()
+            )
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            return {
+                "records": len(self._index) + len(self._pending_index),
+                "dead_records": self._dead,
+                "pending": len(self._pending),
+                "segments": len(self._segments()),
+                "skipped_segments": self.stats.skipped_segments,
+                "bytes": self.disk_bytes(),
+                "appends": self.stats.appends,
+                "flushes": self.stats.flushes,
+                "lookups": self.stats.lookups,
+                "tombstones": self.stats.tombstones,
+                "compactions": self.stats.compactions,
+                "torn_tails": self.stats.torn_tails,
+            }

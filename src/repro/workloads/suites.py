@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Callable, Literal, Sequence
 
 from ..core.bags import Bag
-from ..core.schema import Schema
 from ..hypergraphs.families import (
     cycle_hypergraph,
     hn_hypergraph,
@@ -254,6 +253,20 @@ def run_suites(
             )
         )
     return results
+
+
+def repeated_stream(
+    specs: Sequence[tuple[str, int, int]], rounds: int
+) -> list[tuple[str, int, int]]:
+    """``specs`` replayed ``rounds`` times, round-robin — the
+    repeat-heavy serving pattern (the same audits re-checked after
+    every sync) that the engine's verdict store, and the persistent
+    store across restarts, amortize to one computation per distinct
+    spec.  Benchmarks and the serve smoke jobs build their traffic
+    with this instead of hand-rolled loops."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    return [tuple(spec) for _ in range(rounds) for spec in specs]
 
 
 def get_suite(name: str) -> InstanceSuite:

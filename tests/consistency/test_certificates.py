@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.consistency.certificates import (
-    CutCertificate,
     FarkasCertificate,
     MarginalCertificate,
     SearchRefutation,

@@ -22,7 +22,6 @@ from repro.hypergraphs.families import (
     path_hypergraph,
     star_hypergraph,
 )
-from repro.hypergraphs.hypergraph import Hypergraph
 from tests.conftest import planted_collections
 
 AB = Schema(["A", "B"])

@@ -15,11 +15,7 @@ from repro.consistency.witness import is_witness
 from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.errors import CyclicSchemaError, InconsistentError
-from repro.hypergraphs.families import (
-    cycle_hypergraph,
-    path_hypergraph,
-    triangle_hypergraph,
-)
+from repro.hypergraphs.families import cycle_hypergraph, triangle_hypergraph
 from repro.workloads.generators import planted_collection, random_collection_over
 from tests.conftest import planted_collections
 

@@ -1,6 +1,5 @@
 """Incremental consistency maintenance (Lemma 2(2) under updates)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -19,7 +19,6 @@ from repro.hypergraphs.families import (
     cycle_hypergraph,
     hn_hypergraph,
 )
-from repro.hypergraphs.hypergraph import Hypergraph
 
 # Scenario catalogue: (initial schema list, vertex set to keep).
 SCENARIOS = {

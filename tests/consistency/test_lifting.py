@@ -1,7 +1,6 @@
 """Lemma 4: transporting collections across safe deletions."""
 
 import pytest
-from hypothesis import given, settings
 
 from repro.consistency.global_ import (
     decide_global_consistency,
@@ -21,7 +20,7 @@ from repro.consistency.local_global import tseitin_collection
 from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.errors import SchemaError
-from repro.hypergraphs.families import cycle_hypergraph, triangle_hypergraph
+from repro.hypergraphs.families import cycle_hypergraph
 from repro.workloads.generators import planted_collection
 
 AB = Schema(["A", "B"])
@@ -138,7 +137,6 @@ class TestLemma4Equivalence:
 
     def test_consistency_preserved_for_planted(self, rng):
         c4 = cycle_hypergraph(4)
-        keep = frozenset(c4.vertices)
         # Only reduction steps (none here) — use a vertex deletion chain
         # from C4 down to the reduced induced hypergraph on 3 vertices.
         keep3 = frozenset({"A1", "A2", "A3"})
@@ -157,11 +155,9 @@ class TestLemma4Equivalence:
         preserves pairwise consistency and global inconsistency — the
         exact use in Theorem 2's Step 2."""
         c5 = cycle_hypergraph(5)
-        keep = frozenset({"A1", "A2", "A3"})
-        steps = deletion_sequence(list(c5.edges), keep)
-        # The reduced induced hypergraph on keep is a path, which is
-        # acyclic; use the full C5 core instead for a genuine Tseitin
-        # collection: no deletions needed.
+        # The reduced induced hypergraph on a 3-vertex keep-set is a
+        # path, which is acyclic; use the full C5 core instead for a
+        # genuine Tseitin collection: no deletions needed.
         core = tseitin_collection(list(c5.edges))
         assert pairwise_consistent(core)
         assert not decide_global_consistency(core)

@@ -13,7 +13,6 @@ from repro.consistency.semiring_consistency import (
     krelations_consistent,
     rational_pairwise_witness,
 )
-from repro.core.bags import Bag
 from repro.core.krelations import KRelation
 from repro.core.schema import Schema
 from repro.core.semirings import NATURALS, NONNEG_RATIONALS, TROPICAL

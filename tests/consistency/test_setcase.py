@@ -11,10 +11,10 @@ from repro.consistency.setcase import (
     relations_pairwise_consistent,
     universal_relation,
 )
-from repro.core.relations import Relation, join_all
+from repro.core.relations import Relation
 from repro.core.schema import Schema
 from repro.errors import InconsistentError
-from tests.conftest import relations_over, schemas
+from tests.conftest import schemas
 
 AB = Schema(["A", "B"])
 BC = Schema(["B", "C"])

@@ -5,11 +5,11 @@ marginal composition, support/projection commutation, join-marginal
 interaction, and the Section 5.2 norm inequalities.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import Bag, Schema
-from tests.conftest import bags, bags_over, consistent_bag_pairs, schemas
+from tests.conftest import bags, consistent_bag_pairs
 
 
 @given(bags())
@@ -57,7 +57,6 @@ def test_bag_join_marginal_multiplicity_formula(data):
     """(R |><|b S)(t) = R(t[X]) * S(t[Y]) pointwise on the join."""
     _, r, s = data
     joined = r.bag_join(s)
-    union = joined.schema
     for tup, mult in joined.tuples():
         assert mult == r.multiplicity(
             tup.project(r.schema)

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.bags import Bag
-from repro.core.relations import Relation
 from repro.core.schema import Schema
 from repro.engine.index import BagIndex, RelationIndex
 from repro.errors import SchemaError

@@ -216,3 +216,237 @@ class TestLifecycle:
                 assert "witness" in report["pairs"][0]
         finally:
             server.shutdown()
+
+
+class TestMultiClient:
+    def test_overlapping_connections_all_answer(self):
+        """True concurrency: N clients hold connections open and fire
+        batches at the same time; every batch succeeds and the daemon
+        counts every one."""
+        import threading
+
+        server = ReproServer()
+        address = server.bind_tcp()
+        server.serve_in_background()
+        n_clients, per_client = 4, 5
+        results: list[bool] = []
+        lock = threading.Lock()
+        try:
+            barrier = threading.Barrier(n_clients)
+
+            def hammer(mult):
+                with ServeClient(address) as client:
+                    barrier.wait()
+                    for i in range(per_client):
+                        ok = client.request(pair_jobs(mult + i))["ok"]
+                        with lock:
+                            results.append(ok)
+
+            threads = [
+                threading.Thread(target=hammer, args=(3 * k,))
+                for k in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()
+        finally:
+            server.shutdown()
+        assert len(results) == n_clients * per_client and all(results)
+        assert stats["batches"] == n_clients * per_client
+        assert stats["connections"] == n_clients
+
+    def test_connection_stats_fold_into_daemon_totals(self, tcp_server):
+        """Each connection runs its own engine; the daemon's stats op
+        aggregates live and closed connections."""
+        server, address = tcp_server
+        with ServeClient(address) as first:
+            first.request(pair_jobs())
+        with ServeClient(address) as second:
+            second.request(pair_jobs())
+            stats = second.request({"op": "stats"})
+        assert stats["stats"]["consistency_queries"] >= 2
+        assert stats["stats"]["consistency_hits"] >= 1  # cross-connection
+        assert stats["connections"] >= 2
+        # after both connections closed, nothing is lost (the handler
+        # notices EOF asynchronously — wait for the fold)
+        import time as time_module
+
+        deadline = time_module.monotonic() + 5
+        while time_module.monotonic() < deadline:
+            final = server.stats()
+            if final["active_connections"] == 0:
+                break
+            time_module.sleep(0.01)
+        assert final["stats"]["consistency_queries"] >= 2
+        assert final["active_connections"] == 0
+
+    def test_per_connection_reports_describe_that_client(self, tcp_server):
+        """The second client's first query is a *store* hit but its own
+        engine's first query — hit ratios describe the client."""
+        _, address = tcp_server
+        with ServeClient(address) as first:
+            warm = first.request(pair_jobs())["report"]
+        assert warm["stats"]["consistency_hits"] == 0
+        with ServeClient(address) as second:
+            served = second.request(pair_jobs())["report"]
+        assert served["stats"]["consistency_queries"] == 1
+        assert served["stats"]["consistency_hits"] == 1
+
+    def test_admission_cap_serializes_but_serves_everyone(self):
+        import threading
+
+        server = ReproServer(max_inflight=1)
+        address = server.bind_tcp()
+        server.serve_in_background()
+        results = []
+        lock = threading.Lock()
+        try:
+            def hit(mult):
+                with ServeClient(address) as client:
+                    ok = client.request(pair_jobs(mult))["ok"]
+                    with lock:
+                        results.append(ok)
+
+            threads = [
+                threading.Thread(target=hit, args=(k,)) for k in range(5)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()
+        finally:
+            server.shutdown()
+        assert all(results) and len(results) == 5
+        assert stats["peak_inflight"] == 1
+        assert stats["admission_refusals"] == 0
+
+    def test_admission_timeout_refuses_with_one_line_error(self):
+        """A batch that cannot be admitted within the timeout gets a
+        structured refusal, not an unbounded queue slot."""
+        import threading
+        import time as time_module
+
+        server = ReproServer(max_inflight=1, admission_timeout=0.05)
+        # occupy the only slot directly
+        assert server._admission.acquire(timeout=1)
+        address = server.bind_tcp()
+        server.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                start = time_module.monotonic()
+                response = client.request(pair_jobs())
+                assert time_module.monotonic() - start < 5
+            assert response["ok"] is False
+            assert "server at capacity" in response["error"]
+            assert server.stats()["admission_refusals"] == 1
+            server._admission.release()
+            with ServeClient(address) as client:
+                assert client.request(pair_jobs())["ok"]
+        finally:
+            server._admission = threading.BoundedSemaphore(1)
+            server.shutdown()
+
+    def test_max_inflight_validated(self):
+        import pytest as pytest_module
+
+        from repro.errors import ReproError
+
+        with pytest_module.raises(ReproError, match="max_inflight"):
+            ReproServer(max_inflight=0)
+
+
+class TestPersistentServe:
+    def test_restarted_daemon_reopens_its_shards_warm(self, tmp_path):
+        """The tentpole acceptance path: serve → shutdown → serve with
+        the same --store-dir → repeat traffic answered from disk."""
+        store_dir = str(tmp_path / "vstore")
+        jobs = {"suites": [["planted-path", 4, 0], ["planted-triangle", 3, 1]]}
+
+        first = ReproServer(store_dir=store_dir, shards=4)
+        address = first.bind_tcp()
+        first.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                assert client.request(jobs)["ok"]
+                cold = client.request({"op": "stats"})
+        finally:
+            first.shutdown()
+        assert cold["store"]["persistent"]["shards"] == 4
+        assert cold["store"]["persistent"]["disk_hits"] == 0
+
+        second = ReproServer(store_dir=store_dir)
+        address = second.bind_tcp()
+        second.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                report = client.request(jobs)["report"]
+                warm = client.request({"op": "stats"})
+        finally:
+            second.shutdown()
+        assert report["stats"]["global_hits"] == 2  # zero recomputes
+        assert warm["store"]["persistent"]["disk_hits"] >= 2
+        assert warm["store"]["persistent"]["records"] > 0
+
+    def test_stats_op_reports_the_persistent_tier(self, tmp_path):
+        server = ReproServer(store_dir=str(tmp_path / "vstore"))
+        address = server.bind_tcp()
+        server.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                client.request(pair_jobs())
+                client.request(pair_jobs())
+                stats = client.request({"op": "stats"})
+        finally:
+            server.shutdown()
+        persisted = stats["store"]["persistent"]
+        assert persisted["shards"] >= 1
+        assert persisted["records"] >= 1
+        assert persisted["hot_hits"] >= 1  # second batch: hot, not disk
+        assert "disk_bytes" in persisted and "disk_hits" in persisted
+
+    def test_shutdown_flushes_the_write_behind_tail(self, tmp_path):
+        """Verdicts buffered below flush_every must still be on disk
+        after a clean shutdown."""
+        from repro.store import PersistentVerdictStore
+
+        store_dir = str(tmp_path / "vstore")
+        server = ReproServer(store_dir=store_dir)
+        address = server.bind_tcp()
+        server.serve_in_background()
+        try:
+            with ServeClient(address) as client:
+                assert client.request(pair_jobs())["ok"]
+        finally:
+            server.shutdown()
+        store = PersistentVerdictStore(store_dir)
+        try:
+            persisted = store.stats_dict()["persistent"]
+            assert persisted["records"] >= 1
+            assert persisted["pending"] == 0
+        finally:
+            store.close()
+
+    def test_cli_serve_announces_the_persistent_store(self, tmp_path, capsys):
+        """`repro serve --store-dir` on a fresh dir prints the warm
+        record count before binding (cheap smoke of the CLI path
+        without running a daemon: bind failure path)."""
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "vstore")
+        held = ReproServer()
+        path = str(tmp_path / "held.sock")
+        held.bind_unix(path)
+        held.serve_in_background()
+        try:
+            code = main([
+                "serve", "--socket", path, "--store-dir", store_dir,
+            ])
+        finally:
+            held.shutdown()
+        captured = capsys.readouterr()
+        assert code == 2  # socket already held -> usage error
+        assert "persistent store at" in captured.out
+        assert "0 records warm" in captured.out

@@ -7,7 +7,6 @@ import pytest
 from repro.consistency.global_ import global_witness
 from repro.consistency.pairwise import are_consistent, consistency_witness
 from repro.consistency.witness import is_witness
-from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.engine.session import Engine
 from repro.errors import InconsistentError

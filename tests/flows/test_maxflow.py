@@ -2,7 +2,6 @@
 networkx)."""
 
 import networkx as nx
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

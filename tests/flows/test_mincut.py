@@ -1,7 +1,6 @@
 """Min-cut extraction and max-flow/min-cut duality."""
 
 import networkx as nx
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

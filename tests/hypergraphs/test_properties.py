@@ -1,6 +1,5 @@
 """Hypergraph structure utilities: connectivity, duals, incidence."""
 
-import pytest
 from hypothesis import given
 
 from repro.hypergraphs.families import (

@@ -4,8 +4,6 @@ import math
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.lp.caratheodory import (
     eisenbrand_shmonin_bound,

@@ -1,6 +1,5 @@
 """Farkas certificates from the exact phase-I simplex."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -12,7 +12,6 @@ from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.errors import ReductionError
 from repro.hypergraphs.families import cycle_hypergraph
-from repro.hypergraphs.hypergraph import hypergraph_of_bags
 from repro.reductions.cycle_chain import (
     check_cycle_instance,
     map_witness_backward,

@@ -1,0 +1,264 @@
+"""PersistentVerdictStore: tiers, routing, restarts, engine contract."""
+
+import pytest
+
+from repro.core.bags import Bag
+from repro.core.schema import Schema
+from repro.engine import fingerprint
+from repro.engine.session import Engine, VerdictStore
+from repro.store import (
+    PersistentVerdictStore,
+    StoreFormatError,
+    shard_of_fp,
+    shard_of_key,
+)
+from repro.workloads.suites import get_suite
+
+AB = Schema(["A", "B"])
+BC = Schema(["B", "C"])
+
+
+def pair(mult=2):
+    r = Bag.from_pairs(AB, [((1, 2), mult), ((2, 2), 1)])
+    s = Bag.from_pairs(BC, [((2, 3), mult + 1)])
+    return r, s
+
+
+class TestRouting:
+    def test_prefix_routing_is_stable_and_in_range(self):
+        for fp in [0, 1, 2**128 - 1, 0xDEAD << 112, 12345]:
+            for n in (1, 2, 8, 13):
+                i = shard_of_fp(fp, n)
+                assert 0 <= i < n
+                assert i == shard_of_fp(fp, n)
+
+    def test_key_routing_uses_the_primary_fingerprint(self):
+        fp = 42 << 120
+        assert shard_of_key(("consistent", fp, 7), 8) == shard_of_fp(fp, 8)
+        assert shard_of_key(("global", (fp, 9, 9), "auto"), 8) == \
+            shard_of_fp(fp, 8)
+        assert shard_of_key(("global", (), "auto"), 8) == 0
+
+    def test_pair_verdict_and_witness_land_in_one_shard(self):
+        n = 8
+        a, b = 7 << 120, 9
+        verdict = shard_of_key(("consistent", min(a, b), max(a, b)), n)
+        # both witness orientations co-locate with the verdict, so a
+        # future per-shard ownership split keeps a pair's records whole
+        assert shard_of_key(("witness", a, b, False), n) == verdict
+        assert shard_of_key(("witness", b, a, False), n) == verdict
+        assert shard_of_key(("witness", b, a, True), n) == verdict
+
+
+class TestMeta:
+    def test_shard_count_is_sticky(self, tmp_path):
+        PersistentVerdictStore(tmp_path / "s", shards=3).close()
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert reopened.n_shards == 3
+        reopened.close()
+        with pytest.raises(StoreFormatError, match="3 shards"):
+            PersistentVerdictStore(tmp_path / "s", shards=5)
+
+    def test_newer_meta_version_is_refused_cleanly(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "META.json").write_text('{"version": 99, "shards": 2}')
+        with pytest.raises(StoreFormatError, match="version 99"):
+            PersistentVerdictStore(root)
+
+    def test_alien_meta_is_refused_cleanly(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "META.json").write_text('{"hello": "world"}')
+        with pytest.raises(StoreFormatError, match="not a verdict-store"):
+            PersistentVerdictStore(root)
+
+
+class TestTiers:
+    def test_durable_tags_reach_disk_marginals_stay_hot(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        store.put(("consistent", 1, 2), True, (1, 2))
+        store.put(("marginal", 1, ("A",)), "bagvalue", (1,))
+        store.put(("join", 1, 2), "joined", (1, 2))
+        store.flush()
+        assert store.stats_dict()["persistent"]["records"] == 1
+        store.close()
+
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert reopened.get(("consistent", 1, 2)) is True
+        assert reopened.get(("marginal", 1, ("A",))) is reopened.MISS
+        assert reopened.get(("join", 1, 2)) is reopened.MISS
+        reopened.close()
+
+    def test_read_through_promotes_into_the_hot_tier(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        store.put(("consistent", 5, 6), False, (5, 6))
+        store.close()
+
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert reopened.get(("consistent", 5, 6)) is False
+        assert reopened.disk_hits == 1
+        # second read: pure hot hit, disk untouched
+        assert reopened.get(("consistent", 5, 6)) is False
+        assert reopened.disk_hits == 1
+        assert reopened.hits == 2
+        reopened.close()
+
+    def test_eviction_from_hot_tier_never_loses_durable_data(self, tmp_path):
+        store = PersistentVerdictStore(
+            tmp_path / "s", shards=1, capacity=2, flush_every=1
+        )
+        for i in range(10):
+            store.put(("consistent", i, i + 100), i % 2 == 0, (i, i + 100))
+        assert store.evictions > 0
+        for i in range(10):  # every verdict still answerable
+            assert store.get(("consistent", i, i + 100)) == (i % 2 == 0)
+        store.close()
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        store.put(("consistent", 1, 2), True, (1, 2))
+        store.put(("witness", 1, 3, False), None, (1, 3))
+        store.put(("consistent", 7, 8), True, (7, 8))
+        store.flush()
+        assert store.invalidate_fp(1) == 2
+        assert store.get(("consistent", 1, 2)) is store.MISS
+        assert store.get(("witness", 1, 3, False)) is store.MISS
+        store.close()
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert reopened.get(("consistent", 1, 2)) is reopened.MISS
+        assert reopened.get(("consistent", 7, 8)) is True
+        reopened.close()
+
+    def test_clear_wipes_disk_too(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        store.put(("consistent", 1, 2), True, (1, 2))
+        store.flush()
+        store.clear()
+        store.close()
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_len_counts_distinct_keys_across_tiers(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        store.put(("consistent", 1, 2), True, (1, 2))
+        store.put(("marginal", 3, ("A",)), "x", (3,))
+        store.flush()
+        assert len(store) == 2  # hot∪disk, promoted entries not doubled
+        store.get(("consistent", 1, 2))
+        assert len(store) == 2
+        store.close()
+
+    def test_merge_persists_worker_deltas(self, tmp_path):
+        plain = VerdictStore()
+        plain.put(("consistent", 1, 2), True, (1, 2))
+        plain.put(("global", (3, 4), "auto"), "result", (3, 4))
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        assert store.merge(plain.export()) == 2
+        store.close()
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        assert reopened.get(("global", (3, 4), "auto")) == "result"
+        reopened.close()
+
+
+class TestEngineContract:
+    def test_engine_over_persistent_store_matches_fresh_engine(self, tmp_path):
+        r, s = pair()
+        bags = get_suite("planted-path").build(5, seed=3)
+        store = PersistentVerdictStore(tmp_path / "s", shards=4)
+        engine = Engine(store=store)
+        verdict = engine.are_consistent(r, s)
+        witness = engine.witness(r, s)
+        outcome = engine.global_check(bags)
+        store.close()
+
+        fresh = Engine()
+        assert fresh.are_consistent(r, s) == verdict
+        assert fresh.witness(r, s) == witness
+        fresh_outcome = fresh.global_check(bags)
+        assert fresh_outcome.consistent == outcome.consistent
+        assert fresh_outcome.method == outcome.method
+
+    def test_restarted_engine_answers_without_recompute(self, tmp_path):
+        r, s = pair()
+        store = PersistentVerdictStore(tmp_path / "s", shards=4)
+        Engine(store=store).witness(r, s)
+        store.close()
+
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        engine = Engine(store=reopened)
+        r2, s2 = pair()  # value-equal, separately constructed
+        witness = engine.witness(r2, s2)
+        assert witness.schema == r.schema | s.schema
+        assert engine.stats.witness_hits == 1
+        assert reopened.disk_hits >= 1
+        reopened.close()
+
+    def test_inconsistency_refusals_are_durable(self, tmp_path):
+        from repro.errors import InconsistentError
+
+        r = Bag.from_pairs(AB, [((1, 2), 2)])
+        s = Bag.from_pairs(BC, [((2, 3), 5)])
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        with pytest.raises(InconsistentError):
+            Engine(store=store).witness(r, s)
+        store.close()
+
+        reopened = PersistentVerdictStore(tmp_path / "s")
+        engine = Engine(store=reopened)
+        with pytest.raises(InconsistentError):
+            engine.witness(r, s)
+        assert engine.stats.witness_hits == 1  # the refusal was a hit
+        reopened.close()
+
+    def test_engine_flush_reaches_the_disk_tier(self, tmp_path):
+        r, s = pair()
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        engine = Engine(store=store)
+        engine.are_consistent(r, s)
+        assert engine.flush() >= 1
+        assert store.stats_dict()["persistent"]["pending"] == 0
+        store.close()
+
+    def test_plain_engine_flush_is_a_noop(self):
+        assert Engine().flush() == 0
+
+    def test_pin_protects_hot_entries_across_shard_split(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2, capacity=2)
+        engine = Engine(store=store)
+        r, s = pair()
+        engine.pin(r)
+        engine.are_consistent(r, s)
+        for i in range(20):
+            store.put(("consistent", i, i + 500), True, (i, i + 500))
+        rfp = fingerprint.of_bag(r)
+        key = ("consistent", *sorted((rfp, fingerprint.of_bag(s))))
+        i = shard_of_key(key, 2)
+        assert store._hot[i].contains(key)  # pinned content survived
+        engine.unpin(r)
+        store.close()
+
+
+class TestStats:
+    def test_stats_dict_keeps_the_in_memory_keys(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=2)
+        plain_keys = set(VerdictStore().stats_dict())
+        assert plain_keys <= set(store.stats_dict())
+        store.close()
+
+    def test_persistent_substats_track_disk_state(self, tmp_path):
+        store = PersistentVerdictStore(tmp_path / "s", shards=3, flush_every=1)
+        store.put(("consistent", 1, 2), True, (1, 2))
+        persisted = store.stats_dict()["persistent"]
+        assert persisted["shards"] == 3
+        assert persisted["records"] == 1
+        assert persisted["disk_bytes"] > 0
+        assert persisted["hot_hits"] == 0 and persisted["disk_hits"] == 0
+        store.close()
+
+    def test_capacity_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="capacity"):
+            PersistentVerdictStore(tmp_path / "s", capacity=0)
+        with pytest.raises(ValueError, match="shards"):
+            PersistentVerdictStore(tmp_path / "t", shards=0)

@@ -1,0 +1,179 @@
+"""One shard: append/flush/lookup, tombstones, compaction, recovery."""
+
+from repro.store import format as fmt
+from repro.store.shard import Shard
+
+
+def key_of(i: int) -> tuple:
+    return ("consistent", i, i + 1000)
+
+
+def fps_of(i: int) -> tuple:
+    return (i, i + 1000)
+
+
+class TestWriteReadCycle:
+    def test_pending_entries_are_readable_before_flush(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append(key_of(1), True, fps_of(1))
+        assert shard.contains(key_of(1))
+        assert shard.lookup(key_of(1)) == (True, fps_of(1))
+        assert len(shard) == 1
+        # nothing on disk yet (write-behind)
+        assert shard.stats_dict()["pending"] == 1
+
+    def test_flush_then_reopen_restores_everything(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        for i in range(10):
+            shard.append(key_of(i), i % 3 == 0, fps_of(i))
+        shard.close()
+
+        reopened = Shard(tmp_path / "s")
+        assert len(reopened) == 10
+        for i in range(10):
+            assert reopened.lookup(key_of(i)) == (i % 3 == 0, fps_of(i))
+        assert reopened.lookup(("consistent", 777, 778)) is None
+
+    def test_duplicate_appends_write_once(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        for _ in range(5):
+            shard.append(key_of(1), True, fps_of(1))
+        shard.flush()
+        assert shard.stats_dict()["records"] == 1
+        assert shard.stats_dict()["dead_records"] == 0
+
+    def test_auto_flush_every_n_appends(self, tmp_path):
+        shard = Shard(tmp_path / "s", flush_every=4)
+        for i in range(4):
+            shard.append(key_of(i), True, fps_of(i))
+        stats = shard.stats_dict()
+        assert stats["pending"] == 0 and stats["flushes"] == 1
+
+    def test_appends_after_reopen_extend_the_same_segment(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append(key_of(1), True, fps_of(1))
+        shard.close()
+        reopened = Shard(tmp_path / "s")
+        reopened.append(key_of(2), False, fps_of(2))
+        reopened.close()
+        final = Shard(tmp_path / "s")
+        assert len(final) == 2
+        assert final.stats_dict()["segments"] == 1
+
+
+class TestTombstones:
+    def test_tombstone_drops_disk_and_pending(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append(key_of(1), True, fps_of(1))  # will be flushed
+        shard.flush()
+        shard.append(key_of(2), True, fps_of(2))  # stays pending
+        # fp 1 only touches key 1; fp 1002 is key 2's right participant
+        assert shard.tombstone(1) == 1
+        assert shard.tombstone(2002) == 0
+        assert shard.tombstone(1002) == 1
+        assert not shard.contains(key_of(1))
+        assert not shard.contains(key_of(2))
+        shard.close()
+        assert len(Shard(tmp_path / "s")) == 0
+
+    def test_reput_after_tombstone_survives_reopen(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        shard.append(key_of(1), True, fps_of(1))
+        shard.flush()
+        shard.tombstone(1)
+        shard.append(key_of(1), False, fps_of(1))
+        shard.close()
+        reopened = Shard(tmp_path / "s")
+        assert reopened.lookup(key_of(1)) == (False, fps_of(1))
+
+
+class TestCompaction:
+    def test_compact_collapses_to_one_live_snapshot(self, tmp_path):
+        shard = Shard(tmp_path / "s", auto_compact=False)
+        for i in range(20):
+            shard.append(key_of(i), True, fps_of(i))
+        shard.flush()
+        for i in range(15):
+            shard.tombstone(i)
+        assert shard.compact() == 5
+        stats = shard.stats_dict()
+        assert stats["records"] == 5
+        assert stats["dead_records"] == 0
+        assert stats["segments"] == 1
+        reopened = Shard(tmp_path / "s")
+        assert sorted(reopened.keys()) == sorted(key_of(i) for i in range(15, 20))
+
+    def test_compact_of_all_dead_deletes_segments(self, tmp_path):
+        shard = Shard(tmp_path / "s", auto_compact=False)
+        shard.append(key_of(1), True, fps_of(1))
+        shard.flush()
+        shard.tombstone(1)
+        assert shard.compact() == 0
+        assert shard.stats_dict()["segments"] == 0
+
+    def test_auto_compact_reclaims_garbage(self, tmp_path):
+        shard = Shard(tmp_path / "s", flush_every=1, auto_compact=True)
+        for i in range(80):
+            shard.append(key_of(i), True, fps_of(i))
+            shard.tombstone(i)
+        assert shard.stats_dict()["compactions"] >= 1
+
+    def test_lookup_after_compact_reads_the_snapshot(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        payload = {"big": list(range(50))}
+        shard.append(key_of(1), payload, fps_of(1))
+        shard.compact()
+        assert shard.lookup(key_of(1)) == (payload, fps_of(1))
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated_and_appendable(self, tmp_path):
+        shard = Shard(tmp_path / "s")
+        for i in range(4):
+            shard.append(key_of(i), True, fps_of(i))
+        shard.close()
+        (segment,) = list((tmp_path / "s").glob("*.seg"))
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-7])  # cut the last record short
+
+        reopened = Shard(tmp_path / "s")
+        assert reopened.stats_dict()["torn_tails"] == 1
+        assert len(reopened) == 3  # only the torn record is lost
+        reopened.append(key_of(99), True, fps_of(99))
+        reopened.close()
+
+        final = Shard(tmp_path / "s")
+        assert len(final) == 4
+        assert final.lookup(key_of(99)) == (True, fps_of(99))
+
+    def test_foreign_file_is_preserved_and_skipped(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        foreign = root / "00000009.seg"
+        foreign.write_bytes(b"something else entirely")
+        shard = Shard(root)
+        assert shard.stats_dict()["skipped_segments"] == 1
+        shard.append(key_of(1), True, fps_of(1))
+        shard.flush()
+        shard.compact()
+        shard.clear()
+        # through every maintenance pass, the alien bytes survive
+        assert foreign.read_bytes() == b"something else entirely"
+
+    def test_newer_version_segment_is_skipped_whole(self, tmp_path):
+        import io
+
+        root = tmp_path / "s"
+        root.mkdir()
+        buf = io.BytesIO()
+        fmt.write_header(buf, fmt.FORMAT_VERSION + 7)
+        buf.write(fmt.encode_put(key_of(5), True, fps_of(5)))
+        (root / "00000001.seg").write_bytes(buf.getvalue())
+        shard = Shard(root)
+        assert len(shard) == 0
+        assert shard.stats_dict()["skipped_segments"] == 1
+        # appends go to a fresh segment, never into the newer file
+        shard.append(key_of(1), True, fps_of(1))
+        shard.close()
+        assert (root / "00000001.seg").read_bytes() == buf.getvalue()
+        assert len(Shard(root)) == 1

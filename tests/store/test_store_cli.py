@@ -1,0 +1,111 @@
+"""The `repro store` subcommand and --store-dir on batch."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import bag_to_dict
+from repro.workloads.suites import get_suite
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    path = get_suite("planted-path").build(3, seed=7)
+    jobs = {
+        "pairs": [[bag_to_dict(path[0]), bag_to_dict(path[1])]],
+        "suites": [["planted-path", 3, 7]],
+    }
+    target = tmp_path / "jobs.json"
+    target.write_text(json.dumps(jobs))
+    return str(target)
+
+
+def run_batch(jobs_file, tmp_path, store_dir, extra=()):
+    out = tmp_path / "out.json"
+    code = main([
+        "batch", jobs_file, "--store-dir", store_dir, "-o", str(out), *extra,
+    ])
+    assert code == 0
+    return json.loads(out.read_text())
+
+
+class TestBatchStoreDir:
+    def test_second_batch_run_is_served_from_disk(
+        self, jobs_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "vstore")
+        first = run_batch(jobs_file, tmp_path, store_dir)
+        assert first["store"]["persistent"]["records"] > 0
+        assert first["store"]["persistent"]["disk_hits"] == 0
+
+        second = run_batch(jobs_file, tmp_path, store_dir)
+        assert second["pairs"] == first["pairs"]
+        assert second["suites"] == first["suites"]
+        assert second["store"]["persistent"]["disk_hits"] >= 1
+        assert second["stats"]["global_hits"] >= 1
+
+    def test_shards_without_store_dir_is_a_usage_error(
+        self, jobs_file, capsys
+    ):
+        assert main(["batch", jobs_file, "--shards", "4"]) == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_shard_count_mismatch_is_a_usage_error(
+        self, jobs_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "vstore")
+        run_batch(jobs_file, tmp_path, store_dir, extra=("--shards", "2"))
+        assert main([
+            "batch", jobs_file, "--store-dir", store_dir, "--shards", "6",
+        ]) == 2
+        assert "2 shards" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_stats_is_one_json_line_with_per_shard_counts(
+        self, jobs_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "vstore")
+        run_batch(jobs_file, tmp_path, store_dir, extra=("--shards", "2"))
+        capsys.readouterr()
+        assert main(["store", "stats", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1  # one line, scripting-friendly
+        stats = json.loads(out)
+        assert stats["action"] == "stats"
+        assert stats["shards"] == 2
+        assert stats["records"] > 0 and stats["disk_bytes"] > 0
+        assert len(stats["per_shard"]) == 2
+        assert sum(s["records"] for s in stats["per_shard"]) == \
+            stats["records"]
+
+    def test_compact_then_stats_shows_one_segment_per_live_shard(
+        self, jobs_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "vstore")
+        run_batch(jobs_file, tmp_path, store_dir)
+        capsys.readouterr()
+        assert main(["store", "compact", "--store-dir", store_dir]) == 0
+        compacted = json.loads(capsys.readouterr().out)
+        assert compacted["action"] == "compact"
+        assert compacted["live_records"] > 0
+
+        assert main(["store", "stats", "--store-dir", store_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        for shard in stats["per_shard"]:
+            assert shard["segments"] == (1 if shard["records"] else 0)
+
+    def test_clear_empties_the_store(self, jobs_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "vstore")
+        run_batch(jobs_file, tmp_path, store_dir)
+        capsys.readouterr()
+        assert main(["store", "clear", "--store-dir", store_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["cleared"] is True
+        assert main(["store", "stats", "--store-dir", store_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["records"] == 0
+
+    def test_missing_store_is_a_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["store", "stats", "--store-dir", missing]) == 2
+        assert "no verdict store" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """CLI tests for the certificate / repair / analyze subcommands."""
 
-import pytest
 
 from repro.cli import main
 from repro.consistency.local_global import tseitin_collection

@@ -8,7 +8,6 @@ miss.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,11 +21,7 @@ from repro.consistency import (
     verify_certificate,
 )
 from repro.consistency.repair import repair_collection
-from repro.hypergraphs import (
-    hypergraph_of_bags,
-    is_acyclic,
-    random_acyclic_hypergraph,
-)
+from repro.hypergraphs import is_acyclic, random_acyclic_hypergraph
 from repro.io import collection_from_json, collection_to_json
 from repro.workloads.generators import (
     perturb_bag,

@@ -14,7 +14,6 @@ from repro.io import (
     bag_from_dict,
     bag_from_json,
     bag_from_table,
-    bag_to_dict,
     bag_to_json,
     collection_from_json,
     collection_to_json,

@@ -27,7 +27,7 @@ from repro.consistency import (
     tseitin_collection,
     verify_counterexample,
 )
-from repro.core import Bag, Schema
+from repro.core import Schema
 from repro.hypergraphs import (
     cycle_hypergraph,
     hn_hypergraph,
@@ -283,9 +283,9 @@ class TestTseitinCounterexampleInternals:
     def test_no_support_tuple_satisfies_all_congruences(self):
         h = cycle_hypergraph(4)
         bags = tseitin_collection(list(h.edges))
-        d = h.regularity()
         # Any global witness tuple t would need sum over each edge == 0
-        # (mod d) except the charged one == 1; summing gives 0 == 1 mod d.
+        # (mod regularity d) except the charged one == 1; summing gives
+        # 0 == 1 mod d.
         joined = bags[0].support()
         for bag in bags[1:]:
             joined = joined.join(bag.support())

@@ -6,7 +6,6 @@ blowups in supposedly near-linear code paths show up here first).
 
 import random
 
-import pytest
 
 from repro.consistency.global_ import acyclic_global_witness
 from repro.consistency.pairwise import are_consistent, consistency_witness

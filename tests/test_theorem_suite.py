@@ -6,7 +6,6 @@ they run with more examples than the per-module tests, on instance sizes
 where all oracles are still fast.
 """
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -24,7 +23,6 @@ from repro.consistency.pairwise import (
     consistent_via_integer_search,
     consistent_via_lp,
 )
-from repro.core import Bag, Schema
 from repro.hypergraphs import is_acyclic, is_acyclic_via_chordal_conformal
 from repro.hypergraphs.hypergraph import hypergraph_of_bags
 from tests.conftest import (

@@ -6,7 +6,6 @@ every decision procedure should handle them or fail loudly with a
 library exception, never crash with a bare TypeError/KeyError.
 """
 
-import pytest
 
 from repro.consistency.global_ import decide_global_consistency
 from repro.consistency.pairwise import are_consistent, consistency_witness
