@@ -332,7 +332,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     """Offline persistent-store maintenance: one-line JSON per action
-    (``stats`` / ``compact`` / ``clear``) for scripting."""
+    (``stats`` / ``compact`` / ``clear`` / ``verify``) for scripting.
+    ``verify`` CRC-scans every segment and cross-checks a random sample
+    of stored verdicts/witnesses against fresh recompute; it exits
+    nonzero on any framing damage or recompute mismatch."""
     import json as json_module
 
     from .store import PersistentVerdictStore
@@ -343,6 +346,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
             f"create one with `repro batch --store-dir` or "
             f"`repro serve --store-dir`"
         )
+    if args.action == "verify":
+        from .store.verify import verify_store
+
+        out = verify_store(
+            args.store_dir, sample=args.sample, seed=args.seed
+        )
+        print(json_module.dumps(out))
+        return 0 if out["ok"] else 1
     store = PersistentVerdictStore(args.store_dir)
     try:
         if args.action == "stats":
@@ -508,12 +519,27 @@ def build_parser() -> argparse.ArgumentParser:
         "store",
         help="inspect or maintain a persistent verdict store directory",
     )
-    p.add_argument("action", choices=["stats", "compact", "clear"])
+    p.add_argument("action", choices=["stats", "compact", "clear", "verify"])
     p.add_argument(
         "--store-dir",
         required=True,
         metavar="DIR",
         help="the persistent store directory (as given to batch/serve)",
+    )
+    p.add_argument(
+        "--sample",
+        type=int,
+        default=32,
+        metavar="N",
+        help="(verify) cross-check at most N sampled records against "
+        "fresh recompute (0 skips sampling, CRC scan only)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="(verify) RNG seed for the record sample",
     )
     p.set_defaults(func=_cmd_store)
 

@@ -90,6 +90,44 @@ def _dedupe_by_schema(bags: Sequence[Bag]) -> list[Bag]:
     return list(seen.values())
 
 
+def fold_order(bags: Sequence[Bag]) -> list[Bag]:
+    """The deduped bags in a running-intersection order — the fold order
+    of Theorem 6.  Raises :class:`CyclicSchemaError` when the schema
+    hypergraph is cyclic (Theorem 1(c): no such order exists).
+
+    Exposed as a node-level building block so incremental maintainers
+    (:mod:`repro.engine.live_global`) and reference cross-checks share
+    one ordering with the cold fold.
+    """
+    deduped = _dedupe_by_schema(bags)
+    hypergraph = hypergraph_of_bags(deduped)
+    rip = running_intersection_order(hypergraph)  # raises if cyclic
+    by_schema = {bag.schema: bag for bag in deduped}
+    return [by_schema[edge] for edge in rip.order]
+
+
+def fold_step(acc: Bag, bag: Bag, minimal: bool = True) -> Bag:
+    """One step of the Theorem 6 fold: absorb ``bag`` into the running
+    witness ``acc`` through a two-bag witness (Corollary 4's minimal one
+    by default, so the per-step support bound ``||W||supp <= ||acc||supp
+    + ||bag||supp`` holds).  Raises :class:`InconsistentError` when the
+    two sides are inconsistent."""
+    if minimal:
+        return minimal_pairwise_witness(acc, bag)
+    return consistency_witness(acc, bag)
+
+
+def check_fold_bound(witness: Bag, bags: Sequence[Bag]) -> None:
+    """Assert the Theorem 6 support bound ``||T||supp <= sum_i
+    ||Ri||supp`` for a minimal fold over ``bags``."""
+    bound = sum(bag.support_size for bag in bags)
+    if witness.support_size > bound:
+        raise AssertionError(
+            f"Theorem 6 violated: witness support "
+            f"{witness.support_size} exceeds {bound}"
+        )
+
+
 def acyclic_global_witness(
     bags: Sequence[Bag],
     minimal: bool = True,
@@ -102,34 +140,22 @@ def acyclic_global_witness(
     not redone; raises :class:`InconsistentError` otherwise) and the
     schema hypergraph to be acyclic (raises
     :class:`CyclicSchemaError` otherwise).  Folds two-bag witnesses
-    along a running-intersection ordering; with ``minimal=True`` each
-    step uses the Corollary 4 minimal witness, giving
-    ``||T||supp <= sum_i ||Ri||supp`` as Theorem 6 promises (asserted
-    before returning).
+    along a running-intersection ordering (:func:`fold_order` /
+    :func:`fold_step`); with ``minimal=True`` each step uses the
+    Corollary 4 minimal witness, giving ``||T||supp <= sum_i
+    ||Ri||supp`` as Theorem 6 promises (asserted before returning).
     """
     if not bags:
         raise InconsistentError("empty collection has no witness schema")
     if not pairwise_consistent(bags, pair_checker):
         raise InconsistentError("collection is not pairwise consistent")
-    deduped = _dedupe_by_schema(bags)
-    hypergraph = hypergraph_of_bags(deduped)
-    rip = running_intersection_order(hypergraph)  # raises if cyclic
-    by_schema = {bag.schema: bag for bag in deduped}
-    ordered = [by_schema[edge] for edge in rip.order]
+    ordered = fold_order(bags)
     witness = ordered[0]
     for bag in ordered[1:]:
-        if minimal:
-            witness = minimal_pairwise_witness(witness, bag)
-        else:
-            witness = consistency_witness(witness, bag)
+        witness = fold_step(witness, bag, minimal=minimal)
     if minimal:
-        bound = sum(bag.support_size for bag in deduped)
-        if witness.support_size > bound:
-            raise AssertionError(
-                f"Theorem 6 violated: witness support "
-                f"{witness.support_size} exceeds {bound}"
-            )
-    if not is_witness(deduped, witness):
+        check_fold_bound(witness, ordered)
+    if not is_witness(ordered, witness):
         raise AssertionError(
             "Theorem 6 construction failed to produce a witness; "
             "this contradicts Step 1 of Theorem 2"
@@ -152,6 +178,7 @@ def global_witness(
     node_budget: int | None = DEFAULT_NODE_BUDGET,
     lp_presolve: bool = True,
     pair_checker: PairChecker | None = None,
+    acyclic: bool | None = None,
 ) -> GlobalConsistencyResult:
     """Decide global consistency and produce a witness when one exists.
 
@@ -160,23 +187,24 @@ def global_witness(
     otherwise.  ``lp_presolve`` runs the rational relaxation first on the
     search path — an exact necessary condition that short-circuits many
     infeasible instances.  ``pair_checker`` is forwarded to the pairwise
-    phase (see :func:`pairwise_consistent`).
+    phase (see :func:`pairwise_consistent`).  ``acyclic`` lets a caller
+    that already validated the schema hypergraph (the live engine caches
+    the answer per handle set — membership never changes on row updates)
+    skip the GYO re-run; the answer is a pure function of the schema
+    set, so a stale hint is impossible unless the caller lies.
     """
     if not bags:
         raise InconsistentError("empty collection")
     if not pairwise_consistent(bags, pair_checker):
         return GlobalConsistencyResult(False, None, "pairwise")
-    hypergraph = hypergraph_of_bags(bags)
-    use_acyclic = method == "acyclic" or (
-        method == "auto" and is_acyclic(hypergraph)
-    )
+    if acyclic is None and method == "auto":
+        acyclic = is_acyclic(hypergraph_of_bags(bags))
+    use_acyclic = method == "acyclic" or (method == "auto" and acyclic)
     if use_acyclic:
+        # method="acyclic" on a cyclic schema raises CyclicSchemaError
+        # from the running-intersection construction inside.
         witness = acyclic_global_witness(bags, pair_checker=pair_checker)
         return GlobalConsistencyResult(True, witness, "acyclic")
-    if method == "acyclic":
-        raise CyclicSchemaError(
-            f"method='acyclic' requested on a cyclic schema: {hypergraph!r}"
-        )
     program = ConsistencyProgram.build(list(_dedupe_by_schema(bags)))
     if lp_presolve:
         relaxation = solve_lp(program.dense_matrix(), program.dense_rhs())

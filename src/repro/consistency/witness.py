@@ -44,6 +44,34 @@ def is_witness(bags: Sequence[Bag], candidate: Bag) -> bool:
     )
 
 
+def witness_marginal_residuals(
+    bags: Sequence[Bag], candidate: Bag
+) -> dict:
+    """Where (and by how much) a candidate witness misses each bag.
+
+    Maps each bag's schema to the sparse signed difference ``bag -
+    candidate[schema]`` per cell; a true witness has every residual
+    empty (``is_witness`` is "all residuals empty" plus the union-schema
+    check).  This is the quantity the fold-tree delta repair
+    (:mod:`repro.engine.live_global`) drives to zero cell-by-cell, and
+    the actionable diagnostic when a maintained or stored witness is
+    suspected of drift: it names the exact cells to fix.
+    """
+    residuals: dict = {}
+    for bag in bags:
+        marginal = candidate.marginal(bag.schema)
+        delta: dict[tuple, int] = {}
+        for row, mult in bag.items():
+            diff = mult - marginal.multiplicity(row)
+            if diff:
+                delta[row] = diff
+        for row, mult in marginal.items():
+            if bag.multiplicity(row) == 0:
+                delta[row] = -mult
+        residuals[bag.schema] = delta
+    return residuals
+
+
 def minimal_pairwise_witness(r: Bag, s: Bag) -> Bag:
     """Corollary 4: a minimal witness to the consistency of two bags.
 

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .index import BagIndex, RelationIndex
     from .live import LiveBag, LiveEngine
+    from .live_global import LiveGlobalWitness
     from .session import Engine, EngineStats, VerdictStore
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "VerdictStore",
     "LiveEngine",
     "LiveBag",
+    "LiveGlobalWitness",
     "BagIndex",
     "RelationIndex",
     "kernels",
@@ -49,6 +51,7 @@ _LAZY = {
     "VerdictStore": ("repro.engine.session", "VerdictStore"),
     "LiveEngine": ("repro.engine.live", "LiveEngine"),
     "LiveBag": ("repro.engine.live", "LiveBag"),
+    "LiveGlobalWitness": ("repro.engine.live_global", "LiveGlobalWitness"),
     "BagIndex": ("repro.engine.index", "BagIndex"),
     "RelationIndex": ("repro.engine.index", "RelationIndex"),
 }
@@ -61,6 +64,7 @@ _MODULES = (
     "executors",
     "jobs",
     "live",
+    "live_global",
     "reference",
 )
 

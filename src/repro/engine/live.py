@@ -20,23 +20,33 @@ is acyclic.  A :class:`LiveEngine` wires both into the engine cache:
   the inner engine's content-keyed memoization applies unchanged
   between updates — and because each handle maintains its fingerprint
   incrementally, snapshots are born pre-fingerprinted and invalidation
-  never rescans a bag.
+  never rescans a bag;
+* over an acyclic schema, :meth:`LiveEngine.global_check` defaults to
+  ``mode="live"``: the Theorem 6 *witness* is maintained incrementally
+  by a persistent fold tree (:mod:`repro.engine.live_global`) instead
+  of being re-folded from scratch after every update, and each
+  maintained result is pushed into the engine's verdict store so
+  serve/batch clients sharing the store get it for free.
 
 The consistency-checking-as-serving loop this enables —
 ``update(...); globally_consistent()`` — is the streaming workload of
-``benchmarks/bench_live.py``.
+``benchmarks/bench_live.py``; the witness-maintaining variant is gated
+by ``benchmarks/bench_live_global.py``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from itertools import combinations
 from typing import Iterable, Mapping
 
+from ..consistency.global_ import GlobalConsistencyResult
 from ..consistency.incremental import IncrementalPairChecker, validate_update
 from ..core.bags import Bag
 from ..core.schema import Schema
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
 from . import fingerprint
+from .live_global import LiveGlobalWitness
 from .session import Engine, EngineStats, VerdictStore
 
 __all__ = ["LiveBag", "LiveEngine"]
@@ -128,7 +138,12 @@ class LiveEngine:
         node_budget: int | None = DEFAULT_NODE_BUDGET,
         capacity: int | None = None,
         store: VerdictStore | None = None,
+        max_fold_trees: int = 8,
     ) -> None:
+        if max_fold_trees < 1:
+            raise ValueError(
+                f"max_fold_trees must be positive, got {max_fold_trees}"
+            )
         self._engine = Engine(
             node_budget=node_budget, capacity=capacity, store=store
         )
@@ -150,7 +165,21 @@ class LiveEngine:
         self._by_slot: dict[
             int, list[tuple[IncrementalPairChecker, bool]]
         ] = {}
-        self._acyclic: bool | None = None
+        # handle-set fingerprint (frozenset of schema fps) -> acyclic?
+        # Row updates never alter schemas, so entries only need to be
+        # dropped when membership changes (add_bag) — the PR-5 bugfix
+        # for global_check re-running GYO on every post-update call.
+        self._acyclic_sets: dict[frozenset[int], bool] = {}
+        # slot set -> the maintained Theorem 6 fold tree for those
+        # handles (created on the first mode="live" global check).
+        # LRU-bounded at max_fold_trees: trees pin bag snapshots and
+        # per-node witness histories, and every update notifies every
+        # retained tree, so a session sweeping many distinct subsets
+        # must not accumulate one forever (an evicted set just pays
+        # one fresh fold on its next live check).
+        self.max_fold_trees = max_fold_trees
+        self._live_globals: "OrderedDict[frozenset[int], LiveGlobalWitness]"
+        self._live_globals = OrderedDict()
         self.updates = 0
         for bag in bags:
             self.add_bag(bag)
@@ -184,7 +213,7 @@ class LiveEngine:
         handle._snapshot = fingerprint.seed(bag, handle.fingerprint())
         self._slots[handle] = len(self._handles)
         self._handles.append(handle)
-        self._acyclic = None  # schema set changed
+        self._acyclic_sets.clear()  # membership changed, row updates don't
         return handle
 
     def _resolve(self, handle) -> LiveBag:
@@ -226,6 +255,8 @@ class LiveEngine:
             if self._invalidate_on_update:
                 self._engine.invalidate(old)
             handle._snapshot = None
+        for live_global in self._live_globals.values():
+            live_global.notify(slot)  # O(1) dirty mark, work deferred
         self.updates += 1
 
     # -- queries ---------------------------------------------------------
@@ -279,33 +310,58 @@ class LiveEngine:
             if not self._checker(i, j).consistent
         ]
 
-    def pairwise_consistent(self) -> bool:
-        """Every two tracked bags are consistent (Section 4)."""
-        m = len(self._handles)
+    def pairwise_consistent(self, handles=None) -> bool:
+        """Every two tracked bags (or every two of ``handles``) are
+        consistent (Section 4) — O(pairs) maintained flag reads."""
+        if handles is None:
+            slots = range(len(self._handles))
+        else:
+            slots = sorted(
+                {self._slots[self._resolve(handle)] for handle in handles}
+            )
         return all(
             self._checker(i, j).consistent
-            for i, j in combinations(range(m), 2)
+            for i, j in combinations(slots, 2)
         )
 
-    def schema_acyclic(self) -> bool:
-        """Whether the tracked schemas form an acyclic hypergraph
-        (computed once per membership change — updates never alter
-        schemas)."""
-        if self._acyclic is None:
+    def schema_acyclic(self, handles=None) -> bool:
+        """Whether the given handles' schemas (default: all tracked)
+        form an acyclic hypergraph.
+
+        Cached per handle-set schema fingerprint: row updates never
+        alter schemas, so entries are dropped only when
+        :meth:`add_bag` changes membership — repeated post-update
+        global checks stop re-running the GYO reduction.
+        """
+        resolved = (
+            self._handles
+            if handles is None
+            else [self._resolve(handle) for handle in handles]
+        )
+        key = frozenset(
+            fingerprint.of_schema(handle.schema) for handle in resolved
+        )
+        acyclic = self._acyclic_sets.get(key)
+        if acyclic is None:
             from ..hypergraphs.acyclicity import is_acyclic
             from ..hypergraphs.hypergraph import Hypergraph
 
-            self._acyclic = is_acyclic(
-                Hypergraph.from_schemas([h.schema for h in self._handles])
+            acyclic = is_acyclic(
+                Hypergraph.from_schemas([h.schema for h in resolved])
             )
-        return self._acyclic
+            if len(self._acyclic_sets) >= 4096:
+                self._acyclic_sets.clear()  # subset-sweeping sessions
+            self._acyclic_sets[key] = acyclic
+        return acyclic
 
     def globally_consistent(self, method: str = "auto") -> bool:
         """Global consistency of the whole session.
 
         Over an acyclic schema this is Theorem 2: the maintained
-        pairwise verdicts decide it in O(m^2) flag reads, no recompute.
-        Cyclic schemas fall through to the exact (cached) solver.
+        pairwise verdicts decide it in O(m^2) flag reads, no recompute
+        (and no witness construction — ask :meth:`global_check` when
+        the witness itself is wanted).  Cyclic schemas fall through to
+        the exact (cached) solver.
         """
         if method != "search" and self.schema_acyclic():
             return self.pairwise_consistent()
@@ -328,16 +384,39 @@ class LiveEngine:
             minimal=minimal,
         )
 
-    def global_check(self, handles=None, method: str = "auto"):
-        """The GCPB decision + witness over the current snapshots,
-        memoized until a participant is updated.  The pairwise phase is
-        served from the maintained O(1) checkers, so a post-update miss
-        re-pays only the witness construction, not the pairwise scan."""
+    def global_check(self, handles=None, method: str = "auto",
+                     mode: str = "live"):
+        """The GCPB decision + witness over the current snapshots.
+
+        ``mode="live"`` (the default) maintains the Theorem 6 witness
+        incrementally whenever the handles' schema hypergraph is
+        acyclic: a persistent fold tree
+        (:class:`~repro.engine.live_global.LiveGlobalWitness`) repairs
+        only the nodes on the updated bags' leaf-to-root paths, and the
+        maintained result is pushed into the engine's verdict store so
+        other engines sharing it (serve connections, batch clients) hit
+        without folding.  Cyclic schemas, ``method="search"``, and
+        ``mode="cold"`` take the memoized cold path; there the pairwise
+        phase is still served from the maintained O(1) checkers, and
+        the cached per-handle-set acyclicity is forwarded so a
+        post-update miss re-pays only witness construction — neither
+        the pairwise scan nor the GYO reduction.
+        """
+        if mode not in ("live", "cold"):
+            raise ValueError(f"unknown mode {mode!r}; use 'live' or 'cold'")
         resolved = (
             self._handles
             if handles is None
             else [self._resolve(handle) for handle in handles]
         )
+        acyclic = self.schema_acyclic(resolved) if resolved else False
+        if (
+            mode == "live"
+            and method in ("auto", "acyclic")
+            and resolved
+            and acyclic
+        ):
+            return self._live_global_check(resolved, method)
         bags = [handle.bag() for handle in resolved]
         by_id = {id(bag): handle for bag, handle in zip(bags, resolved)}
 
@@ -349,5 +428,53 @@ class LiveEngine:
             return self._engine._internal_pair_checker(left, right)
 
         return self._engine.global_check(
-            bags, method=method, _pair_checker=pair_checker
+            bags,
+            method=method,
+            _pair_checker=pair_checker,
+            _acyclic_hint=acyclic if resolved else None,
         )
+
+    def _live_global_check(self, resolved, method: str):
+        """Serve a global check from the maintained fold tree.
+
+        Counts as an external global query on the engine stats (a clean
+        tree is a hit); successful results land in the shared verdict
+        store under the same key the cold path uses, so value-equal
+        collections served elsewhere reuse the maintained witness.
+        """
+        stats = self._engine.stats
+        with self._engine._lock:
+            stats.global_queries += 1
+        if not self.pairwise_consistent(resolved):
+            return GlobalConsistencyResult(False, None, "pairwise")
+        key = frozenset(self._slots[handle] for handle in resolved)
+        live_global = self._live_globals.get(key)
+        if live_global is None:
+            live_global = LiveGlobalWitness(self, resolved)
+            self._live_globals[key] = live_global
+            while len(self._live_globals) > self.max_fold_trees:
+                self._live_globals.popitem(last=False)
+        else:
+            self._live_globals.move_to_end(key)
+        clean = not live_global._dirty and live_global._result is not None
+        result = live_global.refresh()
+        if clean:
+            with self._engine._lock:
+                stats.global_hits += 1
+        store = self._engine.store
+        fps = fingerprint.of_collection(
+            [handle.bag() for handle in resolved]
+        )
+        store_key = ("global", fps, method)
+        if not store.contains(store_key):
+            store.put(store_key, result, fps)
+        return result
+
+    def live_global_stats(self) -> dict:
+        """Fold-tree maintenance counters aggregated over every handle
+        set maintained so far (repairs vs recomputes vs restores)."""
+        totals: dict[str, int] = {}
+        for live_global in self._live_globals.values():
+            for name, value in live_global.stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals

@@ -475,6 +475,7 @@ class Engine:
         method: str = "auto",
         *,
         _pair_checker: Callable[[Bag, Bag], bool] | None = None,
+        _acyclic_hint: bool | None = None,
     ):
         """The GCPB decision + witness for one collection, memoized on
         the tuple of bag fingerprints; the pairwise phase routes through
@@ -486,7 +487,11 @@ class Engine:
         private: it is NOT part of the cache key, so a caller must only
         pass a checker that agrees with the exact Lemma 2(2) test on
         these exact bag contents (the :class:`LiveEngine` passes its
-        incrementally-maintained verdicts, which do)."""
+        incrementally-maintained verdicts, which do).  ``_acyclic_hint``
+        forwards a caller's already-validated schema acyclicity (the
+        live engine caches it per handle set) so a miss does not re-run
+        the GYO reduction; like the pair checker it must agree with the
+        exact test on these bags' schemas."""
         with self._lock:
             self.stats.global_queries += 1
         bags = list(bags)
@@ -501,6 +506,7 @@ class Engine:
                 method=method,  # type: ignore[arg-type]
                 node_budget=self.node_budget,
                 pair_checker=_pair_checker or self._internal_pair_checker,
+                acyclic=_acyclic_hint,
             )
             self._put(key, cached, fps)
         else:

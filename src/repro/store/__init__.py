@@ -26,6 +26,7 @@ __all__ = [
     "StoreFormatError",
     "shard_of_fp",
     "shard_of_key",
+    "verify_store",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         shard_of_key,
     )
     from .shard import Shard
+    from .verify import verify_store
 
 
 def __getattr__(name: str):
@@ -54,4 +56,8 @@ def __getattr__(name: str):
         from .shard import Shard
 
         return Shard
+    if name == "verify_store":
+        from .verify import verify_store
+
+        return verify_store
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

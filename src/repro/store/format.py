@@ -16,7 +16,7 @@ Record frame::
     length  u32 BE   byte length of `body`
     crc32   u32 BE   zlib.crc32 over `body`
     body    length bytes:
-        kind     u8          RECORD_PUT | RECORD_TOMBSTONE
+        kind     u8          RECORD_PUT | RECORD_PUT_Z | RECORD_TOMBSTONE
         key_len  u32 BE      byte length of the key blob
         key      key_len bytes
         value    the rest
@@ -25,9 +25,21 @@ For a ``PUT`` the key blob is ``pickle((key, participant_fps))`` and
 the value blob is ``pickle(value)`` — split so that opening a shard can
 index every record (key, fingerprints, value location) **without**
 unpickling any values; values are read lazily on the first read-through
-miss.  For a ``TOMBSTONE`` the key blob is ``pickle(fp)`` (drop every
-earlier record whose participants include ``fp``) and the value blob is
-empty.
+miss.  A ``PUT_Z`` is the same record with the value blob run through
+``zlib.compress`` — the per-record compression flag used for large
+witness blobs (:func:`encode_put` compresses when the pickled value
+reaches ``compress_min`` bytes *and* compression actually shrinks it;
+small bools stay raw, so hot verdict reads never pay an inflate).  For
+a ``TOMBSTONE`` the key blob is ``pickle(fp)`` (drop every earlier
+record whose participants include ``fp``) and the value blob is empty.
+
+Version history (``FORMAT_VERSION``): **1** wrote only ``PUT`` /
+``TOMBSTONE``; **2** added ``PUT_Z``.  The bump is *tolerant* in both
+directions: this reader replays v1 segments unchanged (they simply
+contain no compressed records), while a v1 reader meeting a v2 segment
+skips it whole (preserved, never rewritten) by the newer-version rule
+below — it must not mis-parse a ``PUT_Z`` body as a torn tail and
+truncate good data.
 
 Crash tolerance on open (:func:`scan_segment`):
 
@@ -53,12 +65,15 @@ from dataclasses import dataclass
 from typing import BinaryIO
 
 __all__ = [
+    "COMPRESS_MIN",
     "FORMAT_VERSION",
     "MAGIC",
     "RECORD_PUT",
+    "RECORD_PUT_Z",
     "RECORD_TOMBSTONE",
     "ScannedRecord",
     "SegmentScan",
+    "decode_value",
     "encode_put",
     "encode_tombstone",
     "read_value",
@@ -67,13 +82,20 @@ __all__ = [
 ]
 
 MAGIC = b"RVSSEG"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 HEADER = struct.Struct(">6sH")
 FRAME = struct.Struct(">II")
 BODY_HEAD = struct.Struct(">BI")
 
 RECORD_PUT = 1
 RECORD_TOMBSTONE = 2
+RECORD_PUT_Z = 3
+
+# Pickled values at least this large are candidates for zlib
+# compression.  Verdict bools and refusal Nones pickle to a few bytes
+# and stay raw; witness bags and global results with non-trivial
+# support clear it easily.
+COMPRESS_MIN = 512
 
 
 def write_header(fh: BinaryIO, version: int = FORMAT_VERSION) -> None:
@@ -84,12 +106,30 @@ def _frame(body: bytes) -> bytes:
     return FRAME.pack(len(body), zlib.crc32(body)) + body
 
 
-def encode_put(key: tuple, value: object, fps: tuple) -> bytes:
+def encode_put(
+    key: tuple,
+    value: object,
+    fps: tuple,
+    compress_min: int | None = COMPRESS_MIN,
+) -> bytes:
     """One framed PUT record (key + fingerprints separate from the
-    lazily-read value blob)."""
+    lazily-read value blob).
+
+    Value blobs of at least ``compress_min`` bytes are stored
+    zlib-compressed (kind ``PUT_Z``) when that actually shrinks them;
+    ``compress_min=None`` disables compression outright.  The choice is
+    flagged per record, so one segment freely mixes raw and compressed
+    values and readers never guess.
+    """
     key_blob = pickle.dumps((key, tuple(fps)), protocol=pickle.HIGHEST_PROTOCOL)
     value_blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-    body = BODY_HEAD.pack(RECORD_PUT, len(key_blob)) + key_blob + value_blob
+    kind = RECORD_PUT
+    if compress_min is not None and len(value_blob) >= compress_min:
+        packed = zlib.compress(value_blob)
+        if len(packed) < len(value_blob):
+            kind = RECORD_PUT_Z
+            value_blob = packed
+    body = BODY_HEAD.pack(kind, len(key_blob)) + key_blob + value_blob
     return _frame(body)
 
 
@@ -104,8 +144,9 @@ def encode_tombstone(fp: int) -> bytes:
 class ScannedRecord:
     """One intact record met during a segment scan.
 
-    ``value_offset``/``value_length`` locate the pickled value inside
-    the segment file for lazy reads; tombstones carry ``fp`` instead.
+    ``value_offset``/``value_length`` locate the (possibly compressed,
+    see ``compressed``) pickled value inside the segment file for lazy
+    reads; tombstones carry ``fp`` instead.
     """
 
     kind: int
@@ -114,6 +155,7 @@ class ScannedRecord:
     fp: int | None
     value_offset: int
     value_length: int
+    compressed: bool = False
 
 
 @dataclass
@@ -181,13 +223,16 @@ def _parse_body(body: bytes, record_start: int) -> ScannedRecord | None:
         return None
     value_offset = record_start + FRAME.size + key_end
     value_length = len(body) - key_end
-    if kind == RECORD_PUT:
+    if kind in (RECORD_PUT, RECORD_PUT_Z):
         if not isinstance(key_obj, tuple) or len(key_obj) != 2:
             return None
         key, fps = key_obj
         if not isinstance(key, tuple) or not isinstance(fps, tuple):
             return None
-        return ScannedRecord(kind, key, fps, None, value_offset, value_length)
+        return ScannedRecord(
+            kind, key, fps, None, value_offset, value_length,
+            compressed=kind == RECORD_PUT_Z,
+        )
     if kind == RECORD_TOMBSTONE:
         if not isinstance(key_obj, int):
             return None
@@ -195,8 +240,16 @@ def _parse_body(body: bytes, record_start: int) -> ScannedRecord | None:
     return None  # unknown record kind: stop here, keep the prefix
 
 
+def decode_value(blob: bytes, compressed: bool) -> object:
+    """Unpickle one value blob, inflating it first when the record was
+    flagged compressed."""
+    if compressed:
+        blob = zlib.decompress(blob)
+    return pickle.loads(blob)
+
+
 def read_value(fh: BinaryIO, record: ScannedRecord) -> object:
     """The lazily-read value of a PUT record (read-through path)."""
     fh.seek(record.value_offset)
     blob = fh.read(record.value_length)
-    return pickle.loads(blob)
+    return decode_value(blob, record.compressed)

@@ -33,7 +33,6 @@ disjoint shards without serializing on one global store lock.
 from __future__ import annotations
 
 import os
-import pickle
 import threading
 from pathlib import Path
 
@@ -77,8 +76,9 @@ class Shard:
         self.flush_every = flush_every
         self.auto_compact = auto_compact
         self._lock = threading.RLock()
-        # key -> (segment Path, value_offset, value_length, fps)
-        self._index: dict[tuple, tuple[Path, int, int, tuple]] = {}
+        # key -> (segment Path, value_offset, value_length,
+        # value_compressed, fps)
+        self._index: dict[tuple, tuple[Path, int, int, bool, tuple]] = {}
         self._fp_keys: dict[int, set[tuple]] = {}
         # write-behind buffer: ("put", key, value, fps) | ("del", fp)
         self._pending: list[tuple] = []
@@ -131,7 +131,12 @@ class Shard:
             else:
                 self._apply_put(
                     record.key,
-                    (segment, record.value_offset, record.value_length),
+                    (
+                        segment,
+                        record.value_offset,
+                        record.value_length,
+                        record.compressed,
+                    ),
                     record.fps,
                 )
 
@@ -149,7 +154,7 @@ class Shard:
             if entry is None:
                 continue
             self._dead += 1
-            for other in entry[3]:
+            for other in entry[4]:
                 if other != fp:
                     keys = self._fp_keys.get(other)
                     if keys is not None:
@@ -174,11 +179,11 @@ class Shard:
             entry = self._index.get(key)
             if entry is None:
                 return None
-            segment, offset, length, fps = entry
+            segment, offset, length, compressed, fps = entry
             with segment.open("rb") as fh:
                 fh.seek(offset)
                 blob = fh.read(length)
-            return pickle.loads(blob), fps
+            return fmt.decode_value(blob, compressed), fps
 
     def keys(self) -> list[tuple]:
         with self._lock:
@@ -276,7 +281,12 @@ class Shard:
                     frame
                 )
                 value_offset = offset + len(frame) - value_length
-                self._apply_put(key, (self._tail, value_offset, value_length), fps)
+                compressed = frame[fmt.FRAME.size] == fmt.RECORD_PUT_Z
+                self._apply_put(
+                    key,
+                    (self._tail, value_offset, value_length, compressed),
+                    fps,
+                )
             else:
                 fh.write(fmt.encode_tombstone(op[1]))
             written += 1
@@ -318,14 +328,14 @@ class Shard:
             return 0
         snapshot = self._next_segment_path()
         live = sorted(self._index.items(), key=lambda item: repr(item[0]))
-        new_index: dict[tuple, tuple[Path, int, int, tuple]] = {}
+        new_index: dict[tuple, tuple[Path, int, int, bool, tuple]] = {}
         with snapshot.open("wb") as fh:
             fmt.write_header(fh)
-            for key, (segment, offset, length, fps) in live:
+            for key, (segment, offset, length, compressed, fps) in live:
                 with segment.open("rb") as src:
                     src.seek(offset)
                     blob = src.read(length)
-                value = pickle.loads(blob)
+                value = fmt.decode_value(blob, compressed)
                 record_offset = fh.tell()
                 frame = fmt.encode_put(key, value, fps)
                 fh.write(frame)
@@ -335,6 +345,7 @@ class Shard:
                     snapshot,
                     record_offset + len(frame) - value_length,
                     value_length,
+                    frame[fmt.FRAME.size] == fmt.RECORD_PUT_Z,
                     fps,
                 )
             fh.flush()

@@ -162,3 +162,54 @@ def random_collection_over(
         list(hypergraph.edges), rng, domain_size, n_tuples, max_multiplicity
     )
     return bags
+
+
+def planted_stream(
+    schemas: Sequence[Schema],
+    rng: random.Random,
+    n_transactions: int,
+    domain_size: int = 4,
+    n_tuples: int = 5,
+    max_multiplicity: int = 4,
+    delete_probability: float = 0.4,
+) -> tuple[list[Bag], list[list[tuple[int, tuple, int]]]]:
+    """A planted collection plus a consistency-preserving update stream.
+
+    Each **transaction** inserts or deletes one tuple of the hidden
+    union-schema witness and propagates its marginal row to every bag,
+    returned as a list of ``(bag index, row, amount)`` updates.
+    Mid-transaction the collection is (usually) inconsistent; at every
+    transaction boundary it is globally consistent again, with the
+    evolved plant as certificate — the monitoring pattern behind
+    ``benchmarks/bench_live.py`` / ``bench_live_global.py`` and the
+    fold-tree stream tests, generated in one place so they replay the
+    identical traffic.
+    """
+    from ..core.schema import projection_plan
+
+    plant, bags = planted_collection(
+        schemas, rng, domain_size, n_tuples, max_multiplicity
+    )
+    union = plant.schema
+    plans = [
+        projection_plan(union.attrs, schema.attrs) for schema in schemas
+    ]
+    pool = dict(plant.items())
+    transactions = []
+    for _ in range(n_transactions):
+        if pool and rng.random() < delete_probability:
+            rows = sorted(pool)
+            row = rows[rng.randrange(len(rows))]
+            amount = -1
+            if pool[row] == 1:
+                del pool[row]
+            else:
+                pool[row] -= 1
+        else:
+            row = tuple(rng.randrange(domain_size) for _ in union.attrs)
+            amount = 1
+            pool[row] = pool.get(row, 0) + 1
+        transactions.append(
+            [(index, plan(row), amount) for index, plan in enumerate(plans)]
+        )
+    return bags, transactions

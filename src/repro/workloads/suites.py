@@ -69,6 +69,15 @@ def _planted_triangle(size: int, seed: int) -> list[Bag]:
     )
 
 
+def _planted_star(size: int, seed: int) -> list[Bag]:
+    from ..hypergraphs.families import star_hypergraph
+    from .generators import random_collection_over
+
+    return random_collection_over(
+        star_hypergraph(size), random.Random(seed), n_tuples=5
+    )
+
+
 def _tseitin_cycle(size: int, seed: int) -> list[Bag]:
     from ..consistency.local_global import tseitin_collection
 
@@ -129,6 +138,16 @@ _register(InstanceSuite(
     schema_kind="cyclic",
     min_size=2,
     builder=_planted_triangle,
+))
+_register(InstanceSuite(
+    name="planted-star",
+    description="Marginals of a hidden witness over the star {Hub, A_i}; "
+                "globally consistent, acyclic with a depth-2 join tree "
+                "(the wide-fan fold-tree shape).",
+    expected="consistent",
+    schema_kind="acyclic",
+    min_size=1,
+    builder=_planted_star,
 ))
 _register(InstanceSuite(
     name="tseitin-cycle",

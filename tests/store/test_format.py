@@ -135,3 +135,63 @@ def test_assorted_values_round_trip(value):
     data = segment_bytes(fmt.encode_put(KEY, value, FPS))
     (record,) = scan(data).records
     assert fmt.read_value(io.BytesIO(data), record) == value
+
+
+class TestCompression:
+    """Per-record zlib compression for large value blobs (PUT_Z)."""
+
+    def big_value(self):
+        # large and redundant: pickles well past COMPRESS_MIN and
+        # shrinks under zlib
+        return {("row", i, i % 5): i % 3 + 1 for i in range(400)}
+
+    def test_large_value_is_stored_compressed(self):
+        value = self.big_value()
+        frame = fmt.encode_put(KEY, value, FPS)
+        data = segment_bytes(frame)
+        (record,) = scan(data).records
+        assert record.kind == fmt.RECORD_PUT_Z and record.compressed
+        assert fmt.read_value(io.BytesIO(data), record) == value
+
+    def test_small_value_stays_raw(self):
+        frame = fmt.encode_put(KEY, True, FPS)
+        (record,) = scan(segment_bytes(frame)).records
+        assert record.kind == fmt.RECORD_PUT and not record.compressed
+
+    def test_compression_shrinks_the_frame(self):
+        value = self.big_value()
+        compressed = fmt.encode_put(KEY, value, FPS)
+        raw = fmt.encode_put(KEY, value, FPS, compress_min=None)
+        assert len(compressed) < len(raw)
+
+    def test_compress_min_none_disables(self):
+        (record,) = scan(
+            segment_bytes(
+                fmt.encode_put(KEY, self.big_value(), FPS, compress_min=None)
+            )
+        ).records
+        assert record.kind == fmt.RECORD_PUT
+
+    def test_incompressible_value_stays_raw(self):
+        import os
+
+        value = os.urandom(4096)  # random bytes: zlib cannot shrink
+        (record,) = scan(segment_bytes(fmt.encode_put(KEY, value, FPS))).records
+        assert record.kind == fmt.RECORD_PUT
+        assert fmt.read_value(io.BytesIO(segment_bytes(
+            fmt.encode_put(KEY, value, FPS))), record) == value
+
+    def test_version1_segments_still_replay(self):
+        """A segment written by the v1 format (raw PUTs, version 1
+        header) is replayed unchanged by the v2 reader."""
+        frame = fmt.encode_put(KEY, {"old": 1}, FPS, compress_min=None)
+        data = segment_bytes(frame, version=1)
+        result = scan(data)
+        assert result.usable and result.version == 1
+        (record,) = result.records
+        assert fmt.read_value(io.BytesIO(data), record) == {"old": 1}
+
+    def test_version3_segments_are_skipped_whole(self):
+        data = segment_bytes(fmt.encode_put(KEY, True, FPS), version=3)
+        result = scan(data)
+        assert not result.usable and "newer" in result.reason
