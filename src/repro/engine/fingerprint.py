@@ -46,6 +46,7 @@ from functools import lru_cache
 from hashlib import blake2b
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from . import columnar
 from .index import BagIndex, RelationIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -121,10 +122,21 @@ def row_term(row: tuple, mult: int) -> int:
 
 
 def content_sum(items: Iterable[tuple[tuple, int]]) -> int:
-    """The order-insensitive combination of every row term (mod 2**128)."""
+    """The order-insensitive combination of every row term (mod 2**128).
+
+    The per-row BLAKE2b terms are unchanged in every backend — only the
+    modular sum vectorizes (four 32-bit limb columns, one array
+    reduction), so fingerprints computed with and without numpy, in
+    workers and in daemons, are identical bit for bit.
+    """
+    terms = [row_term(row, mult) for row, mult in items]
+    if columnar.enabled() and columnar.MIN_ROWS <= len(terms) < (1 << 31):
+        columnar.count_columnar("fingerprints")
+        return columnar.sum_u128(terms)
+    columnar.count_row("fingerprints")
     total = 0
-    for row, mult in items:
-        total += row_term(row, mult)
+    for term in terms:
+        total += term
     return total & MASK
 
 

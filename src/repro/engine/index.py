@@ -28,7 +28,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from ..core.schema import Schema, projection_plan
-from . import kernels
+from . import columnar, kernels
 
 # Guards first-use index creation: two engine worker threads touching
 # the same instance must end up sharing one index, not build two and
@@ -51,6 +51,11 @@ class BagIndex:
     value-equal bags *adopt* each other's index — potentially shared by
     every bag with the same content (hence the ``__weakref__`` slot:
     the registry holds indexes weakly).
+
+    The ``_columnar`` slot caches the bag's dictionary encoding
+    (:mod:`repro.engine.columnar`) under the same sharing regime, so
+    the encoding is effectively keyed by content fingerprint: two
+    value-equal bags encode once.
     """
 
     __slots__ = (
@@ -60,6 +65,7 @@ class BagIndex:
         "_key_sets",
         "_sorted",
         "_fingerprint",
+        "_columnar",
         "__weakref__",
     )
 
@@ -70,6 +76,7 @@ class BagIndex:
         self._key_sets: dict[tuple, set] = {}
         self._sorted: list[tuple] | None = None
         self._fingerprint: int | None = None
+        self._columnar = None
 
     @staticmethod
     def of(bag: "Bag") -> "BagIndex":
@@ -94,9 +101,12 @@ class BagIndex:
         key = target.attrs
         cached = self._marginals.get(key)
         if cached is None:
-            table = kernels.marginal_table(
-                bag._mults.items(), bag._schema.attrs, key
-            )
+            table = columnar.try_marginal(self, key)
+            if table is None:
+                columnar.count_row("marginals")
+                table = kernels.marginal_table(
+                    bag._mults.items(), bag._schema.attrs, key
+                )
             cached = type(bag)._from_clean(target, table)
             self._marginals[key] = cached
         return cached
@@ -142,6 +152,7 @@ class RelationIndex:
         "_buckets",
         "_key_sets",
         "_fingerprint",
+        "_columnar",
         "__weakref__",
     )
 
@@ -151,6 +162,7 @@ class RelationIndex:
         self._buckets: dict[tuple, dict] = {}
         self._key_sets: dict[tuple, frozenset] = {}
         self._fingerprint: int | None = None
+        self._columnar = None
 
     @staticmethod
     def of(relation: "Relation") -> "RelationIndex":

@@ -174,4 +174,7 @@ def run_jobs(
             raise JobError(f"bad suite spec: {exc}") from exc
     report["stats"] = engine.stats.as_dict()
     report["store"] = engine.store.stats_dict()
+    from . import columnar
+
+    report["kernels"] = columnar.kernel_stats()
     return report

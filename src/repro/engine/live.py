@@ -46,6 +46,8 @@ from ..core.bags import Bag
 from ..core.schema import Schema
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
 from . import fingerprint
+from .columnar import ColumnarDelta
+from .index import BagIndex
 from .live_global import LiveGlobalWitness
 from .session import Engine, EngineStats, VerdictStore
 
@@ -66,9 +68,18 @@ class LiveBag:
     bag.  All mutation goes through :meth:`LiveEngine.update` (which
     also maintains the pair checkers and the store); the handle itself
     is read-only.
+
+    The handle also maintains a **columnar delta**
+    (:class:`~repro.engine.columnar.ColumnarDelta`): row updates adjust
+    the encoded mult vector in place (inserts stage and append in
+    batch, deletes-to-zero mask out with periodic compaction), so each
+    snapshot is born with a ready columnar encoding instead of paying a
+    fresh dictionary-encoding pass per update.
     """
 
-    __slots__ = ("schema", "name", "_mults", "_snapshot", "_content")
+    __slots__ = (
+        "schema", "name", "_mults", "_snapshot", "_content", "_columnar"
+    )
 
     def __init__(
         self, schema: Schema, mults: Mapping[tuple, int], name: str
@@ -78,6 +89,7 @@ class LiveBag:
         self._mults: dict[tuple, int] = dict(mults)
         self._snapshot: Bag | None = None
         self._content = fingerprint.content_sum(self._mults.items())
+        self._columnar = ColumnarDelta(schema.attrs, self._mults)
 
     def fingerprint(self) -> int:
         """The current content fingerprint, from the incrementally
@@ -97,6 +109,14 @@ class LiveBag:
             # the validation-free constructor applies.
             snapshot = Bag._from_clean(self.schema, dict(self._mults))
             self._snapshot = fingerprint.seed(snapshot, self.fingerprint())
+            encoded = self._columnar.snapshot()
+            if encoded is not None:
+                # hand the maintained encoding to the snapshot's index
+                # (possibly adopted via the registry — then it either
+                # has one already or decides eligibility on its own)
+                index = BagIndex.of(self._snapshot)
+                if index._columnar is None:
+                    index._columnar = encoded
         return self._snapshot
 
     def multiplicity(self, row) -> int:
@@ -246,6 +266,7 @@ class LiveEngine:
         handle._content = fingerprint.shift_content(
             handle._content, row, new - amount, new
         )
+        handle._columnar.update(row, new)
         if new == 0:
             handle._mults.pop(row, None)
         else:

@@ -354,9 +354,12 @@ class ReproServer:
             inflight = self._inflight
             refusals = self.admission_refusals
             peak = self.peak_inflight
+        from .engine import columnar
+
         return {
             "stats": aggregated.as_dict(),
             "store": self.store.stats_dict(),
+            "kernels": columnar.kernel_stats(),
             "requests": requests,
             "batches": batches,
             "request_errors": errors,

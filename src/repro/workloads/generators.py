@@ -149,6 +149,73 @@ def example1_instance(n: int) -> tuple[list[Bag], Bag]:
     return bags, witness
 
 
+def wide_window_schemas(
+    n_bags: int, width: int, overlap: int
+) -> list[Schema]:
+    """``n_bags`` sliding-window schemas over attributes ``W000, W001,
+    ...``: window j covers ``width`` consecutive attributes and shares
+    ``overlap`` of them with its neighbour.  Consecutive intervals form
+    an acyclic (interval) hypergraph, and the zero-padded names keep
+    the canonical attribute order equal to the window order.
+    """
+    if width < 1 or n_bags < 1:
+        raise ValueError("wide windows need n_bags >= 1 and width >= 1")
+    if not 0 <= overlap < width:
+        raise ValueError(
+            f"overlap must be in [0, width), got {overlap} for width {width}"
+        )
+    step = width - overlap
+    return [
+        Schema([f"W{step * j + i:03d}" for i in range(width)])
+        for j in range(n_bags)
+    ]
+
+
+def wide_planted_collection(
+    rng: random.Random,
+    n_bags: int = 3,
+    width: int = 6,
+    overlap: int = 2,
+    n_rows: int = 64,
+    domain_size: int = 1 << 16,
+    max_multiplicity: int = 3,
+) -> tuple[Bag, list[Bag]]:
+    """A planted collection over wide sliding-window schemas with a
+    high-cardinality domain — the workload shape that stresses
+    dictionary encoding (many attributes, many distinct values, few
+    repeated keys) and exposes the row-kernel gap the columnar bench
+    gate measures.  Globally consistent by construction."""
+    return planted_collection(
+        wide_window_schemas(n_bags, width, overlap),
+        rng,
+        domain_size=domain_size,
+        n_tuples=n_rows,
+        max_multiplicity=max_multiplicity,
+    )
+
+
+def wide_planted_pair(
+    rng: random.Random,
+    width: int = 8,
+    overlap: int = 3,
+    n_rows: int = 256,
+    domain_size: int = 1 << 20,
+    max_multiplicity: int = 6,
+) -> tuple[Bag, Bag, Bag]:
+    """(plant, R, S) over two overlapping wide windows — the two-bag
+    unit of the wide workload (``benchmarks/bench_columnar.py``)."""
+    plant, (r, s) = wide_planted_collection(
+        rng,
+        n_bags=2,
+        width=width,
+        overlap=overlap,
+        n_rows=n_rows,
+        domain_size=domain_size,
+        max_multiplicity=max_multiplicity,
+    )
+    return plant, r, s
+
+
 def random_collection_over(
     hypergraph: Hypergraph,
     rng: random.Random,

@@ -102,6 +102,20 @@ def _witness_family(size: int, seed: int) -> list[Bag]:
     return list(witness_family_pair(size))
 
 
+def _planted_wide(size: int, seed: int) -> list[Bag]:
+    from .generators import wide_planted_collection
+
+    _, bags = wide_planted_collection(
+        random.Random(seed),
+        n_bags=3,
+        width=size + 2,
+        overlap=2,
+        n_rows=16 * size,
+        domain_size=1 << 16,
+    )
+    return bags
+
+
 def _perturbed_path(size: int, seed: int) -> list[Bag]:
     from .generators import perturb_bag, random_collection_over
 
@@ -183,6 +197,17 @@ _register(InstanceSuite(
     schema_kind="acyclic",
     min_size=2,
     builder=_witness_family,
+))
+_register(InstanceSuite(
+    name="planted-wide",
+    description="Marginals of a hidden witness over wide sliding-window "
+                "schemas with a high-cardinality domain — the "
+                "dictionary-encoding stress shape of the columnar "
+                "kernels; consistent, acyclic.",
+    expected="consistent",
+    schema_kind="acyclic",
+    min_size=1,
+    builder=_planted_wide,
 ))
 _register(InstanceSuite(
     name="perturbed-path",

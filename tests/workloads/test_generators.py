@@ -17,6 +17,9 @@ from repro.workloads.generators import (
     planted_pair,
     random_bag,
     random_collection_over,
+    wide_planted_collection,
+    wide_planted_pair,
+    wide_window_schemas,
     witness_family_pair,
 )
 
@@ -68,6 +71,42 @@ class TestPerturbation:
 
         bumped = perturb_bag(Bag.empty(AB), rng)
         assert bumped.unary_size == 1
+
+
+class TestWide:
+    def test_window_schemas_overlap_and_order(self):
+        schemas = wide_window_schemas(3, width=4, overlap=2)
+        assert all(len(s.attrs) == 4 for s in schemas)
+        for left, right in zip(schemas, schemas[1:]):
+            assert len(left & right) == 2
+        # Zero-padded names keep canonical order equal to window order.
+        assert schemas[0].attrs == ("W000", "W001", "W002", "W003")
+
+    def test_window_schema_validation(self):
+        with pytest.raises(ValueError):
+            wide_window_schemas(2, width=3, overlap=3)
+        with pytest.raises(ValueError):
+            wide_window_schemas(0, width=3, overlap=1)
+
+    def test_wide_collection_is_witnessed(self, rng):
+        plant, bags = wide_planted_collection(
+            rng, n_bags=3, width=5, overlap=2, n_rows=32
+        )
+        assert is_witness(bags, plant)
+        assert pairwise_consistent(bags)
+
+    def test_wide_pair_is_high_cardinality(self, rng):
+        plant, r, s = wide_planted_pair(rng, n_rows=128)
+        assert are_consistent(r, s)
+        assert is_witness([r, s], plant)
+        # The huge domain makes multiplicity collisions vanishingly
+        # rare: the support stays near the draw count.
+        assert r.support_size > 100
+
+    def test_deterministic_under_seed(self):
+        one = wide_planted_pair(random.Random(6))
+        two = wide_planted_pair(random.Random(6))
+        assert one == two
 
 
 class TestPaperFamilies:
