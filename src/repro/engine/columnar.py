@@ -182,26 +182,35 @@ class _Interner:
     encodings stay valid forever and codes are comparable across every
     bag sharing the attribute.  ``values`` is the inverse table (decode
     side), grown in lockstep.
+
+    Thread-safe for the ThreadExecutor backend: hits read ``codes``
+    lock-free, misses intern under ``lock`` with a double-checked
+    re-get, and a value lands in ``values`` before its code is
+    published so a lock-free reader never sees a code without its
+    decode entry.
     """
 
-    __slots__ = ("codes", "values", "_decode")
+    __slots__ = ("codes", "values", "lock", "_decode")
 
     def __init__(self) -> None:
         self.codes: dict = {}
         self.values: list = []
+        self.lock = threading.Lock()
         self._decode = None  # object ndarray mirror of values, lazy
 
     def encode(self, column: Iterable) -> "np.ndarray":
         codes = self.codes
         out = []
         append = out.append
-        values = self.values
         for value in column:
             code = codes.get(value)
             if code is None:
-                code = codes[value] = len(values)
-                values.append(value)
-                self._decode = None
+                with self.lock:
+                    code = codes.get(value)
+                    if code is None:
+                        self.values.append(value)
+                        self._decode = None
+                        code = codes[value] = len(self.values) - 1
             append(code)
         return np.array(out, dtype=np.int64)
 
@@ -210,9 +219,11 @@ class _Interner:
         fancy indexing; object dtype so tuple-valued attributes survive
         untouched)."""
         arr = self._decode
-        if arr is None or len(arr) != len(self.values):
-            arr = np.empty(len(self.values), dtype=object)
-            arr[:] = self.values
+        values = self.values
+        n = len(values)
+        if arr is None or len(arr) != n:
+            arr = np.empty(n, dtype=object)
+            arr[:] = values[:n]
             self._decode = arr
         return arr
 
@@ -740,7 +751,8 @@ class ColumnarDelta:
             self.cols = encoded.cols
             self.mults = encoded.mults
         self._shared = False
-        self.rows.extend(encoded.rows)
+        # rebind, never extend in place: a live snapshot may alias rows
+        self.rows = self.rows + encoded.rows
         for offset, row in enumerate(encoded.rows):
             self.loc[row] = base + offset
 

@@ -129,15 +129,20 @@ def content_sum(items: Iterable[tuple[tuple, int]]) -> int:
     reduction), so fingerprints computed with and without numpy, in
     workers and in daemons, are identical bit for bit.
     """
-    terms = [row_term(row, mult) for row, mult in items]
-    if columnar.enabled() and columnar.MIN_ROWS <= len(terms) < (1 << 31):
+    size = len(items) if hasattr(items, "__len__") else None
+    if size is not None and _vector_eligible(size):
         columnar.count_columnar("fingerprints")
-        return columnar.sum_u128(terms)
+        return columnar.sum_u128([row_term(row, mult) for row, mult in items])
     columnar.count_row("fingerprints")
     total = 0
-    for term in terms:
-        total += term
+    for row, mult in items:
+        total += row_term(row, mult)
     return total & MASK
+
+
+def _vector_eligible(size: int) -> bool:
+    # sum_u128's uint64 limb sums are exact for fewer than 2**31 terms
+    return columnar.enabled() and columnar.MIN_ROWS <= size < (1 << 31)
 
 
 def shift_content(content: int, row: tuple, old: int, new: int) -> int:
@@ -160,6 +165,8 @@ def relation_fingerprint(schema_fp: int, content: int, size: int) -> int:
 
 
 def _relation_content(rows: Iterable[tuple]) -> int:
+    if hasattr(rows, "__len__") and _vector_eligible(len(rows)):
+        return content_sum([(row, 1) for row in rows])
     return content_sum((row, 1) for row in rows)
 
 

@@ -283,3 +283,56 @@ class TestColumnarDelta:
         delta = columnar.ColumnarDelta(("CA",), {(0,): 1})
         delta.update((0,), columnar.MAX_TOTAL + 1)
         assert delta.snapshot() is None
+
+    def test_stale_snapshot_survives_later_materialize(self, forced):
+        # REVIEW regression: _materialize must rebind rows, not extend
+        # the list an earlier snapshot still aliases.
+        delta = columnar.ColumnarDelta(
+            ("CA", "CB"), {(i, i + 1): 1 for i in range(8)}
+        )
+        first = delta.snapshot()
+        assert first is not None
+        delta.update((99, 100), 1)  # brand-new row: staged then appended
+        second = delta.snapshot()
+        assert second is not None
+        assert len(first.rows) == 8
+        assert first.marginal_table(("CA",)) == {(i,): 1 for i in range(8)}
+        assert second.marginal_table(("CA",)) == {
+            **{(i,): 1 for i in range(8)}, (99,): 1
+        }
+
+
+@needs_numpy
+def test_interner_encode_is_thread_safe():
+    # REVIEW regression: concurrent misses on one attribute must agree
+    # on a single code per value (double-checked intern under the lock).
+    import threading
+
+    interner = columnar._Interner()
+    values = [("payload", i) for i in range(3000)]
+    results: dict[int, list[int]] = {}
+    barrier = threading.Barrier(4)
+
+    def work(tid: int) -> None:
+        barrier.wait()
+        results[tid] = interner.encode(values).tolist()
+
+    threads = [
+        threading.Thread(target=work, args=(tid,)) for tid in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    first = results[0]
+    assert all(codes == first for codes in results.values())
+    assert len(set(first)) == len(values)  # no code collisions
+    decode = interner.decode_array()
+    assert [decode[code] for code in first] == values
+
+
+def test_content_sum_streams_unsized_iterables(forced):
+    # REVIEW regression: generators take the streaming row path (no
+    # list materialization) and agree bit for bit with the sized path.
+    pairs = [((i, i), 1 + (i % 3)) for i in range(64)]
+    assert content_sum(pair for pair in pairs) == content_sum(pairs)
