@@ -1,0 +1,70 @@
+"""Analysis tooling: witness-space reports and the repo-aware linter.
+
+Two unrelated-but-cohabiting concerns live here:
+
+* **witness-space analysis** (:mod:`repro.analysis.witness_space`) —
+  the downstream-user reports quantifying how determined a
+  reconciliation is (per-tuple multiplicity ranges, ambiguity index);
+* **invariant analysis** — ``repro lint`` / ``python -m repro.analysis``
+  (:mod:`repro.analysis.linter`), an AST static-analysis pass with
+  repo-specific rules (RL01–RL05) over the concurrency and caching
+  invariants the engine actually depends on, and its runtime companion,
+  the ``REPRO_SANITIZE=1`` sanitizer (:mod:`repro.analysis.sanitizer`).
+
+Both halves of the invariant tooling read **one registry**
+(:mod:`repro.analysis.registry`): the ``@shared_state`` /
+``@requires_lock`` decorators and ``FROZEN_FIELDS`` class attributes
+annotating the hot modules are simultaneously the linter's rule inputs
+(collected by AST scan, never by import) and the sanitizer's runtime
+guard installation points.
+
+Import-light on purpose: the engine modules import
+:mod:`repro.analysis.registry` at startup, so this package must not
+eagerly drag in the consistency/LP stack the witness-space half needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "TupleRange",
+    "WitnessSpaceReport",
+    "count_witnesses",
+    "format_report",
+    "iter_witnesses",
+    "lint_paths",
+    "witness_space_report",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .linter import lint_paths
+    from .witness_space import (
+        TupleRange,
+        WitnessSpaceReport,
+        count_witnesses,
+        format_report,
+        iter_witnesses,
+        witness_space_report,
+    )
+
+_WITNESS_SPACE = {
+    "TupleRange",
+    "WitnessSpaceReport",
+    "count_witnesses",
+    "format_report",
+    "iter_witnesses",
+    "witness_space_report",
+}
+
+
+def __getattr__(name: str):
+    if name in _WITNESS_SPACE:
+        from . import witness_space
+
+        return getattr(witness_space, name)
+    if name == "lint_paths":
+        from .linter import lint_paths
+
+        return lint_paths
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

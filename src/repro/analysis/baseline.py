@@ -1,0 +1,57 @@
+"""Baseline handling for ``repro lint``.
+
+The baseline is a committed JSON file of grandfathered finding keys.
+Keys are line-number-free (``rule:path:scope:detail``), so unrelated
+edits above a grandfathered site don't churn the file.  The shipped
+baseline is **empty by policy** for ``src/repro/engine/`` — every true
+positive there was fixed, not baselined — and ``--strict`` additionally
+fails if the baseline lists keys that no longer fire (so it can only
+shrink).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def load_baseline(path) -> set[str]:
+    """Load grandfathered keys; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        keys = data.get("findings", [])
+    else:
+        keys = data
+    return {str(k) for k in keys}
+
+
+def write_baseline(path, findings) -> None:
+    """Write the current findings as the new baseline (``--update``)."""
+    keys = sorted({f.key for f in findings})
+    payload = {
+        "comment": (
+            "Grandfathered repro-lint findings. Keys are "
+            "rule:path:scope:detail (no line numbers). Policy: this "
+            "file only shrinks; new findings are fixed, not added."
+        ),
+        "findings": keys,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(findings, baseline: set[str]):
+    """Split findings into (new, grandfathered, stale-baseline-keys)."""
+    fresh = [f for f in findings if f.key not in baseline]
+    grandfathered = [f for f in findings if f.key in baseline]
+    live_keys = {f.key for f in findings}
+    stale = sorted(baseline - live_keys)
+    return fresh, grandfathered, stale

@@ -1,0 +1,113 @@
+"""Command-line front end for ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean (or everything grandfathered), 1 new findings (or,
+under ``--strict``, stale baseline keys), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE, apply_baseline, load_baseline, \
+    write_baseline
+from .linter import format_findings, lint_paths
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Repo-aware static analysis: lock discipline (RL01), "
+            "identity cache keys (RL02), snapshot mutation (RL03), "
+            "invalidation completeness (RL04), lock order (RL05)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline JSON of grandfathered finding keys "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on warnings and on stale baseline keys",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            for p in missing:
+                print(f"repro lint: no such path: {p}", file=sys.stderr)
+            return 2
+    else:
+        paths = [Path(__file__).resolve().parents[1]]
+
+    findings = lint_paths(paths)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"repro lint: baseline updated with {len(findings)} "
+            f"finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    fresh, grandfathered, stale = apply_baseline(findings, baseline)
+
+    print(format_findings(fresh, args.format))
+    if grandfathered and args.format == "text":
+        print(f"repro lint: {len(grandfathered)} grandfathered finding(s) "
+              "suppressed by baseline")
+    if stale and args.format == "text":
+        for key in stale:
+            print(f"repro lint: stale baseline key: {key}")
+
+    blocking = [
+        f for f in fresh if f.severity == "error" or args.strict
+    ]
+    if blocking:
+        return 1
+    if args.strict and stale:
+        return 1
+    return 0
+
+
+def main(argv=None, prog: str = "repro lint") -> int:
+    parser = build_parser(prog=prog)
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

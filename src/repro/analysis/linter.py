@@ -1,0 +1,277 @@
+"""The lint driver: collect declarations by AST, run rules, report.
+
+Two passes over the same file set:
+
+1. **Registry collection** — every ``@shared_state`` / ``@requires_lock``
+   decorator, ``register_lock(...)`` call, and ``FROZEN_FIELDS`` class
+   attribute is read straight out of the parse trees.  The linter never
+   imports the code it checks, so it runs on broken trees, costs no
+   side effects, and cannot be fooled by import-time monkeypatching.
+2. **Rule checking** — :class:`repro.analysis.rules.ModuleChecker` walks
+   each module with the collected registry.
+
+Entry point: :func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+
+from .rules import Finding, ModuleChecker
+
+__all__ = ["StaticRegistry", "collect_registry", "iter_python_files",
+           "lint_paths"]
+
+
+class StaticClassSpec:
+    """AST-derived mirror of a runtime ``SharedSpec``."""
+
+    __slots__ = ("cls_name", "lock_attr", "fields", "tier")
+
+    def __init__(self, cls_name: str, lock_attr: str, fields: frozenset,
+                 tier: str | None) -> None:
+        self.cls_name = cls_name
+        self.lock_attr = lock_attr
+        self.fields = fields
+        self.tier = tier
+
+
+class StaticLockSpec:
+    """AST-derived mirror of a runtime ``LockSpec``."""
+
+    __slots__ = ("name", "tier", "slots", "containers")
+
+    def __init__(self, name: str, tier: str | None, slots: tuple,
+                 containers: tuple) -> None:
+        self.name = name
+        self.tier = tier
+        self.slots = slots
+        self.containers = containers
+
+
+class StaticRegistry:
+    """Everything the rules need, keyed for O(1) lookups."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, StaticClassSpec] = {}
+        self.named_locks: dict[str, StaticLockSpec] = {}
+        self.frozen_by_class: dict[str, frozenset] = {}
+        # derived
+        self.all_frozen: frozenset = frozenset()
+        self.slot_guards: dict[str, str] = {}
+        self.container_guards: dict[str, str] = {}
+
+    def finalize(self) -> "StaticRegistry":
+        frozen: set[str] = set()
+        for names in self.frozen_by_class.values():
+            frozen.update(names)
+        self.all_frozen = frozenset(frozen)
+        for lock in self.named_locks.values():
+            for slot in lock.slots:
+                self.slot_guards[slot] = lock.name
+            for container in lock.containers:
+                self.container_guards[container] = lock.name
+        return self
+
+
+def _const_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _const_str_tuple(node: ast.expr) -> tuple[str, ...]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = []
+        for elt in node.elts:
+            value = _const_str(elt)
+            if value is not None:
+                out.append(value)
+        return tuple(out)
+    return ()
+
+
+def _call_named(node: ast.expr, name: str) -> ast.Call | None:
+    if isinstance(node, ast.Call):
+        func = node.func
+        terminal = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if terminal == name:
+            return node
+    return None
+
+
+class _RegistryCollector(ast.NodeVisitor):
+    def __init__(self, registry: StaticRegistry) -> None:
+        self.reg = registry
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for deco in node.decorator_list:
+            call = _call_named(deco, "shared_state")
+            if call is None or not call.args:
+                continue
+            lock_attr = _const_str(call.args[0])
+            if lock_attr is None:
+                continue
+            fields = [
+                value
+                for arg in call.args[1:]
+                if (value := _const_str(arg)) is not None
+            ]
+            tier = None
+            for kw in call.keywords:
+                if kw.arg == "tier":
+                    tier = _const_str(kw.value)
+            self.reg.classes[node.name] = StaticClassSpec(
+                node.name, lock_attr, frozenset(fields), tier
+            )
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == "FROZEN_FIELDS":
+                        self.reg.frozen_by_class[node.name] = frozenset(
+                            _const_str_tuple(stmt.value)
+                        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        call = _call_named(node, "register_lock")
+        if call is not None and call.args:
+            name = _const_str(call.args[0])
+            if name is not None:
+                tier = None
+                slots: tuple = ()
+                containers: tuple = ()
+                for kw in call.keywords:
+                    if kw.arg == "tier":
+                        tier = _const_str(kw.value)
+                    elif kw.arg == "slots":
+                        slots = _const_str_tuple(kw.value)
+                    elif kw.arg == "containers":
+                        containers = _const_str_tuple(kw.value)
+                self.reg.named_locks[name] = StaticLockSpec(
+                    name, tier, slots, containers
+                )
+        self.generic_visit(node)
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list.
+
+    The linter's own package is excluded when a directory sweep reaches
+    it — the rule sources describe the checked code, not themselves."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    own_pkg = Path(__file__).resolve().parent
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            if own_pkg in resolved.parents or resolved.parent == own_pkg:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out
+
+
+def _display_path(path: Path) -> str:
+    """A stable, slash-normalized path for findings and baseline keys."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_registry(files) -> StaticRegistry:
+    registry = StaticRegistry()
+    collector = _RegistryCollector(registry)
+    for path in files:
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (SyntaxError, OSError, UnicodeDecodeError):
+            continue
+        collector.visit(tree)
+    return registry.finalize()
+
+
+def lint_paths(paths, registry_paths=None) -> list[Finding]:
+    """Lint ``paths`` (files or directories).
+
+    ``registry_paths`` widens the declaration-collection sweep beyond
+    the checked set — by default the registry is collected from the
+    whole ``repro`` package so a lint of one subdirectory still knows
+    every declaration.
+    """
+    files = iter_python_files(paths)
+    if registry_paths is None:
+        pkg_root = Path(__file__).resolve().parents[1]
+        registry_files = iter_python_files([pkg_root, *paths])
+    else:
+        registry_files = iter_python_files(registry_paths)
+    registry = collect_registry(registry_files)
+
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, UnicodeDecodeError):
+            continue
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="RL01",
+                path=_display_path(path),
+                line=exc.lineno or 1,
+                scope="<module>",
+                detail="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        checker = ModuleChecker(
+            _display_path(path), tree, source.splitlines(), registry
+        )
+        findings.extend(checker.run())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
+    return findings
+
+
+def format_findings(findings, fmt: str = "text") -> str:
+    if fmt == "json":
+        import json
+
+        return json.dumps(
+            [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "path": f.path,
+                    "line": f.line,
+                    "scope": f.scope,
+                    "detail": f.detail,
+                    "message": f.message,
+                    "key": f.key,
+                }
+                for f in findings
+            ],
+            indent=2,
+        )
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"repro lint: {errors} error(s), {warnings} warning(s)"
+        if findings
+        else "repro lint: clean"
+    )
+    return os.linesep.join(lines) if os.linesep != "\n" else "\n".join(lines)

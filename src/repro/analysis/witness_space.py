@@ -21,15 +21,13 @@ machinery (P(R, S), Lemma 1, the LP integrality of Section 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
-from typing import Iterator
-
-from .consistency.optimize import multiplicity_range
-from .consistency.program import ConsistencyProgram
-from .core.bags import Bag
-from .errors import InconsistentError
-from .lp.integer_feasibility import (
+from ..consistency.optimize import multiplicity_range
+from ..consistency.program import ConsistencyProgram
+from ..core.bags import Bag
+from ..errors import InconsistentError
+from ..lp.integer_feasibility import (
     DEFAULT_NODE_BUDGET,
     enumerate_solutions,
     iter_solutions,
@@ -92,7 +90,7 @@ def witness_space_report(r: Bag, s: Bag) -> WitnessSpaceReport:
     Raises :class:`InconsistentError` for inconsistent pairs (an empty
     witness space has no geometry to report).
     """
-    from .consistency.pairwise import are_consistent
+    from ..consistency.pairwise import are_consistent
 
     if not are_consistent(r, s):
         raise InconsistentError("bags are not consistent")

@@ -401,6 +401,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args, prog="repro lint")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -467,6 +473,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("left")
     p.add_argument("right")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis: lock, cache, and snapshot "
+        "invariants (RL01-RL05)",
+        add_help=False,  # flags pass through to the lint parser
+    )
+    p.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "batch",
@@ -590,6 +605,15 @@ def _add_engine_knobs(p: argparse.ArgumentParser) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        # Route around argparse: REMAINDER drops leading optionals
+        # (`repro lint --strict`), so hand the tail straight to the
+        # lint CLI, which owns all of its flags.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:], prog="repro lint")
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -95,7 +95,7 @@ def multiplicity_range(r: Bag, s: Bag, row: tuple) -> tuple[int, int]:
         raise KeyError(
             f"{row!r} is outside the join of supports; by Lemma 1 its "
             f"multiplicity is 0 in every witness"
-        )
+        ) from None
     n = len(probe.join_rows)
     low_cost = [Fraction(0)] * n
     low_cost[index] = Fraction(1)

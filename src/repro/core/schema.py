@@ -117,7 +117,9 @@ class Schema:
         try:
             return self._pos[attr]
         except KeyError:
-            raise SchemaError(f"attribute {attr!r} not in schema {self!r}")
+            raise SchemaError(
+                f"attribute {attr!r} not in schema {self!r}"
+            ) from None
 
     def without(self, attr: Attribute) -> "Schema":
         """The schema with ``attr`` removed (used by vertex deletion)."""

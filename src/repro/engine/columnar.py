@@ -61,6 +61,9 @@ import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..analysis.registry import register_lock, sanitizer_active, shared_state
+from ..analysis.sanitizer import freeze_array, freeze_rows
+
 if os.environ.get("REPRO_NO_NUMPY"):
     np = None  # forced row-kernel mode (the CI fallback job)
 else:
@@ -175,6 +178,7 @@ def reset_kernel_stats() -> None:
 # -- dictionary encoding ------------------------------------------------
 
 
+@shared_state("lock", "codes", "values", "_decode", tier="interner")
 class _Interner:
     """One attribute's global value -> dense code dictionary.
 
@@ -219,17 +223,21 @@ class _Interner:
         fancy indexing; object dtype so tuple-valued attributes survive
         untouched)."""
         arr = self._decode
-        values = self.values
-        n = len(values)
+        n = len(self.values)
         if arr is None or len(arr) != n:
-            arr = np.empty(n, dtype=object)
-            arr[:] = values[:n]
-            self._decode = arr
+            with self.lock:
+                n = len(self.values)
+                arr = np.empty(n, dtype=object)
+                arr[:] = self.values[:n]
+                self._decode = arr
         return arr
 
 
 _INTERNERS: dict = {}
-_INTERN_LOCK = threading.Lock()
+_INTERN_LOCK = register_lock(
+    "_INTERN_LOCK", threading.Lock(), tier="interner",
+    containers=("_INTERNERS",),
+)
 
 
 def _interner(attr) -> _Interner:
@@ -281,6 +289,12 @@ class ColumnarBag:
     """
 
     __slots__ = ("attrs", "cols", "mults", "rows", "total", "_groupings")
+
+    # Snapshot contract: once an instance is published (cached on an
+    # index or returned by ColumnarDelta.snapshot) these are rebound,
+    # never mutated in place (RL03; frozen physically under
+    # REPRO_SANITIZE).
+    FROZEN_FIELDS = ("cols", "mults", "rows")
 
     def __init__(self, attrs, cols, mults, rows, total) -> None:
         self.attrs = attrs
@@ -348,6 +362,43 @@ class ColumnarBag:
 
 _INELIGIBLE = object()
 
+# Publication lock for the per-index `_columnar` slot (and the
+# `_INELIGIBLE` sentinel): encoding happens *outside* the lock — it may
+# acquire interner locks, hence the earlier "columnar" tier — and the
+# slot is then published with a double-checked re-read, first encoder
+# wins and losers adopt the published value.
+_ENCODE_LOCK = register_lock(
+    "_ENCODE_LOCK", threading.Lock(), tier="columnar",
+    slots=("_columnar",),
+)
+
+
+def _mark_ineligible(index) -> None:
+    with _ENCODE_LOCK:
+        if index._columnar is None:
+            index._columnar = _INELIGIBLE
+
+
+def _publish(index, encoded):
+    """Double-checked publication: install ``encoded`` unless another
+    thread won the race, in which case adopt the winner."""
+    with _ENCODE_LOCK:
+        cached = index._columnar
+        if cached is None:
+            index._columnar = encoded
+            return encoded
+    return None if cached is _INELIGIBLE else cached
+
+
+def _freeze_bag(encoded: ColumnarBag) -> ColumnarBag:
+    """Physically freeze a published encoding under REPRO_SANITIZE."""
+    if sanitizer_active():
+        for col in encoded.cols:
+            freeze_array(col)
+        freeze_array(encoded.mults)
+        encoded.rows = freeze_rows(encoded.rows)
+    return encoded
+
 
 def of_index(index) -> ColumnarBag | None:
     """The cached columnar encoding of a :class:`BagIndex`'s bag, or
@@ -366,18 +417,27 @@ def of_index(index) -> ColumnarBag | None:
     mults = bag._mults
     n = len(mults)
     if n < MIN_ROWS:
-        index._columnar = _INELIGIBLE
+        _mark_ineligible(index)
         return None
     total = 0
     for mult in mults.values():  # python ints: overflow-proof audit
         total += mult
     if total > MAX_TOTAL:
-        index._columnar = _INELIGIBLE
+        _mark_ineligible(index)
         return None
     encoded = encode_rows(bag._schema.attrs, mults.keys(), mults.values(),
                           n, total)
-    index._columnar = encoded
-    return encoded
+    return _publish(index, _freeze_bag(encoded))
+
+
+def adopt_encoding(index, encoded) -> None:
+    """Publish a pre-built encoding onto an index (LiveBag.bag() hands
+    the snapshot's columnar twin to the snapshot's index)."""
+    if encoded is None:
+        return
+    with _ENCODE_LOCK:
+        if index._columnar is None:
+            index._columnar = encoded
 
 
 def encode_rows(attrs, rows, mults, n, total) -> ColumnarBag:
@@ -557,6 +617,8 @@ class ColumnarRelation:
 
     __slots__ = ("attrs", "cols", "rows", "_keys", "_key_sets")
 
+    FROZEN_FIELDS = ("cols", "rows")
+
     def __init__(self, attrs, cols, rows) -> None:
         self.attrs = attrs
         self.cols = cols
@@ -594,7 +656,7 @@ def of_relation_index(index) -> ColumnarRelation | None:
     relation = index._relation
     rows = relation._rows
     if len(rows) < MIN_ROWS:
-        index._columnar = _INELIGIBLE
+        _mark_ineligible(index)
         return None
     _count("encodings")
     row_list = list(rows)
@@ -604,8 +666,11 @@ def of_relation_index(index) -> ColumnarRelation | None:
         for i, attr in enumerate(attrs)
     ]
     encoded = ColumnarRelation(attrs, cols, row_list)
-    index._columnar = encoded
-    return encoded
+    if sanitizer_active():
+        for col in encoded.cols:
+            freeze_array(col)
+        encoded.rows = freeze_rows(encoded.rows)
+    return _publish(index, encoded)
 
 
 def try_semijoin(r: "Relation", s: "Relation") -> list | None:
@@ -676,6 +741,13 @@ class ColumnarDelta:
         "attrs", "cols", "mults", "rows", "loc", "dead", "total",
         "pending", "_shared", "disabled",
     )
+
+    # `rows` may alias a live snapshot's list (the `_shared` branch of
+    # snapshot()): rebind only, never extend/append in place (RL03 —
+    # the PR 6 aliasing bug).  `mults` is *copy-on-write* instead
+    # (update() clones before writing while shared), so it is
+    # deliberately not declared frozen.
+    FROZEN_FIELDS = ("rows",)
 
     def __init__(self, attrs, mults: dict) -> None:
         self.attrs = attrs
@@ -788,6 +860,17 @@ class ColumnarDelta:
                 if alive
             ]
         else:
-            cols, mults, rows = self.cols, self.mults, self.rows
             self._shared = True
-        return ColumnarBag(self.attrs, cols, mults, rows, self.total)
+            if sanitizer_active():
+                # the snapshot aliases our arrays/rows from here on:
+                # freeze them so any in-place write (ours or the
+                # snapshot's) trips instead of corrupting silently.
+                # update() copies `mults` before writing while shared,
+                # and a .copy() of a frozen array is writable again.
+                self.cols = [freeze_array(col) for col in self.cols]
+                self.mults = freeze_array(self.mults)
+                self.rows = freeze_rows(self.rows)
+            cols, mults, rows = self.cols, self.mults, self.rows
+        return _freeze_bag(
+            ColumnarBag(self.attrs, cols, mults, rows, self.total)
+        )

@@ -46,6 +46,7 @@ from functools import lru_cache
 from hashlib import blake2b
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..analysis.registry import register_lock
 from . import columnar
 from .index import BagIndex, RelationIndex
 
@@ -75,7 +76,11 @@ _BAG_INDEXES: "weakref.WeakValueDictionary[int, BagIndex]"
 _BAG_INDEXES = weakref.WeakValueDictionary()
 _RELATION_INDEXES: "weakref.WeakValueDictionary[int, RelationIndex]"
 _RELATION_INDEXES = weakref.WeakValueDictionary()
-_REGISTRY_LOCK = threading.Lock()
+_REGISTRY_LOCK = register_lock(
+    "_REGISTRY_LOCK", threading.Lock(), tier="engine",
+    slots=("_fingerprint",),
+    containers=("_BAG_INDEXES", "_RELATION_INDEXES"),
+)
 
 
 def _digest(payload: bytes) -> int:
@@ -188,8 +193,8 @@ def of_bag(bag: "Bag") -> int:
         content_sum(bag._mults.items()),
         len(bag._mults),
     )
-    index._fingerprint = fp
     with _REGISTRY_LOCK:
+        index._fingerprint = fp
         shared = _BAG_INDEXES.get(fp)
         if shared is not None and shared is not index:
             if shared._bag == bag:
@@ -211,8 +216,8 @@ def of_relation(relation: "Relation") -> int:
         _relation_content(relation._rows),
         len(relation._rows),
     )
-    index._fingerprint = fp
     with _REGISTRY_LOCK:
+        index._fingerprint = fp
         shared = _RELATION_INDEXES.get(fp)
         if shared is not None and shared is not index:
             if shared._relation == relation:
@@ -236,8 +241,8 @@ def seed(bag: "Bag", fp: int) -> "Bag":
     the bag for chaining."""
     index = BagIndex.of(bag)
     if index._fingerprint is None:
-        index._fingerprint = fp
         with _REGISTRY_LOCK:
+            index._fingerprint = fp
             shared = _BAG_INDEXES.get(fp)
             if shared is not None and shared is not index:
                 if shared._bag == bag:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
+from ..analysis.registry import register_lock
 from ..core.schema import Schema, projection_plan
 from . import columnar, kernels
 
@@ -35,7 +36,9 @@ from . import columnar, kernels
 # discard one's memos.  The per-target memo dicts inside an index stay
 # unguarded — racing fills compute equal values and dict stores are
 # atomic, so the worst case is one duplicated computation.
-_CREATE_LOCK = threading.Lock()
+_CREATE_LOCK = register_lock(
+    "_CREATE_LOCK", threading.Lock(), tier="engine"
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..core.bags import Bag

@@ -45,7 +45,7 @@ from ..consistency.incremental import IncrementalPairChecker, validate_update
 from ..core.bags import Bag
 from ..core.schema import Schema
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
-from . import fingerprint
+from . import columnar, fingerprint
 from .columnar import ColumnarDelta
 from .index import BagIndex
 from .live_global import LiveGlobalWitness
@@ -110,13 +110,10 @@ class LiveBag:
             snapshot = Bag._from_clean(self.schema, dict(self._mults))
             self._snapshot = fingerprint.seed(snapshot, self.fingerprint())
             encoded = self._columnar.snapshot()
-            if encoded is not None:
-                # hand the maintained encoding to the snapshot's index
-                # (possibly adopted via the registry — then it either
-                # has one already or decides eligibility on its own)
-                index = BagIndex.of(self._snapshot)
-                if index._columnar is None:
-                    index._columnar = encoded
+            # hand the maintained encoding to the snapshot's index
+            # (possibly adopted via the registry — then it either
+            # has one already or decides eligibility on its own)
+            columnar.adopt_encoding(BagIndex.of(self._snapshot), encoded)
         return self._snapshot
 
     def multiplicity(self, row) -> int:

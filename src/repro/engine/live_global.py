@@ -45,6 +45,14 @@ hard update stays one node, not the tree.
 Cost per refresh: O(path length x witness support) against the cold
 fold's O(m x witness support x max-flow) — ``benchmarks/
 bench_live_global.py`` gates the streaming speedup at >= 10x.
+
+Concurrency contract: a :class:`LiveGlobalWitness` (like the
+:class:`~repro.engine.live.LiveEngine` that owns it) is
+**single-owner** — one thread applies updates and queries it; nothing
+here is locked, by design.  Cross-thread sharing happens only through
+the immutable snapshots and the fingerprint-keyed stores, which carry
+their own declared locks (see ``docs/ARCHITECTURE.md``, "Concurrency
+contract").
 """
 
 from __future__ import annotations

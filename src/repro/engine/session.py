@@ -59,6 +59,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..analysis.registry import requires_lock, shared_state
 from ..core.bags import Bag
 from ..core.schema import Schema
 from ..errors import InconsistentError
@@ -114,6 +115,12 @@ class EngineStats:
         }
 
 
+@shared_state(
+    "_lock",
+    "_cache", "_participants", "_fp_keys", "_pinned_fps",
+    "hits", "misses", "evictions", "invalidations", "merged",
+    tier="engine",
+)
 class VerdictStore:
     """A bounded, content-addressed result store.
 
@@ -185,6 +192,7 @@ class VerdictStore:
             self._participants[key] = tuple(fps)
             return self._evict(protect=key)
 
+    @requires_lock("_lock")
     def _remove_key(self, key: tuple) -> None:
         self._cache.pop(key, None)
         for fp in self._participants.pop(key, ()):
@@ -194,6 +202,7 @@ class VerdictStore:
                 if not keys:
                     del self._fp_keys[fp]
 
+    @requires_lock("_lock")
     def _evict(self, protect: tuple | None = None) -> int:
         if self.capacity is None or len(self._cache) <= self.capacity:
             return 0
@@ -283,6 +292,7 @@ class VerdictStore:
             }
 
 
+@shared_state("_lock", "stats", tier="engine")
 class Engine:
     """A session facade over a content-addressed :class:`VerdictStore`.
 

@@ -60,6 +60,7 @@ import threading
 import time
 from typing import Iterable
 
+from .analysis.registry import shared_state
 from .engine.jobs import JobError, parse_jobs, run_jobs
 from .engine.session import Engine, EngineStats
 from .errors import ReproError
@@ -79,6 +80,14 @@ def _merge_stats(target: EngineStats, source: dict) -> None:
         setattr(target, field, getattr(target, field) + value)
 
 
+# `_thread`/`_server`/`address`/`started` are setup-phase plumbing
+# written before any connection exists, so they stay unregistered.
+@shared_state(
+    "_stats_lock",
+    "requests", "batches", "errors", "admission_refusals", "connections",
+    "_active_engines", "_retired", "_inflight", "peak_inflight",
+    tier="engine",
+)
 class ReproServer:
     """The daemon: one shared verdict store, an engine per connection.
 

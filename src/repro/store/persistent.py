@@ -44,6 +44,7 @@ import threading
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..analysis.registry import shared_state
 from ..errors import ReproError
 from ..engine.session import VerdictStore
 from .shard import Shard
@@ -103,6 +104,9 @@ def shard_of_key(key: tuple, n_shards: int) -> int:
     return shard_of_fp(primary, n_shards)
 
 
+# `_closed` is deliberately unregistered: it is a close()-time latch
+# written by the owning thread only, and reads never need freshness.
+@shared_state("_lock", "disk_hits", "merged", tier="store")
 class PersistentVerdictStore:
     """A sharded disk tier under per-shard in-memory hot tiers.
 

@@ -36,6 +36,7 @@ import os
 import threading
 from pathlib import Path
 
+from ..analysis.registry import requires_lock, shared_state
 from . import format as fmt
 
 __all__ = ["Shard", "ShardStats"]
@@ -61,6 +62,12 @@ class ShardStats:
         self.skipped_segments = 0
 
 
+@shared_state(
+    "_lock",
+    "_index", "_fp_keys", "_pending", "_pending_index", "_dead",
+    "_tail", "_tail_fh", "_skipped", "_no_append",
+    tier="store",
+)
 class Shard:
     """One fingerprint-prefix shard of the persistent verdict store."""
 
@@ -91,7 +98,8 @@ class Shard:
         # away, never appended to (appends always carry FORMAT_VERSION)
         self._no_append: set[Path] = set()
         self.stats = ShardStats()
-        self._open()
+        with self._lock:
+            self._open()
 
     # -- open / recovery -------------------------------------------------
 
@@ -104,12 +112,14 @@ class Shard:
         except ValueError:
             return 0
 
+    @requires_lock("_lock")
     def _open(self) -> None:
         self.path.mkdir(parents=True, exist_ok=True)
         for segment in self._segments():
             self._replay_segment(segment)
         self._tail = None  # appends open (or create) a tail lazily
 
+    @requires_lock("_lock")
     def _replay_segment(self, segment: Path) -> None:
         with segment.open("rb") as fh:
             scan = fmt.scan_segment(fh)
@@ -140,6 +150,7 @@ class Shard:
                     record.fps,
                 )
 
+    @requires_lock("_lock")
     def _apply_put(self, key, location, fps) -> None:
         if key in self._index:
             self._dead += 1  # superseded: the old record is garbage now
@@ -148,6 +159,7 @@ class Shard:
                 self._fp_keys.setdefault(fp, set()).add(key)
         self._index[key] = (*location, tuple(fps))
 
+    @requires_lock("_lock")
     def _apply_tombstone(self, fp: int) -> None:
         for key in self._fp_keys.pop(fp, set()):
             entry = self._index.pop(key, None)
@@ -239,6 +251,7 @@ class Shard:
         with self._lock:
             return self._flush_locked()
 
+    @requires_lock("_lock")
     def _tail_handle(self):
         if self._tail_fh is None:
             if self._tail is None:
@@ -264,6 +277,7 @@ class Shard:
         )
         return self.path / f"{highest + 1:08d}{_SEGMENT_SUFFIX}"
 
+    @requires_lock("_lock")
     def _flush_locked(self) -> int:
         if not self._pending:
             return 0
@@ -312,6 +326,7 @@ class Shard:
             self._flush_locked()
             return self._compact_locked()
 
+    @requires_lock("_lock")
     def _compact_locked(self) -> int:
         old_segments = [s for s in self._segments() if s not in self._skipped]
         if not old_segments:
@@ -376,6 +391,7 @@ class Shard:
             self._dead = 0
             self._tail = None
 
+    @requires_lock("_lock")
     def _close_tail(self) -> None:
         if self._tail_fh is not None:
             self._tail_fh.close()

@@ -320,7 +320,7 @@ def get_suite(name: str) -> InstanceSuite:
     except KeyError:
         raise KeyError(
             f"unknown suite {name!r}; available: {sorted(_SUITES)}"
-        )
+        ) from None
 
 
 def list_suites() -> list[InstanceSuite]:

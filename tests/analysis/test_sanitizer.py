@@ -1,0 +1,215 @@
+"""The REPRO_SANITIZE runtime half: guarded containers, lock
+assertions, snapshot freezing, and the activation contract."""
+
+import threading
+from collections import OrderedDict
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.registry import (
+    NAMED_LOCKS,
+    SHARED_CLASSES,
+    register_lock,
+    requires_lock,
+    shared_state,
+)
+from repro.analysis.sanitizer import FrozenRows, SanitizerError
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less CI job
+    np = None
+
+
+@pytest.fixture
+def sanitize():
+    was = sanitizer.enabled()
+    sanitizer.enable()
+    try:
+        yield
+    finally:
+        if not was:
+            sanitizer.disable()
+
+
+@pytest.fixture
+def desanitize():
+    """Force the sanitizer off (REPRO_SANITIZE=1 runs included)."""
+    was = sanitizer.enabled()
+    sanitizer.disable()
+    try:
+        yield
+    finally:
+        if was:
+            sanitizer.enable()
+
+
+@shared_state("_lock", "_cache", "_members", "_order", "count",
+              tier="engine")
+class _SanProbe:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cache = {}
+        self._members = set()
+        self._order = OrderedDict()
+        self.count = 0
+
+    @requires_lock("_lock")
+    def helper(self):
+        return self.count
+
+
+class _NeverHeld:
+    """A lock-alike that reports itself unheld (the mutation-style
+    stand-in for 'someone deleted the with-statement')."""
+
+    def locked(self):
+        return False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def test_registration_is_visible():
+    assert "_SanProbe" in SHARED_CLASSES
+    spec = SHARED_CLASSES["_SanProbe"]
+    assert spec.lock_attr == "_lock"
+    assert "count" in spec.fields
+    assert _SanProbe.__shared_state__ is spec
+
+
+def test_containers_guarded_when_active(sanitize):
+    probe = _SanProbe()
+    assert type(probe._cache).__name__ == "GuardedDict"
+    assert type(probe._members).__name__ == "GuardedSet"
+    assert type(probe._order).__name__ == "GuardedOrdereddict"
+    with probe._lock:
+        probe._cache["k"] = 1
+        probe._members.add("m")
+        probe._order["o"] = 1
+        probe._order.move_to_end("o")
+        probe.count += 1
+    # reads stay lock-free
+    assert probe._cache["k"] == 1 and "m" in probe._members
+
+
+def test_unheld_lock_trips(sanitize):
+    probe = _SanProbe()
+    object.__setattr__(probe, "_lock", _NeverHeld())
+    with pytest.raises(SanitizerError):
+        probe._cache["k"] = 1
+    with pytest.raises(SanitizerError):
+        probe._members.add("m")
+    with pytest.raises(SanitizerError):
+        probe.count = 5  # rebind goes through the __setattr__ hook
+    with pytest.raises(SanitizerError):
+        probe.helper()  # @requires_lock asserts at entry
+
+
+def test_rebind_keeps_the_guard(sanitize):
+    probe = _SanProbe()
+    with probe._lock:
+        probe._cache = {"fresh": 1}
+    assert type(probe._cache).__name__ == "GuardedDict"
+    object.__setattr__(probe, "_lock", _NeverHeld())
+    with pytest.raises(SanitizerError):
+        probe._cache["k"] = 2
+
+
+def test_inactive_instances_stay_plain(desanitize):
+    assert not sanitizer.enabled()
+    probe = _SanProbe()
+    assert type(probe._cache) is dict
+    probe.count += 1  # no lock, no guard, no error
+    probe._cache["k"] = 1
+
+
+def test_sanitizer_error_is_assertion_error():
+    assert issubclass(SanitizerError, AssertionError)
+
+
+def test_frozen_rows(sanitize):
+    rows = sanitizer.freeze_rows([(1,), (2,)])
+    assert isinstance(rows, FrozenRows)
+    assert list(rows) == [(1,), (2,)]
+    assert rows[0] == (1,)
+    for mutate in (
+        lambda: rows.append((3,)),
+        lambda: rows.extend([(3,)]),
+        lambda: rows.__setitem__(0, (9,)),
+        lambda: rows.pop(),
+        lambda: rows.sort(),
+    ):
+        with pytest.raises(SanitizerError):
+            mutate()
+    # the sanctioned rebind idiom still works: + yields a plain list
+    widened = rows + [(3,)]
+    assert type(widened) is list and len(widened) == 3
+    # idempotent
+    assert sanitizer.freeze_rows(rows) is rows
+
+
+def test_freeze_rows_noop_when_inactive(desanitize):
+    rows = [1, 2]
+    assert sanitizer.freeze_rows(rows) is rows
+
+
+@pytest.mark.skipif(np is None, reason="numpy unavailable")
+def test_freeze_array(sanitize):
+    arr = np.arange(4)
+    sanitizer.freeze_array(arr)
+    with pytest.raises(ValueError):
+        arr[0] = 9
+    # copy-on-write survives: a copy of a frozen array is writable
+    clone = arr.copy()
+    clone[0] = 9
+    assert clone[0] == 9 and arr[0] == 0
+
+
+def test_named_lock_registration():
+    lock = register_lock("_SAN_TEST_LOCK", threading.Lock(),
+                         tier="store")
+    try:
+        assert NAMED_LOCKS["_SAN_TEST_LOCK"].lock is lock
+        assert NAMED_LOCKS["_SAN_TEST_LOCK"].tier == "store"
+    finally:
+        del NAMED_LOCKS["_SAN_TEST_LOCK"]
+
+
+def test_register_lock_rejects_unknown_tier():
+    with pytest.raises(ValueError):
+        register_lock("_SAN_BAD_TIER", threading.Lock(), tier="kernel")
+
+
+def test_shared_state_rejects_unknown_tier():
+    with pytest.raises(ValueError):
+        shared_state("_lock", "x", tier="not-a-tier")
+
+
+def test_columnar_snapshot_is_frozen(sanitize):
+    """The PR 6 aliasing bug class, live: a snapshot's rows physically
+    refuse in-place mutation while the delta keeps working through
+    rebinds."""
+    pytest.importorskip("numpy")
+    from repro.engine import columnar
+    from repro.engine.columnar import ColumnarDelta
+
+    if not columnar.enabled():
+        pytest.skip("columnar path disabled")
+    delta = ColumnarDelta(("A",), {(i,): 1 for i in range(64)})
+    snap = delta.snapshot()
+    assert snap is not None
+    with pytest.raises(SanitizerError):
+        snap.rows.append(("x",))
+    with pytest.raises(ValueError):
+        snap.mults[0] = 99
+    # the delta still takes updates (copy-on-write path) and rebinds
+    delta.update((999,), 1)
+    delta.update((0,), 0)
+    snap2 = delta.snapshot()
+    assert snap2 is not None
+    assert int(snap2.mults.sum()) == delta.total
