@@ -107,6 +107,12 @@ def test_process_backend_beats_threads_on_cpu_bound_checks():
         f"process {process_elapsed * 1000:.0f} ms, "
         f"process/thread speedup {speedup:.2f}x"
     )
+    skip_reason = (
+        None
+        if cores >= 2
+        else f"single-core machine ({cores} core): process parallelism "
+        "has nothing to win"
+    )
     _MEASUREMENTS["cpu_bound"] = {
         "cores": cores,
         "workers": workers,
@@ -118,12 +124,12 @@ def test_process_backend_beats_threads_on_cpu_bound_checks():
         "process_over_thread": speedup,
         "min_speedup": MIN_PROCESS_SPEEDUP,
         "gated": cores >= 2,
+        "skip_reason": skip_reason,
     }
     _write_out()
-    if cores < 2:
-        pytest.skip(
-            "single-core machine: process parallelism has nothing to win"
-        )
+    if skip_reason is not None:
+        print(f"cpu_bound gate skipped: {skip_reason}")
+        pytest.skip(skip_reason)
     assert speedup >= MIN_PROCESS_SPEEDUP, (
         f"process backend only {speedup:.2f}x over threads "
         f"(required {MIN_PROCESS_SPEEDUP}x on {cores} cores)"

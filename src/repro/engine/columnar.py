@@ -81,8 +81,11 @@ __all__ = [
     "AVAILABLE",
     "MAX_TOTAL",
     "MIN_ROWS",
+    "PortableEncoding",
     "disabled",
     "enabled",
+    "export_encoding",
+    "import_encoding",
     "kernel_stats",
     "reset_kernel_stats",
     "sum_u128",
@@ -164,15 +167,23 @@ def count_columnar(op: str) -> None:
 def kernel_stats() -> dict:
     """The process-wide columnar-vs-row dispatch counters plus whether
     the numpy backend is active — the one-line-JSON observability
-    payload of ``Engine.kernel_stats()`` / ``repro serve stats``."""
+    payload of ``Engine.kernel_stats()`` / ``repro serve stats``.
+    Includes the wire/shm transport counters (lazy import: ``wire``
+    imports this module at load time)."""
     out: dict = {"numpy": AVAILABLE}
     out.update(_stats)
+    from . import wire
+
+    out.update(wire.wire_stats())
     return out
 
 
 def reset_kernel_stats() -> None:
     for key in _STATS_KEYS:
         _stats[key] = 0
+    from . import wire
+
+    wire.reset_wire_stats()
 
 
 # -- dictionary encoding ------------------------------------------------
@@ -438,6 +449,96 @@ def adopt_encoding(index, encoded) -> None:
     with _ENCODE_LOCK:
         if index._columnar is None:
             index._columnar = encoded
+
+
+class PortableEncoding:
+    """One bag's columnar contents re-based for another process:
+    per-column **local** dictionaries (the distinct values actually
+    used) plus int64 code/multiplicity blobs referencing them.  Raw
+    interner codes never travel — interners are process-local and
+    append-only, so no two processes agree on them."""
+
+    __slots__ = ("attrs", "n", "total", "mults", "columns")
+
+    def __init__(self, attrs, n, total, mults, columns) -> None:
+        self.attrs = attrs      # tuple of attribute names
+        self.n = n              # support size (rows)
+        self.total = total      # multiplicity total (exact Python int)
+        self.mults = mults      # bytes: n little-endian int64s
+        self.columns = columns  # [(codes bytes, local values list), ...]
+
+    @property
+    def nbytes(self) -> int:
+        """The blob footprint (code + mult arrays; the executor's spill
+        floor compares this against the pickle path)."""
+        return len(self.mults) + sum(len(codes) for codes, _ in self.columns)
+
+
+def export_encoding(encoded: ColumnarBag) -> PortableEncoding:
+    """Re-base a cached encoding onto per-column local dictionaries
+    (``np.unique`` orders each column's distinct values by interner
+    code; the inverse permutation *is* the local code column)."""
+    columns = []
+    for attr, col in zip(encoded.attrs, encoded.cols):
+        uniq, inverse = np.unique(col, return_inverse=True)
+        values = _interner(attr).decode_array()[uniq].tolist()
+        columns.append(
+            (inverse.astype("<i8", copy=False).tobytes(), values)
+        )
+    return PortableEncoding(
+        encoded.attrs,
+        len(encoded.rows),
+        encoded.total,
+        encoded.mults.astype("<i8", copy=False).tobytes(),
+        columns,
+    )
+
+
+def import_encoding(attrs, n, mults_buf, columns):
+    """Remap a portable encoding into this process's interners.
+
+    ``columns`` holds ``(codes buffer, local values list)`` per
+    attribute; buffers may view shared memory — everything returned
+    owns its storage.  Returns ``(rows, mults list, ColumnarBag or
+    None)``; the encoding is ``None`` when the bag falls outside the
+    columnar envelope (below ``MIN_ROWS``, total past ``MAX_TOTAL``).
+    Raises ``ValueError`` on malformed contents (the wire layer wraps
+    it); the caller checks ``enabled()``.
+    """
+    mults = np.frombuffer(mults_buf, dtype="<i8").astype(
+        np.int64, copy=True
+    )
+    if len(mults) != n:
+        raise ValueError("multiplicity vector length mismatch")
+    if n and int(mults.min()) <= 0:
+        raise ValueError("non-positive multiplicity")
+    cols = []
+    decoded_cols = []
+    for attr, (codes_buf, values) in zip(attrs, columns):
+        local = np.frombuffer(codes_buf, dtype="<i8")
+        if len(local) != n:
+            raise ValueError("code column length mismatch")
+        if n and (int(local.min()) < 0 or int(local.max()) >= len(values)):
+            raise ValueError("dictionary code out of range")
+        interner = _interner(attr)
+        # the remap table: local code -> this process's interner code;
+        # the gather produces an owned int64 column.
+        mapping = interner.encode(values)
+        codes = mapping[local] if n else np.empty(0, dtype=np.int64)
+        cols.append(codes)
+        decoded_cols.append(interner.decode_array()[codes])
+    if attrs:
+        rows = list(zip(*(col.tolist() for col in decoded_cols)))
+    else:
+        rows = [()] * n
+    mult_list = mults.tolist()
+    total = sum(mult_list)
+    encoded = None
+    if n >= MIN_ROWS and total <= MAX_TOTAL:
+        encoded = _freeze_bag(
+            ColumnarBag(tuple(attrs), cols, mults, rows, total)
+        )
+    return rows, mult_list, encoded
 
 
 def encode_rows(attrs, rows, mults, n, total) -> ColumnarBag:

@@ -12,9 +12,11 @@ methods, ``--backend`` on ``repro batch`` / ``repro serve``):
   serializes them.
 * ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
   The engine pre-filters the batch against its store, ships the
-  *misses* as fingerprinted job payloads (bags pickled without their
-  per-process indexes, fingerprints seeded on arrival so workers never
-  rescan), and each worker runs the batch through a private engine.
+  *misses* as fingerprint-ref jobs over a per-batch bag table — each
+  distinct bag travels once, as a shared-memory wire frame when its
+  encoding is large enough (see ``SHM_MIN_BYTES``) and as a pickle
+  otherwise; fingerprints are seeded on arrival so workers never
+  rescan — and each worker runs the batch through a private engine.
   Workers return their store's **verdict deltas** — every
   ``(key, value, participant_fps)`` they computed — which the parent
   merges back into the shared store; fingerprint keys are
@@ -28,9 +30,12 @@ methods, ``--backend`` on ``repro batch`` / ``repro serve``):
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import TYPE_CHECKING, Sequence
+import threading
+from typing import TYPE_CHECKING
 
+from ..analysis.registry import register_lock
 from ..errors import InconsistentError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,14 +44,58 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BACKENDS",
+    "SHM_MIN_BYTES",
     "SerialExecutor",
     "ThreadExecutor",
+    "active_shm_segments",
     "is_process_backend",
     "resolve_executor",
     "run_process_batch",
+    "set_wire_format",
 ]
 
 BACKENDS = ("serial", "thread", "process")
+
+# Payload transport for the process backend: "columnar" spills large
+# encodings to shared memory (below), "json" ships pickles only (the
+# --wire-format knob).  Plain module global: flipped by the CLI driver
+# before any pool spins up, never under concurrency.
+_WIRE_FORMAT = "columnar"
+
+# Encodings smaller than this ride the pickle path: mapping a segment
+# costs two syscalls per worker, which only amortizes on real arrays.
+# Module attribute (read at call time) so tests can force tiny spills.
+SHM_MIN_BYTES = 1 << 16
+
+
+def set_wire_format(wire_format: str) -> None:
+    """Select the process-backend payload transport (CLI knob)."""
+    if wire_format not in ("json", "columnar"):
+        raise ValueError(
+            f"unknown wire_format {wire_format!r}; "
+            "choose 'json' or 'columnar'"
+        )
+    global _WIRE_FORMAT
+    _WIRE_FORMAT = wire_format
+
+
+# Live spill segments, keyed by shm name.  The parent creates one per
+# process batch and unlinks it in the batch's ``finally``; the registry
+# exists so tests (and embedders) can assert nothing leaked.  Creation
+# also registers with multiprocessing's resource tracker, which unlinks
+# on hard parent death — the unlink-on-crash guarantee.
+_ACTIVE_SEGMENTS: dict = {}
+_SHM_LOCK = register_lock(
+    "_SHM_LOCK", threading.Lock(), tier="store",
+    containers=("_ACTIVE_SEGMENTS",),
+)
+
+
+def active_shm_segments() -> tuple[str, ...]:
+    """Names of spill segments this process currently owns (empty
+    outside a running process batch — the leak-check hook)."""
+    with _SHM_LOCK:
+        return tuple(_ACTIVE_SEGMENTS)
 
 
 def _default_workers(parallelism: int | None) -> int:
@@ -125,24 +174,15 @@ def resolve_executor(
 
 # -- the process backend ------------------------------------------------
 #
-# Payload shape per job kind (everything picklable; fingerprints ride
-# along so workers seed instead of rescanning):
-#   "consistent"/"witness": (left_bag, left_fp, right_bag, right_fp)
-#   "global":               ([bags], (fps...))
-
-
-def _freeze_pair(pair: "tuple[Bag, Bag]"):
-    from . import fingerprint
-
-    left, right = pair
-    return (left, fingerprint.of_bag(left),
-            right, fingerprint.of_bag(right))
-
-
-def _freeze_collection(bags: "Sequence[Bag]"):
-    from . import fingerprint
-
-    return (list(bags), fingerprint.of_collection(bags))
+# Jobs travel as fingerprint references; the bags themselves ship once
+# per distinct fingerprint per batch, in a side table split two ways:
+#   * large columnar-eligible bags: one shared-memory segment holding a
+#     wire-format spill frame (workers map it read-only and decode only
+#     the fingerprints their chunk references);
+#   * everything else: plain pickles.
+# Workers seed every fingerprint on arrival, so they never rescan.
+# Job shapes: "consistent"/"witness" -> (left_fp, right_fp);
+#             "global"               -> (fps...).
 
 
 def _consistent_key(lfp: int, rfp: int) -> tuple:
@@ -155,41 +195,135 @@ def _job_keys(kind: str, frozen, minimal: bool, method: str) -> list[tuple]:
     """The store keys a local replay of this job will probe — the
     pre-filter that keeps already-answered jobs off the wire."""
     if kind == "consistent":
-        _, lfp, _, rfp = frozen
+        lfp, rfp = frozen
         return [_consistent_key(lfp, rfp)]
     if kind == "witness":
-        _, lfp, _, rfp = frozen
+        lfp, rfp = frozen
         return [("witness", lfp, rfp, minimal)]
-    _, fps = frozen
-    return [("global", fps, method)]
+    return [("global", frozen, method)]
+
+
+def _shm_module():
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - platform without shm
+        return None
+    return shared_memory
+
+
+def _attach_segment(name: str):
+    shared_memory = _shm_module()
+    try:
+        # track=False (3.13+): an attach must not register with the
+        # worker's resource tracker — the parent owns the lifetime.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _adopt_spill(shm_ref: tuple, needed: set) -> dict:
+    """Worker side: map the parent's spill segment read-only, decode
+    the needed fingerprints (owned copies), detach."""
+    from . import wire
+
+    if not needed:
+        return {}
+    name, nbytes = shm_ref
+    segment = _attach_segment(name)
+    try:
+        table = wire.decode_bag_table(segment.buf[:nbytes], only=needed)
+        wire.count_shm("segments_adopted")
+        return table
+    finally:
+        # decode returns owned arrays/rows and its transient views die
+        # with its frame; if it *raised*, the in-flight traceback can
+        # still pin a view — suppress the BufferError rather than mask
+        # the real error (the mapping dies with the worker anyway).
+        with contextlib.suppress(BufferError):
+            segment.close()
+
+
+def _build_spill(bags_by_fp: dict):
+    """Parent side: partition a batch's distinct bags into one spill
+    frame (encodings at least ``SHM_MIN_BYTES``) and a pickle
+    remainder.  Returns ``(segment, (name, nbytes) or None, pickled)``;
+    any shm failure falls back to pickling everything."""
+    pickled = dict(bags_by_fp)
+    if _WIRE_FORMAT != "columnar" or _shm_module() is None:
+        return None, None, pickled
+    from . import wire
+
+    entries = []
+    for fp, bag in bags_by_fp.items():
+        # cheap size floor before touching the encoder: the code matrix
+        # alone is n x attrs x 8 bytes, so a bag that cannot clear the
+        # floor is pickled without ever paying for an export
+        estimate = len(bag) * len(bag.schema.attrs) * 8
+        if estimate < SHM_MIN_BYTES:
+            continue
+        port = wire.portable_bag(bag)
+        if port is not None and port.nbytes >= SHM_MIN_BYTES:
+            entries.append((fp, port))
+    if not entries:
+        return None, None, pickled
+    frame = wire.encode_bag_table(entries)
+    shared_memory = _shm_module()
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(frame))
+    except OSError:  # /dev/shm unavailable or full: pickle everything
+        return None, None, pickled
+    segment.buf[:len(frame)] = frame
+    with _SHM_LOCK:
+        _ACTIVE_SEGMENTS[segment.name] = segment
+    wire.count_shm("segments_created")
+    wire.count_shm("bytes_spilled", len(frame))
+    for fp, _ in entries:
+        del pickled[fp]
+    return segment, (segment.name, len(frame)), pickled
+
+
+def _release_segment(segment) -> None:
+    """Parent side: drop the registry entry, close, unlink.  Runs in
+    the batch's ``finally`` — no worker reads past this point (the pool
+    has been joined)."""
+    with _SHM_LOCK:
+        _ACTIVE_SEGMENTS.pop(segment.name, None)
+    with contextlib.suppress(BufferError):
+        segment.close()
+    with contextlib.suppress(FileNotFoundError):
+        segment.unlink()
 
 
 def _worker_run(
     kind: str,
-    payload: list,
+    jobs: list,
+    pickled: dict,
+    shm_ref: tuple | None,
     node_budget: int | None,
     minimal: bool,
     method: str,
 ):
-    """Top-level (picklable) worker body: thaw the payload, run it
-    through a private engine, and return the engine's verdict deltas."""
+    """Top-level (picklable) worker body: thaw the bag table (pickles +
+    spill segment), run the fingerprint-ref jobs through a private
+    engine, and return the engine's verdict deltas."""
     from . import fingerprint
     from .session import Engine
 
+    table = {
+        fp: fingerprint.seed(bag, fp) for fp, bag in pickled.items()
+    }
+    if shm_ref is not None:
+        needed = set()
+        for job in jobs:
+            needed.update(job)
+        table.update(_adopt_spill(shm_ref, needed - set(table)))
     engine = Engine(node_budget=node_budget)
     if kind == "global":
-        collections = []
-        for bags, fps in payload:
-            for bag, fp in zip(bags, fps):
-                fingerprint.seed(bag, fp)
-            collections.append(bags)
-        engine.global_check_many(collections, method=method)
+        engine.global_check_many(
+            [[table[fp] for fp in fps] for fps in jobs], method=method
+        )
     else:
-        pairs = []
-        for left, lfp, right, rfp in payload:
-            fingerprint.seed(left, lfp)
-            fingerprint.seed(right, rfp)
-            pairs.append((left, right))
+        pairs = [(table[lfp], table[rfp]) for lfp, rfp in jobs]
         if kind == "consistent":
             engine.are_consistent_many(pairs)
         else:
@@ -209,12 +343,20 @@ def run_process_batch(
     verdict deltas into ``engine``'s store, then replay the whole batch
     locally (hits all the way down, preserving order, ``None``
     refusals, and exception behaviour)."""
+    from . import fingerprint
+
     workers = _default_workers(parallelism)
-    frozen = (
-        [_freeze_collection(item) for item in items]
-        if kind == "global"
-        else [_freeze_pair(item) for item in items]
-    )
+    bags_by_fp: "dict[int, Bag]" = {}
+
+    def note(bag: "Bag") -> int:
+        fp = fingerprint.of_bag(bag)
+        bags_by_fp.setdefault(fp, bag)
+        return fp
+
+    if kind == "global":
+        frozen = [tuple(note(bag) for bag in item) for item in items]
+    else:
+        frozen = [(note(left), note(right)) for left, right in items]
     missing: list = []
     seen_keys: set[tuple] = set()
     for entry in frozen:
@@ -229,22 +371,39 @@ def run_process_batch(
     if missing and workers > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        needed: set[int] = set()
+        for entry in missing:
+            needed.update(entry)
+        segment, shm_ref, pickled = _build_spill(
+            {fp: bags_by_fp[fp] for fp in needed}
+        )
         n_chunks = min(workers, len(missing))
         chunks = [missing[i::n_chunks] for i in range(n_chunks)]
-        with ProcessPoolExecutor(max_workers=n_chunks) as pool:
-            futures = [
-                pool.submit(
-                    _worker_run,
-                    kind,
-                    chunk,
-                    engine.node_budget,
-                    minimal,
-                    method,
-                )
-                for chunk in chunks
-            ]
-            for future in futures:
-                engine.store.merge(future.result())
+        try:
+            with ProcessPoolExecutor(max_workers=n_chunks) as pool:
+                futures = []
+                for chunk in chunks:
+                    chunk_fps: set[int] = set()
+                    for entry in chunk:
+                        chunk_fps.update(entry)
+                    futures.append(pool.submit(
+                        _worker_run,
+                        kind,
+                        chunk,
+                        {
+                            fp: pickled[fp]
+                            for fp in chunk_fps if fp in pickled
+                        },
+                        shm_ref,
+                        engine.node_budget,
+                        minimal,
+                        method,
+                    ))
+                for future in futures:
+                    engine.store.merge(future.result())
+        finally:
+            if segment is not None:
+                _release_segment(segment)
         # A persistent store makes merged worker deltas durable at the
         # batch boundary (no-op 0 for the in-memory store): a daemon
         # killed right after a process batch keeps those verdicts.

@@ -64,6 +64,7 @@ __all__ = [
     "of_schema",
     "row_term",
     "seed",
+    "seed_with_encoding",
     "shift_content",
 ]
 
@@ -249,4 +250,16 @@ def seed(bag: "Bag", fp: int) -> "Bag":
                     bag._index = shared
                 return bag
             _BAG_INDEXES[fp] = index
+    return bag
+
+
+def seed_with_encoding(bag: "Bag", fp: int, encoded) -> "Bag":
+    """:func:`seed`, then publish a ready-made columnar encoding — a
+    wire frame's remapped twin — onto the bag's index.  The order
+    matters: seeding may swap ``bag._index`` for a value-equal peer's
+    shared index, and the encoding must land on the index the engine
+    will actually consult."""
+    seed(bag, fp)
+    if encoded is not None:
+        columnar.adopt_encoding(BagIndex.of(bag), encoded)
     return bag

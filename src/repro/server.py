@@ -7,9 +7,18 @@ ledgers pays each verdict once, process-wide — and, with
 ``--store-dir``, once *ever*: the store spills to sharded segment logs
 on disk and a restarted daemon reopens them warm.
 
-* every connection multiplexes requests as **newline-delimited JSON**:
-  one request object per line in, one response object per line out, in
-  order;
+* every connection multiplexes requests in order, in either of two
+  self-describing formats: **newline-delimited JSON** (one request
+  object per line in, one response object per line out — the v1
+  protocol, always accepted) or **v2 binary frames**
+  (:mod:`repro.engine.wire`: length-prefixed dictionary-coded columnar
+  payloads; framed requests get framed responses).  The server sniffs
+  the first byte of each message, so one connection may mix both;
+* a client discovers frame support through the handshake:
+  ``{"op": "ping", "wire": 2}`` is answered with ``"wire": 2`` when the
+  daemon accepts frames (``--wire-format columnar``, the default); a
+  v1 daemon's ping simply lacks the key and the client stays on JSON
+  lines;
 * a request is either an ``op`` request (``{"op": "stats"}``,
   ``{"op": "ping"}``, ``{"op": "shutdown"}``) or a **batch payload** —
   exactly the object ``repro batch`` reads from a file (``pairs`` /
@@ -61,6 +70,7 @@ import time
 from typing import Iterable
 
 from .analysis.registry import shared_state
+from .engine import wire
 from .engine.jobs import JobError, parse_jobs, run_jobs
 from .engine.session import Engine, EngineStats
 from .errors import ReproError
@@ -118,11 +128,22 @@ class ReproServer:
         shards: int | None = None,
         max_inflight: int | None = None,
         admission_timeout: float = 60.0,
+        wire_format: str = "columnar",
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ReproError(
                 f"max_inflight must be positive, got {max_inflight}"
             )
+        if wire_format not in ("json", "columnar"):
+            raise ReproError(
+                f"unknown wire_format {wire_format!r}; "
+                "choose 'json' or 'columnar'"
+            )
+        # "columnar" advertises v2 frames in the ping handshake (and
+        # accepts them); "json" simulates a v1-only daemon.  Frames
+        # decode fine without numpy (the pure-Python blob walk), so the
+        # advertisement does not depend on it.
+        self.wire_format = wire_format
         self._owns_store = False
         if engine is not None:
             self.engine = engine
@@ -285,7 +306,12 @@ class ReproServer:
                     f"unknown op {op!r}; expected one of {list(_OPS)}"
                 )
             if op == "ping":
-                return {"ok": True, "op": "ping"}
+                response = {"ok": True, "op": "ping"}
+                if self.wire_format == "columnar":
+                    # the v2 handshake: clients that sent {"wire": 2}
+                    # read this advertisement and switch to frames
+                    response["wire"] = wire.VERSION
+                return response
             if op == "stats":
                 return {"ok": True, "op": "stats", **self.stats()}
             if op == "shutdown":
@@ -369,6 +395,7 @@ class ReproServer:
             "stats": aggregated.as_dict(),
             "store": self.store.stats_dict(),
             "kernels": columnar.kernel_stats(),
+            "wire_format": self.wire_format,
             "requests": requests,
             "batches": batches,
             "request_errors": errors,
@@ -399,29 +426,94 @@ def _is_stale_socket(path: str) -> bool:
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    """Per-connection loop: sniff each message's first byte — frame
+    magic starts a length-prefixed v2 frame, anything else a JSON line
+    — and answer in the format the request arrived in."""
+
     def handle(self) -> None:
         owner: ReproServer = self.server.owner  # type: ignore[attr-defined]
         engine = owner.connection_engine()
         try:
-            for line in self.rfile:
-                line = line.strip()
-                if not line:
+            while True:
+                first = self.rfile.read(1)
+                if not first:
+                    break
+                if first in (b"\n", b"\r", b" ", b"\t"):
                     continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    owner.count_request(error=True)
-                    response = {"ok": False, "error": f"invalid JSON: {exc}"}
+                if first == wire.MAGIC[:1]:
+                    stop = self._handle_frame(owner, engine, first)
                 else:
-                    response = owner.handle_payload(payload, engine=engine)
-                self.wfile.write(
-                    (json.dumps(response) + "\n").encode("utf-8")
-                )
-                self.wfile.flush()
-                if response.get("bye"):
+                    stop = self._handle_line(owner, engine, first)
+                if stop:
                     break
         finally:
             owner.retire_engine(engine)
+
+    def _respond_line(self, response: dict) -> None:
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+    def _respond_frame(self, response: dict) -> None:
+        self.wfile.write(wire.encode_response_frame(response))
+        self.wfile.flush()
+
+    def _handle_line(self, owner: ReproServer, engine, first: bytes) -> bool:
+        line = first + self.rfile.readline(wire.MAX_LINE)
+        if len(line) > wire.MAX_LINE and not line.endswith(b"\n"):
+            # an unterminated over-limit line has no cheap resync
+            # point: answer once, then drop the connection instead of
+            # buffering without bound
+            owner.count_request(error=True)
+            self._respond_line({
+                "ok": False,
+                "error": f"request line exceeds {wire.MAX_LINE} bytes",
+            })
+            return True
+        line = line.strip()
+        if not line:
+            return False
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            owner.count_request(error=True)
+            response = {"ok": False, "error": f"invalid JSON: {exc}"}
+        else:
+            wire.count_json_request(len(line))
+            response = owner.handle_payload(payload, engine=engine)
+        self._respond_line(response)
+        return bool(response.get("bye"))
+
+    def _handle_frame(self, owner: ReproServer, engine, first: bytes) -> bool:
+        try:
+            header, blob = wire.read_frame(self.rfile, first=first)
+        except wire.WireError as exc:
+            # truncated/oversized: the stream is unsynchronized past
+            # this point — answer best-effort and close
+            owner.count_request(error=True)
+            try:
+                self._respond_frame({"ok": False, "error": str(exc)})
+            except OSError:
+                pass  # truncation usually means the peer is gone
+            return True
+        if owner.wire_format != "columnar":
+            owner.count_request(error=True)
+            self._respond_frame({
+                "ok": False,
+                "error": (
+                    "binary frames are disabled (--wire-format json); "
+                    "send newline JSON"
+                ),
+            })
+            return False  # frame fully consumed: stream still synced
+        try:
+            payload = wire.decode_jobs_frame(header, blob)
+        except ReproError as exc:
+            owner.count_request(error=True)
+            self._respond_frame({"ok": False, "error": str(exc)})
+            return False
+        response = owner.handle_payload(payload, engine=engine)
+        self._respond_frame(response)
+        return bool(response.get("bye"))
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -437,14 +529,31 @@ class ServeClient:
     """A minimal blocking client for the serve protocol.
 
     ``address`` is a Unix socket path (``str``) or a ``(host, port)``
-    tuple.  One persistent connection; :meth:`request` sends one JSON
-    object and waits for its one-line response.  Usable as a context
+    tuple.  One persistent connection; :meth:`request` sends one
+    request object and waits for its response.  Usable as a context
     manager.
+
+    ``wire_format`` selects the transport: ``"json"`` always speaks
+    newline JSON (the v1 protocol); ``"columnar"`` negotiates v2
+    binary frames on the first request (falling back to JSON against a
+    v1-only server); ``"auto"`` (the default) negotiates lazily — only
+    once a payload actually carries live :class:`~repro.core.bags.Bag`
+    objects, the case frames accelerate.  Payloads may mix ``Bag``
+    objects and plain JSON bag dicts in either format; on the JSON path
+    bags are serialized to their row encodings transparently.
     """
 
     def __init__(
-        self, address: str | tuple[str, int], timeout: float | None = 30.0
+        self,
+        address: str | tuple[str, int],
+        timeout: float | None = 30.0,
+        wire_format: str = "auto",
     ) -> None:
+        if wire_format not in ("auto", "json", "columnar"):
+            raise ReproError(
+                f"unknown wire_format {wire_format!r}; "
+                "choose 'auto', 'json', or 'columnar'"
+            )
         if isinstance(address, str):
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
@@ -453,14 +562,60 @@ class ServeClient:
         self._sock.settimeout(timeout)
         self._sock.connect(address)
         self._file = self._sock.makefile("rwb")
+        self._format = wire_format
+        # negotiated protocol: 1 = JSON lines, wire.VERSION = frames,
+        # None = not yet negotiated (auto waits for a Bag payload)
+        self._wire: int | None = 1 if wire_format == "json" else None
+
+    @property
+    def wire_version(self) -> int | None:
+        """The negotiated protocol (1 = newline JSON, 2 = binary
+        frames); ``None`` until a request has forced negotiation."""
+        return self._wire
+
+    def _negotiate(self) -> None:
+        response = self._request_json({"op": "ping", "wire": wire.VERSION})
+        self._wire = (
+            wire.VERSION
+            if isinstance(response, dict)
+            and response.get("ok")
+            and response.get("wire") == wire.VERSION
+            else 1
+        )
 
     def request(self, payload: dict) -> dict:
-        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        if self._wire is None and (
+            self._format == "columnar"
+            or (self._format == "auto" and wire.payload_has_bags(payload))
+        ):
+            self._negotiate()
+        if self._wire == wire.VERSION:
+            frame = wire.encode_jobs_frame(payload)
+            self._file.write(frame)
+            self._file.flush()
+            return self._read_response()
+        return self._request_json(payload)
+
+    def _request_json(self, payload: dict) -> dict:
+        data = json.dumps(wire.jsonify_payload(payload)).encode("utf-8")
+        self._file.write(data + b"\n")
         self._file.flush()
-        line = self._file.readline()
-        if not line:
+        return self._read_response()
+
+    def _read_response(self) -> dict:
+        first = self._file.read(1)
+        if not first:
             raise ReproError("serve connection closed before responding")
-        return json.loads(line)
+        if first == wire.MAGIC[:1]:
+            header, _ = wire.read_frame(self._file, first=first)
+            return wire.response_from_frame(header)
+        line = first + self._file.readline()
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"malformed response from server: {exc}"
+            ) from exc
 
     def request_many(self, payloads: Iterable[dict]) -> list[dict]:
         return [self.request(payload) for payload in payloads]

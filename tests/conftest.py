@@ -23,6 +23,16 @@ def rng() -> random.Random:
     return random.Random(20210621)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def no_shm_segments_leaked():
+    """Every shared-memory spill segment must be unlinked by the batch
+    that created it — a leak here means /dev/shm fills up across runs."""
+    yield
+    from repro.engine import executors
+
+    assert executors.active_shm_segments() == ()
+
+
 # ---------------------------------------------------------------------------
 # Hypothesis strategies
 # ---------------------------------------------------------------------------

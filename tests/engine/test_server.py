@@ -32,7 +32,10 @@ class TestProtocol:
     def test_ping(self, tcp_server):
         _, address = tcp_server
         with ServeClient(address) as client:
-            assert client.request({"op": "ping"}) == {"ok": True, "op": "ping"}
+            # the default daemon advertises v2 frames in its ping
+            assert client.request({"op": "ping"}) == {
+                "ok": True, "op": "ping", "wire": 2,
+            }
 
     def test_batch_report_matches_cli_shape(self, tcp_server):
         _, address = tcp_server
