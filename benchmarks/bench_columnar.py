@@ -114,16 +114,29 @@ def test_columnar_witness_workload_speedup():
     run_row_path(row_queries[:1])
     run_columnar_path(col_queries[:1])
 
+    # the engine's own telemetry supplies per-witness latency: the
+    # compute histogram records each miss, so resetting it around each
+    # timed pass yields that pass's p50/p99 for free
+    from repro.obs import REGISTRY
+
+    witness_hist = REGISTRY.histogram(
+        "repro_engine_compute_seconds", {"op": "witness"}
+    )
+
+    witness_hist.reset()
     with quiesced_gc():
         start = time.perf_counter()
         row_witnesses = run_row_path(row_queries)
         row_elapsed = time.perf_counter() - start
+    row_latency = witness_hist.summary()
 
     columnar.reset_kernel_stats()
+    witness_hist.reset()
     with quiesced_gc():
         start = time.perf_counter()
         col_witnesses = run_columnar_path(col_queries)
         col_elapsed = time.perf_counter() - start
+    col_latency = witness_hist.summary()
 
     stats = columnar.kernel_stats()
     assert stats["columnar_witnesses"] > 0, (
@@ -154,6 +167,10 @@ def test_columnar_witness_workload_speedup():
                     "speedup": speedup,
                     "min_speedup": MIN_SPEEDUP,
                     "kernels": stats,
+                    "latency": {
+                        "row_witness": row_latency,
+                        "columnar_witness": col_latency,
+                    },
                 },
                 fh,
                 indent=2,

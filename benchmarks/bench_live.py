@@ -30,6 +30,7 @@ from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.engine.live import LiveEngine
 from repro.engine.session import Engine
+from repro.obs import percentiles
 from repro.workloads.generators import planted_collection, planted_pair
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -89,20 +90,24 @@ def make_workload() -> tuple[list[Bag], list[tuple[int, tuple, int]]]:
     return bags, updates
 
 
-def run_live(bags, updates) -> list[bool]:
+def run_live(bags, updates, samples=None) -> list[bool]:
     """The incremental serving loop: update one handle, re-decide global
-    consistency (Theorem 2 over the acyclic path schema)."""
+    consistency (Theorem 2 over the acyclic path schema).  ``samples``
+    collects per-update seconds for the latency percentile block."""
     live = LiveEngine(bags)
     handles = live.handles
     live.pairwise_consistent()  # materialize the checkers once
     verdicts = []
     for index, row, amount in updates:
+        tick = time.perf_counter() if samples is not None else 0.0
         live.update(handles[index], row, amount)
         verdicts.append(live.globally_consistent())
+        if samples is not None:
+            samples.append(time.perf_counter() - tick)
     return verdicts
 
 
-def run_cold(bags, updates) -> list[bool]:
+def run_cold(bags, updates, samples=None) -> list[bool]:
     """The cold strategy the immutable engine forces: apply the update
     to plain dicts, rebuild every bag, re-run the pairwise scan from
     scratch (Theorem 2 still skips the exact solver — the schema is
@@ -111,6 +116,7 @@ def run_cold(bags, updates) -> list[bool]:
     schemas = [bag.schema for bag in bags]
     verdicts = []
     for index, row, amount in updates:
+        tick = time.perf_counter() if samples is not None else 0.0
         new = state[index].get(row, 0) + amount
         if new == 0:
             state[index].pop(row)
@@ -120,6 +126,8 @@ def run_cold(bags, updates) -> list[bool]:
             Bag(schema, mults) for schema, mults in zip(schemas, state)
         ]
         verdicts.append(pairwise_consistent(current))
+        if samples is not None:
+            samples.append(time.perf_counter() - tick)
     return verdicts
 
 
@@ -131,12 +139,14 @@ def test_live_streaming_speedup():
     run_live(bags, updates[:2])
     run_cold(bags, updates[:2])
 
+    live_samples: list = []
+    cold_samples: list = []
     start = time.perf_counter()
-    live_verdicts = run_live(bags, updates)
+    live_verdicts = run_live(bags, updates, samples=live_samples)
     live_elapsed = time.perf_counter() - start
 
     start = time.perf_counter()
-    cold_verdicts = run_cold(bags, updates)
+    cold_verdicts = run_cold(bags, updates, samples=cold_samples)
     cold_elapsed = time.perf_counter() - start
 
     assert live_verdicts == cold_verdicts
@@ -163,6 +173,10 @@ def test_live_streaming_speedup():
                     "live_seconds": live_elapsed,
                     "speedup": speedup,
                     "min_speedup": MIN_SPEEDUP,
+                    "latency": {
+                        "live_update": percentiles(live_samples),
+                        "cold_update": percentiles(cold_samples),
+                    },
                 },
                 fh,
                 indent=2,

@@ -34,6 +34,7 @@ from repro.consistency.witness import is_witness
 from repro.core.bags import Bag
 from repro.core.schema import Schema
 from repro.engine.live import LiveEngine
+from repro.obs import percentiles
 from repro.workloads.generators import planted_stream
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -71,22 +72,26 @@ def make_workloads():
     return workloads
 
 
-def run_live(bags, transactions) -> list[Bag]:
+def run_live(bags, transactions, samples=None) -> list[Bag]:
     """The maintained path: apply each transaction to the live handles,
-    then read the global witness from the fold tree."""
+    then read the global witness from the fold tree.  ``samples``
+    collects per-transaction seconds for the latency block."""
     live = LiveEngine(bags)
     handles = live.handles
     live.global_check()  # build the tree once (the cold path pays the
     # equivalent first fold inside the timed loop)
     witnesses = []
     for transaction in transactions:
+        tick = time.perf_counter() if samples is not None else 0.0
         for index, row, amount in transaction:
             live.update(handles[index], row, amount)
         witnesses.append(live.global_check().witness)
+        if samples is not None:
+            samples.append(time.perf_counter() - tick)
     return witnesses
 
 
-def run_cold(bags, transactions) -> list[Bag]:
+def run_cold(bags, transactions, samples=None) -> list[Bag]:
     """The cold strategy PR 2's engine forces for witnesses: apply the
     transaction to plain dicts, rebuild every bag, re-run the whole
     Theorem 6 fold."""
@@ -94,6 +99,7 @@ def run_cold(bags, transactions) -> list[Bag]:
     schemas = [bag.schema for bag in bags]
     witnesses = []
     for transaction in transactions:
+        tick = time.perf_counter() if samples is not None else 0.0
         for index, row, amount in transaction:
             new = state[index].get(row, 0) + amount
             if new == 0:
@@ -104,6 +110,8 @@ def run_cold(bags, transactions) -> list[Bag]:
             Bag(schema, mults) for schema, mults in zip(schemas, state)
         ]
         witnesses.append(acyclic_global_witness(current))
+        if samples is not None:
+            samples.append(time.perf_counter() - tick)
     return witnesses
 
 
@@ -140,11 +148,13 @@ def test_live_global_streaming_speedup():
     all_live = {}
     all_cold = {}
     for name, bags, transactions in workloads:
+        live_samples: list = []
+        cold_samples: list = []
         start = time.perf_counter()
-        all_live[name] = run_live(bags, transactions)
+        all_live[name] = run_live(bags, transactions, samples=live_samples)
         live_shape = time.perf_counter() - start
         start = time.perf_counter()
-        all_cold[name] = run_cold(bags, transactions)
+        all_cold[name] = run_cold(bags, transactions, samples=cold_samples)
         cold_shape = time.perf_counter() - start
         live_elapsed += live_shape
         cold_elapsed += cold_shape
@@ -152,6 +162,10 @@ def test_live_global_streaming_speedup():
             "live_seconds": live_shape,
             "cold_seconds": cold_shape,
             "speedup": cold_shape / live_shape,
+            "latency": {
+                "live_transaction": percentiles(live_samples),
+                "cold_transaction": percentiles(cold_samples),
+            },
         }
 
     # Cross-check every step: the maintained witness must be a real

@@ -26,6 +26,7 @@ stores it as ``BENCH_serve.json`` alongside ``BENCH_live.json``).
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -33,6 +34,7 @@ import time
 import pytest
 
 from repro.engine.session import Engine
+from repro.obs import percentiles, set_enabled
 from repro.server import ReproServer, ServeClient
 from repro.workloads.suites import get_suite
 
@@ -140,28 +142,36 @@ def stream_jobs() -> dict:
     return {"suites": STREAM_SUITES + STREAM_TRIANGLE}
 
 
-def run_cold_rounds(n: int) -> float:
+def run_cold_rounds(n: int) -> tuple[float, list]:
     """Cold `repro batch` semantics: a fresh engine per round (exactly
     what each CLI invocation pays, minus interpreter startup — a
     baseline *favourable* to cold)."""
     from repro.engine.jobs import parse_jobs, run_jobs
 
+    samples = []
+    gc.collect()  # don't let a pending gen-2 collection land mid-loop
     start = time.perf_counter()
     for _ in range(n):
+        round_start = time.perf_counter()
         run_jobs(parse_jobs(stream_jobs()), Engine())
-    return time.perf_counter() - start
+        samples.append(time.perf_counter() - round_start)
+    return time.perf_counter() - start, samples
 
 
-def run_warm_rounds(address, n: int) -> tuple[float, dict]:
+def run_warm_rounds(address, n: int) -> tuple[float, dict, list]:
     with ServeClient(address) as client:
         client.request(stream_jobs())  # warm the store once
+        samples = []
+        gc.collect()  # don't let a pending gen-2 collection land mid-loop
         start = time.perf_counter()
         for _ in range(n):
+            round_start = time.perf_counter()
             response = client.request(stream_jobs())
+            samples.append(time.perf_counter() - round_start)
             assert response["ok"]
         elapsed = time.perf_counter() - start
         stats = client.request({"op": "stats"})
-    return elapsed, stats
+    return elapsed, stats, samples
 
 
 def test_warm_serve_rounds_beat_cold_batch():
@@ -171,10 +181,10 @@ def test_warm_serve_rounds_beat_cold_batch():
     address = server.bind_tcp()
     server.serve_in_background()
     try:
-        warm_elapsed, stats = run_warm_rounds(address, N_ROUNDS)
+        warm_elapsed, stats, warm_samples = run_warm_rounds(address, N_ROUNDS)
     finally:
         server.shutdown()
-    cold_elapsed = run_cold_rounds(N_ROUNDS)
+    cold_elapsed, cold_samples = run_cold_rounds(N_ROUNDS)
 
     assert stats["store"]["hit_rate"] > 0.5  # the stream really repeats
     speedup = cold_elapsed / warm_elapsed
@@ -191,11 +201,73 @@ def test_warm_serve_rounds_beat_cold_batch():
         "speedup": speedup,
         "store_hit_rate": stats["store"]["hit_rate"],
         "min_speedup": MIN_WARM_SPEEDUP,
+        "latency": {
+            "warm_round": percentiles(warm_samples),
+            "cold_round": percentiles(cold_samples),
+        },
+        "server_latency": stats.get("latency", {}),
     }
     _write_out()
     assert speedup >= MIN_WARM_SPEEDUP, (
         f"warm serve only {speedup:.2f}x over cold batch "
         f"(required {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+# -- claim 3: telemetry rides for (nearly) free -------------------------
+# Same warm in-process request replayed with tracing on vs off; the
+# traced path additionally allocates a Trace, touches the contextvar in
+# each instrumented layer, and appends to the recent-trace ring.  The
+# design target is <= 3% on this workload (engine histograms record
+# only on miss branches, so the warm path pays none of them); the gate
+# itself is generous (1.25x) because CI timer noise at sub-millisecond
+# request times dwarfs the real overhead.
+OVERHEAD_ROUNDS = 30 if SMOKE else 80
+MAX_OVERHEAD_RATIO = 1.25
+
+
+def test_telemetry_overhead_on_warm_requests():
+    server = ReproServer()
+    payload = {"op": "batch", **stream_jobs()}
+    assert server.handle_payload(payload)["ok"]  # warm the store
+
+    def one_pass() -> float:
+        gc.collect()  # a GC pause in either mode would swamp the delta
+        start = time.perf_counter()
+        for _ in range(OVERHEAD_ROUNDS):
+            assert server.handle_payload(payload)["ok"]
+        return time.perf_counter() - start
+
+    # alternate traced/untraced passes and keep each mode's best, so a
+    # background hiccup cannot bias one side
+    traced = untraced = float("inf")
+    try:
+        for _ in range(3):
+            set_enabled(True)
+            traced = min(traced, one_pass())
+            set_enabled(False)
+            untraced = min(untraced, one_pass())
+    finally:
+        set_enabled(True)
+    ratio = traced / untraced
+    print(
+        f"\ntelemetry overhead on {OVERHEAD_ROUNDS} warm requests: "
+        f"traced {traced * 1000:.1f} ms, untraced {untraced * 1000:.1f} ms, "
+        f"ratio {ratio:.3f} (overhead {(ratio - 1) * 100:+.1f}%)"
+    )
+    _MEASUREMENTS["telemetry_overhead"] = {
+        "rounds": OVERHEAD_ROUNDS,
+        "traced_seconds": traced,
+        "untraced_seconds": untraced,
+        "ratio": ratio,
+        "overhead_percent": (ratio - 1.0) * 100.0,
+        "target_percent": 3.0,
+        "max_ratio": MAX_OVERHEAD_RATIO,
+    }
+    _write_out()
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"telemetry overhead {ratio:.3f}x exceeds the "
+        f"{MAX_OVERHEAD_RATIO}x gate"
     )
 
 

@@ -31,6 +31,7 @@ import time
 
 from repro.engine.jobs import parse_jobs, run_jobs
 from repro.engine.session import Engine
+from repro.obs import percentiles
 from repro.store import PersistentVerdictStore
 from repro.workloads.suites import repeated_stream
 
@@ -63,21 +64,27 @@ def stream_jobs() -> dict:
     }
 
 
-def run_rounds(engine: Engine, n: int) -> float:
+def run_rounds(engine: Engine, n: int) -> tuple[float, list]:
+    samples = []
     start = time.perf_counter()
     for _ in range(n):
+        round_start = time.perf_counter()
         run_jobs(parse_jobs(stream_jobs()), engine)
-    return time.perf_counter() - start
+        samples.append(time.perf_counter() - round_start)
+    return time.perf_counter() - start, samples
 
 
-def run_cold_rounds(n: int) -> float:
+def run_cold_rounds(n: int) -> tuple[float, list]:
     """Cold baseline: a fresh engine per round — what every `repro
     batch` invocation without --store-dir pays (minus interpreter
     startup, a baseline favourable to cold)."""
+    samples = []
     start = time.perf_counter()
     for _ in range(n):
+        round_start = time.perf_counter()
         run_jobs(parse_jobs(stream_jobs()), Engine())
-    return time.perf_counter() - start
+        samples.append(time.perf_counter() - round_start)
+    return time.perf_counter() - start, samples
 
 
 def test_restarted_store_beats_cold_recompute(tmp_path):
@@ -96,12 +103,12 @@ def test_restarted_store_beats_cold_recompute(tmp_path):
     reopened = PersistentVerdictStore(store_dir)
     open_seconds = time.perf_counter() - open_start
     engine = Engine(store=reopened)
-    warm_elapsed = run_rounds(engine, N_ROUNDS)
+    warm_elapsed, warm_samples = run_rounds(engine, N_ROUNDS)
     warm_report = run_jobs(parse_jobs(stream_jobs()), engine)
     stats = reopened.stats_dict()
     reopened.close()
 
-    cold_elapsed = run_cold_rounds(N_ROUNDS)
+    cold_elapsed, cold_samples = run_cold_rounds(N_ROUNDS)
 
     # answers identical to fresh computation, served without recompute
     assert warm_report["suites"] == populate_report["suites"]
@@ -129,6 +136,10 @@ def test_restarted_store_beats_cold_recompute(tmp_path):
         "hit_rate": stats["hit_rate"],
         "speedup": speedup,
         "min_speedup": MIN_RESTART_SPEEDUP,
+        "latency": {
+            "warm_round": percentiles(warm_samples),
+            "cold_round": percentiles(cold_samples),
+        },
     }
     _write_out()
     assert speedup >= MIN_RESTART_SPEEDUP, (
@@ -147,7 +158,9 @@ def test_compaction_keeps_the_store_warm(tmp_path):
     populate.close()
 
     plain = PersistentVerdictStore(store_dir)
-    plain_elapsed = run_rounds(Engine(store=plain), max(2, N_ROUNDS // 2))
+    plain_elapsed, plain_samples = run_rounds(
+        Engine(store=plain), max(2, N_ROUNDS // 2)
+    )
     plain.close()
 
     compactor = PersistentVerdictStore(store_dir)
@@ -156,7 +169,7 @@ def test_compaction_keeps_the_store_warm(tmp_path):
 
     compacted = PersistentVerdictStore(store_dir)
     segments = compacted.stats_dict()["persistent"]["segments"]
-    compacted_elapsed = run_rounds(
+    compacted_elapsed, compacted_samples = run_rounds(
         Engine(store=compacted), max(2, N_ROUNDS // 2)
     )
     live = compacted.stats_dict()["persistent"]["records"]
@@ -172,6 +185,10 @@ def test_compaction_keeps_the_store_warm(tmp_path):
         "segments": segments,
         "pre_seconds": plain_elapsed,
         "post_seconds": compacted_elapsed,
+        "latency": {
+            "pre_round": percentiles(plain_samples),
+            "post_round": percentiles(compacted_samples),
+        },
     }
     _write_out()
     assert live > 0

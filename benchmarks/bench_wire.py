@@ -38,6 +38,7 @@ import pytest
 from repro.engine import columnar, executors, wire
 from repro.engine.index import BagIndex
 from repro.engine.session import Engine
+from repro.obs import percentiles
 from repro.server import ReproServer, ServeClient
 from repro.workloads.generators import wide_planted_pair
 
@@ -87,19 +88,24 @@ def wide_pairs(
     return pairs
 
 
-def run_stream(address, wire_format: str, payloads) -> tuple[float, list]:
+def run_stream(
+    address, wire_format: str, payloads
+) -> tuple[float, list, list]:
     """One client, ``WIRE_N_ROUNDS`` replays of the payload stream."""
     with ServeClient(address, wire_format=wire_format) as client:
         client.request({"op": "ping"})  # connection + negotiation warmup
         reports = []
+        samples = []
         start = time.perf_counter()
         for _ in range(WIRE_N_ROUNDS):
             for payload in payloads:
+                tick = time.perf_counter()
                 response = client.request(payload)
+                samples.append(time.perf_counter() - tick)
                 assert response["ok"], response
                 reports.append(response["report"]["pairs"])
         elapsed = time.perf_counter() - start
-    return elapsed, reports
+    return elapsed, reports, samples
 
 
 def test_columnar_frames_beat_json_rows_over_the_socket():
@@ -121,9 +127,13 @@ def test_columnar_frames_beat_json_rows_over_the_socket():
                 client.request(run_stream_once[0])
 
         before = wire.wire_stats()
-        json_elapsed, json_reports = run_stream(address, "json", payloads)
+        json_elapsed, json_reports, json_samples = run_stream(
+            address, "json", payloads
+        )
         mid = wire.wire_stats()
-        col_elapsed, col_reports = run_stream(address, "columnar", payloads)
+        col_elapsed, col_reports, col_samples = run_stream(
+            address, "columnar", payloads
+        )
         after = wire.wire_stats()
     finally:
         server.shutdown()
@@ -157,6 +167,10 @@ def test_columnar_frames_beat_json_rows_over_the_socket():
         "byte_ratio": byte_ratio,
         "speedup": speedup,
         "min_speedup": MIN_WIRE_SPEEDUP,
+        "latency": {
+            "json_request": percentiles(json_samples),
+            "columnar_request": percentiles(col_samples),
+        },
     }
     _write_out()
     assert speedup >= MIN_WIRE_SPEEDUP, (

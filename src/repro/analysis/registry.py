@@ -33,11 +33,12 @@ The declarations are consumed twice, by design from one spot:
   when ``REPRO_SANITIZE=1`` (or :func:`repro.analysis.sanitizer.enable`)
   is active.
 
-The declared lock order is ``engine -> store -> columnar -> interner``:
-while holding a lock of one tier, only locks of *later* tiers may be
-acquired.  (The issue's ``engine -> store -> interner`` order, with the
-columnar encode-publication tier slotted before the interner tier it
-may acquire while encoding.)
+The declared lock order is ``engine -> store -> columnar -> interner ->
+obs``: while holding a lock of one tier, only locks of *later* tiers may
+be acquired.  (The issue's ``engine -> store -> interner`` order, with
+the columnar encode-publication tier slotted before the interner tier it
+may acquire while encoding; the ``obs`` telemetry tier sits last so any
+layer may record a metric while holding its own lock.)
 
 This module imports nothing from the rest of the package, so the hot
 modules can import it at startup without cycles.
@@ -62,7 +63,7 @@ __all__ = [
 
 # The declared global lock-acquisition order (RL05): holding a lock of
 # tier i, code may only acquire locks of tiers > i.
-LOCK_ORDER = ("engine", "store", "columnar", "interner")
+LOCK_ORDER = ("engine", "store", "columnar", "interner", "obs")
 
 
 class SharedSpec:

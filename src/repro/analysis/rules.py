@@ -29,7 +29,8 @@ Rules (severity in parentheses):
   shape of a cache left stale by a direct mutation.
 * **RL05** lock-order (error) — a ``with`` acquiring a lock of an
   *earlier* tier while one of a later tier is held, inverting the
-  declared ``engine -> store -> columnar -> interner`` order.  Only
+  declared ``engine -> store -> columnar -> interner -> obs`` order.
+  Only
   statically-resolvable locks participate (named locks and
   ``self.<lock>`` of a registered class).
 

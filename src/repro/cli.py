@@ -37,6 +37,13 @@ Usage (all inputs are the JSON encodings of :mod:`repro.io`):
 * ``python -m repro batch JOBS.json --store-dir DIR`` — same durable
   store for one-shot batches: verdicts computed today are disk hits
   tomorrow.
+* ``python -m repro obs [--socket PATH | --port N]
+  [--format json|prometheus] [--traces]`` — telemetry exposition:
+  scrape a running daemon's ``metrics`` op (merged metric registries,
+  per-op latency percentiles, recent request traces), or dump the
+  current process's registry when no daemon address is given.  The
+  daemon side pairs with ``repro serve --slow-ms MS``, which logs a
+  span breakdown for any request slower than MS milliseconds.
 * ``python -m repro store (stats|compact|clear) --store-dir DIR`` —
   offline maintenance of a persistent store; prints one JSON line
   (per-shard record/byte counts, compaction results) for scripting.
@@ -297,6 +304,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_inflight=args.max_inflight,
         wire_format=args.wire_format,
+        slow_ms=args.slow_ms,
     )
     if args.store_dir:
         persisted = server.store.stats_dict()["persistent"]
@@ -395,6 +403,42 @@ def _cmd_store(args: argparse.Namespace) -> int:
     finally:
         store.close()
     print(json_module.dumps(out))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Telemetry exposition.  With ``--socket``/``--port`` scrape a
+    running daemon's ``metrics`` op (merged registries + trace ring);
+    without, render this process's global registry — useful after an
+    in-process ``repro batch`` run under the same interpreter, and as
+    the quickest way to eyeball the Prometheus shape."""
+    from .obs import RECENT, REGISTRY, render_json, render_prometheus
+
+    if args.socket and args.port:
+        raise ReproError("obs takes at most one of --socket or --port")
+    if args.socket or args.port:
+        from .server import ServeClient
+
+        address = args.socket if args.socket else (args.host, args.port)
+        with ServeClient(address, wire_format="json") as client:
+            response = client.request({"op": "metrics"})
+        if not response.get("ok"):
+            raise ReproError(
+                f"metrics op failed: {response.get('error', response)}"
+            )
+        snapshot = response["json"]
+        traces = response.get("traces", [])
+        prometheus = response["prometheus"]
+    else:
+        snapshot = REGISTRY.snapshot()
+        traces = RECENT.snapshot()
+        prometheus = None
+    if args.obs_format == "prometheus":
+        if prometheus is None:
+            prometheus = render_prometheus(snapshot)
+        print(prometheus, end="")
+    else:
+        print(render_json(snapshot, traces=traces if args.traces else None))
     return 0
 
 
@@ -535,7 +579,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission cap: at most N batches execute concurrently "
         "(default: scaled to the core count)",
     )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        dest="slow_ms",
+        help="log a warning with the full span breakdown for any "
+        "request slower than MS milliseconds (default: off)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "obs",
+        help="telemetry exposition: scrape a daemon's metrics op, or "
+        "dump this process's registry",
+    )
+    p.add_argument(
+        "--socket", metavar="PATH", help="scrape a daemon on a Unix socket"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, metavar="N", help="scrape a daemon on TCP"
+    )
+    p.add_argument(
+        "--format",
+        choices=["json", "prometheus"],
+        default="json",
+        dest="obs_format",
+        help="output format (default: one-line JSON)",
+    )
+    p.add_argument(
+        "--traces",
+        action="store_true",
+        help="include the recent-trace ring in JSON output",
+    )
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
         "store",

@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..analysis.registry import register_lock, sanitizer_active, shared_state
 from ..analysis.sanitizer import freeze_array, freeze_rows
+from ..obs import metrics as obs_metrics
 
 if os.environ.get("REPRO_NO_NUMPY"):
     np = None  # forced row-kernel mode (the CI fallback job)
@@ -136,8 +137,8 @@ def enabled() -> bool:
 # -- observability ------------------------------------------------------
 
 # Per-operation counters: which path (columnar vs row) served each
-# dispatch.  Plain += on purpose — approximate under free threading,
-# never consulted for correctness.
+# dispatch.  Locked ``repro.obs`` registry counters (exact under free
+# threading), read back in the historical flat-dict shape.
 _STATS_KEYS = (
     "columnar_marginals", "row_marginals",
     "columnar_consistency", "row_consistency",
@@ -147,21 +148,24 @@ _STATS_KEYS = (
     "columnar_fingerprints", "row_fingerprints",
     "encodings",
 )
-_stats = dict.fromkeys(_STATS_KEYS, 0)
+_COUNTERS = {
+    key: obs_metrics.REGISTRY.counter("repro_kernel_" + key)
+    for key in _STATS_KEYS
+}
 
 
 def _count(key: str) -> None:
-    _stats[key] += 1
+    _COUNTERS[key].inc()
 
 
 def count_row(op: str) -> None:
     """Record a row-kernel dispatch for ``op`` (call sites report their
     fallbacks here so the counters cover both paths)."""
-    _stats["row_" + op] += 1
+    _COUNTERS["row_" + op].inc()
 
 
 def count_columnar(op: str) -> None:
-    _stats["columnar_" + op] += 1
+    _COUNTERS["columnar_" + op].inc()
 
 
 def kernel_stats() -> dict:
@@ -171,7 +175,8 @@ def kernel_stats() -> dict:
     Includes the wire/shm transport counters (lazy import: ``wire``
     imports this module at load time)."""
     out: dict = {"numpy": AVAILABLE}
-    out.update(_stats)
+    for key in _STATS_KEYS:
+        out[key] = _COUNTERS[key].value
     from . import wire
 
     out.update(wire.wire_stats())
@@ -179,11 +184,14 @@ def kernel_stats() -> dict:
 
 
 def reset_kernel_stats() -> None:
-    for key in _STATS_KEYS:
-        _stats[key] = 0
+    """Zero the kernel and wire counters (test/bench isolation) —
+    through the registry handles, not bespoke per-module plumbing."""
+    for counter in _COUNTERS.values():
+        counter.reset()
     from . import wire
 
-    wire.reset_wire_stats()
+    for counter in wire._COUNTERS.values():
+        counter.reset()
 
 
 # -- dictionary encoding ------------------------------------------------

@@ -33,10 +33,19 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
+import time
 from typing import TYPE_CHECKING
 
 from ..analysis.registry import register_lock
 from ..errors import InconsistentError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+# Process fan-out latency: the whole ship-misses/merge-deltas phase
+# (zero-sample when every job is a hit — the pre-filter skipped it).
+_PROCESS_HISTOGRAM = obs_metrics.REGISTRY.histogram(
+    "repro_executor_process_seconds"
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.bags import Bag
@@ -134,6 +143,17 @@ class ThreadExecutor:
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         from concurrent.futures import ThreadPoolExecutor
+
+        trace = obs_trace.current()
+        if trace is not None:
+            # Propagate the request trace into pool threads: contexts
+            # cannot run concurrently, so each call re-sets the var
+            # around the shared (lock-protected) trace object.
+            inner = fn
+
+            def fn(item):
+                with obs_trace.activate(trace):
+                    return inner(item)
 
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(items))
@@ -302,33 +322,47 @@ def _worker_run(
     node_budget: int | None,
     minimal: bool,
     method: str,
+    trace_id: str | None = None,
 ):
     """Top-level (picklable) worker body: thaw the bag table (pickles +
     spill segment), run the fingerprint-ref jobs through a private
-    engine, and return the engine's verdict deltas."""
+    engine, and return the engine's verdict deltas plus the worker's
+    span deltas (``trace_id`` rides in with the payload; spans ride
+    back and merge like verdicts)."""
     from . import fingerprint
     from .session import Engine
 
-    table = {
-        fp: fingerprint.seed(bag, fp) for fp, bag in pickled.items()
-    }
-    if shm_ref is not None:
-        needed = set()
-        for job in jobs:
-            needed.update(job)
-        table.update(_adopt_spill(shm_ref, needed - set(table)))
-    engine = Engine(node_budget=node_budget)
-    if kind == "global":
-        engine.global_check_many(
-            [[table[fp] for fp in fps] for fps in jobs], method=method
-        )
-    else:
-        pairs = [(table[lfp], table[rfp]) for lfp, rfp in jobs]
-        if kind == "consistent":
-            engine.are_consistent_many(pairs)
+    with obs_trace.worker_trace(trace_id) as worker_span_sink:
+        table = {
+            fp: fingerprint.seed(bag, fp) for fp, bag in pickled.items()
+        }
+        if shm_ref is not None:
+            needed = set()
+            for job in jobs:
+                needed.update(job)
+            table.update(_adopt_spill(shm_ref, needed - set(table)))
+        engine = Engine(node_budget=node_budget)
+        start = time.perf_counter()
+        if kind == "global":
+            engine.global_check_many(
+                [[table[fp] for fp in fps] for fps in jobs], method=method
+            )
         else:
-            engine.witness_many(pairs, minimal=minimal)
-    return engine.store.export()
+            pairs = [(table[lfp], table[rfp]) for lfp, rfp in jobs]
+            if kind == "consistent":
+                engine.are_consistent_many(pairs)
+            else:
+                engine.witness_many(pairs, minimal=minimal)
+        if worker_span_sink is not None:
+            worker_span_sink.add_span(
+                "worker.chunk", start, time.perf_counter() - start,
+                kind=kind, jobs=len(jobs),
+            )
+    spans = (
+        worker_span_sink.export_spans()
+        if worker_span_sink is not None else []
+    )
+    return engine.store.export(), spans
 
 
 def run_process_batch(
@@ -371,6 +405,9 @@ def run_process_batch(
     if missing and workers > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        trace = obs_trace.current()
+        trace_id = trace.trace_id if trace is not None else None
+        batch_start = time.perf_counter()
         needed: set[int] = set()
         for entry in missing:
             needed.update(entry)
@@ -398,12 +435,23 @@ def run_process_batch(
                         engine.node_budget,
                         minimal,
                         method,
+                        trace_id,
                     ))
-                for future in futures:
-                    engine.store.merge(future.result())
+                for index, future in enumerate(futures):
+                    deltas, worker_spans = future.result()
+                    engine.store.merge(deltas)
+                    if trace is not None and worker_spans:
+                        trace.merge_remote(worker_spans, worker=index)
         finally:
             if segment is not None:
                 _release_segment(segment)
+        elapsed = time.perf_counter() - batch_start
+        _PROCESS_HISTOGRAM.record(elapsed)
+        if trace is not None:
+            trace.add_span(
+                "executor.process_batch", batch_start, elapsed,
+                kind=kind, misses=len(missing), workers=n_chunks,
+            )
         # A persistent store makes merged worker deltas durable at the
         # batch boundary (no-op 0 for the in-memory store): a daemon
         # killed right after a process batch keeps those verdicts.

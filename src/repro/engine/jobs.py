@@ -26,11 +26,24 @@ statistics + the store's hit-rate/size stats).
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .. import io as repro_io
 from ..core.bags import Bag
 from ..errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+# Per-section latency (pairs / collections / suites): how a mixed batch
+# splits its time across job kinds.
+_SECTION_HISTOGRAMS = {
+    section: obs_metrics.REGISTRY.histogram(
+        "repro_jobs_section_seconds", {"section": section}
+    )
+    for section in ("pairs", "collections", "suites")
+}
 
 __all__ = ["BatchJobs", "JobError", "parse_jobs", "parse_jobs_text", "run_jobs"]
 
@@ -39,6 +52,21 @@ JOB_KEYS = ("pairs", "collections", "suites")
 
 class JobError(ReproError):
     """A malformed batch job payload (one structured line, no traceback)."""
+
+
+@contextmanager
+def _section(name: str, count: int):
+    """Time one report section into its histogram and, when a request
+    trace is in flight, attach the matching ``jobs.<section>`` span."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        _SECTION_HISTOGRAMS[name].record(elapsed)
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.add_span("jobs." + name, start, elapsed, n=count)
 
 
 @dataclass
@@ -140,40 +168,43 @@ def run_jobs(
 
     report: dict = {}
     if jobs.pairs:
-        verdicts = engine.are_consistent_many(
-            jobs.pairs, parallelism=parallelism, backend=backend
-        )
-        entries = [{"consistent": verdict} for verdict in verdicts]
-        if witnesses:
-            found = engine.witness_many(
+        with _section("pairs", len(jobs.pairs)):
+            verdicts = engine.are_consistent_many(
                 jobs.pairs, parallelism=parallelism, backend=backend
             )
-            for entry, witness in zip(entries, found):
-                if witness is not None:
-                    entry["witness"] = repro_io.bag_to_dict(witness)
+            entries = [{"consistent": verdict} for verdict in verdicts]
+            if witnesses:
+                found = engine.witness_many(
+                    jobs.pairs, parallelism=parallelism, backend=backend
+                )
+                for entry, witness in zip(entries, found):
+                    if witness is not None:
+                        entry["witness"] = repro_io.bag_to_dict(witness)
         report["pairs"] = entries
     if jobs.collections:
-        report["collections"] = [
-            {"consistent": outcome.consistent, "method": outcome.method}
-            for outcome in engine.global_check_many(
-                jobs.collections,
-                method=method,
-                parallelism=parallelism,
-                backend=backend,
-            )
-        ]
-    if jobs.suites:
-        try:
-            report["suites"] = [
-                result.as_dict()
-                for result in run_suites(
-                    jobs.suites,
-                    engine=engine,
+        with _section("collections", len(jobs.collections)):
+            report["collections"] = [
+                {"consistent": outcome.consistent, "method": outcome.method}
+                for outcome in engine.global_check_many(
+                    jobs.collections,
                     method=method,
                     parallelism=parallelism,
                     backend=backend,
                 )
             ]
+    if jobs.suites:
+        try:
+            with _section("suites", len(jobs.suites)):
+                report["suites"] = [
+                    result.as_dict()
+                    for result in run_suites(
+                        jobs.suites,
+                        engine=engine,
+                        method=method,
+                        parallelism=parallelism,
+                        backend=backend,
+                    )
+                ]
         except (KeyError, TypeError, ValueError) as exc:
             raise JobError(f"bad suite spec: {exc}") from exc
     report["stats"] = engine.stats.as_dict()

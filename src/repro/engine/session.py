@@ -55,6 +55,7 @@ write-behind flush through the engine).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -64,11 +65,34 @@ from ..core.bags import Bag
 from ..core.schema import Schema
 from ..errors import InconsistentError
 from ..lp.integer_feasibility import DEFAULT_NODE_BUDGET
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import fingerprint
 
 __all__ = ["Engine", "EngineStats", "VerdictStore"]
 
 _MISS = object()
+
+# Compute-latency histograms, recorded only on *miss* branches: the
+# warm (all-hit) serve path pays zero telemetry here, which is how the
+# bench_serve overhead gate stays within budget.  Cached handles so
+# the hot path never touches the registry lock.
+_COMPUTE_HISTOGRAMS = {
+    op: obs_metrics.REGISTRY.histogram(
+        "repro_engine_compute_seconds", {"op": op}
+    )
+    for op in ("marginal", "join", "consistent", "witness", "global")
+}
+
+
+def _observe_compute(op: str, start: float) -> None:
+    """Record one miss-branch compute into the per-op histogram and,
+    when a request trace is in flight, attach the matching span."""
+    elapsed = time.perf_counter() - start
+    _COMPUTE_HISTOGRAMS[op].record(elapsed)
+    tr = obs_trace.current()
+    if tr is not None:
+        tr.add_span("engine." + op, start, elapsed)
 
 
 @dataclass
@@ -407,7 +431,9 @@ class Engine:
         key = ("marginal", fp, target.attrs)
         value = self._get(key)
         if value is _MISS:
+            start = time.perf_counter()
             value = bag.marginal(target)
+            _observe_compute("marginal", start)
             self._put(key, value, (fp,))
         else:
             with self._lock:
@@ -422,7 +448,9 @@ class Engine:
         key = ("join", lfp, rfp)
         value = self._get(key)
         if value is _MISS:
+            start = time.perf_counter()
             value = left.bag_join(right)
+            _observe_compute("join", start)
             self._put(key, value, (lfp, rfp))
         else:
             with self._lock:
@@ -444,7 +472,9 @@ class Engine:
         if value is _MISS:
             from ..consistency.pairwise import are_consistent
 
+            start = time.perf_counter()
             value = are_consistent(left, right)
+            _observe_compute("consistent", start)
             self._put(key, value, (a, b))
         else:
             with self._lock:
@@ -479,12 +509,14 @@ class Engine:
             from ..consistency.pairwise import consistency_witness
             from ..consistency.witness import minimal_pairwise_witness
 
+            start = time.perf_counter()
             if not self._consistent(left, right, internal=True):
                 cached = None
             elif minimal:
                 cached = minimal_pairwise_witness(left, right)
             else:
                 cached = consistency_witness(left, right)
+            _observe_compute("witness", start)
             self._put(key, cached, (lfp, rfp))
         if cached is None:
             raise InconsistentError(
@@ -524,6 +556,7 @@ class Engine:
         if cached is _MISS:
             from ..consistency.global_ import global_witness
 
+            start = time.perf_counter()
             cached = global_witness(
                 bags,
                 method=method,  # type: ignore[arg-type]
@@ -531,6 +564,7 @@ class Engine:
                 pair_checker=_pair_checker or self._internal_pair_checker,
                 acyclic=_acyclic_hint,
             )
+            _observe_compute("global", start)
             self._put(key, cached, fps)
         else:
             with self._lock:

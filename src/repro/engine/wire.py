@@ -51,9 +51,10 @@ bit-identical to the JSON row path, just not adopted as an encoding —
 and a peer that never negotiates v2 simply keeps speaking newline JSON.
 
 Counters here (frames and bytes per direction, JSON-line traffic for
-comparison, shm segments) are plain ``+=`` like the columnar kernel
-counters: approximate under free threading, never load-bearing.  They
-surface through :func:`repro.engine.columnar.kernel_stats`.
+comparison, shm segments) are locked :mod:`repro.obs` registry
+counters — exact under free threading — surfaced in the historical
+flat-dict shape through :func:`repro.engine.columnar.kernel_stats` and
+in Prometheus/JSON form through the ``metrics`` serve op.
 """
 
 from __future__ import annotations
@@ -66,6 +67,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from .. import io as repro_io
 from ..core.bags import Bag
+from ..obs import metrics as obs_metrics
 from ..core.schema import Schema
 from ..errors import ReproError, SchemaError
 from . import columnar, fingerprint
@@ -117,35 +119,36 @@ class WireError(ReproError):
 
 # -- observability ------------------------------------------------------
 
+# Locked registry counters (repro.obs) — the module-level ``+=`` dict
+# these replaced was racy under the thread executor.  ``wire_stats``
+# keeps the historical flat-dict shape byte-compatible.
 _STATS_KEYS = (
     "wire_frames_encoded", "wire_frames_decoded",
     "wire_frame_bytes_encoded", "wire_frame_bytes_decoded",
     "wire_json_requests", "wire_json_bytes",
     "shm_segments_created", "shm_segments_adopted", "shm_bytes_spilled",
 )
-_stats = dict.fromkeys(_STATS_KEYS, 0)
+_COUNTERS = {
+    key: obs_metrics.REGISTRY.counter("repro_" + key)
+    for key in _STATS_KEYS
+}
 
 
 def wire_stats() -> dict:
     """The process-wide wire/shm counters (merged into
     :func:`repro.engine.columnar.kernel_stats`)."""
-    return dict(_stats)
-
-
-def reset_wire_stats() -> None:
-    for key in _STATS_KEYS:
-        _stats[key] = 0
+    return {key: _COUNTERS[key].value for key in _STATS_KEYS}
 
 
 def count_json_request(n_bytes: int) -> None:
     """Record one newline-JSON request of ``n_bytes`` — the row-path
     traffic the frame counters are compared against."""
-    _stats["wire_json_requests"] += 1
-    _stats["wire_json_bytes"] += n_bytes
+    _COUNTERS["wire_json_requests"].inc()
+    _COUNTERS["wire_json_bytes"].inc(n_bytes)
 
 
 def count_shm(key: str, amount: int = 1) -> None:
-    _stats["shm_" + key] += amount
+    _COUNTERS["shm_" + key].inc(amount)
 
 
 # -- framing ------------------------------------------------------------
@@ -183,8 +186,8 @@ def pack_frame(header: dict, writer: _BlobWriter | None = None) -> bytes:
         header_bytes,
         blob,
     ))
-    _stats["wire_frames_encoded"] += 1
-    _stats["wire_frame_bytes_encoded"] += len(frame)
+    _COUNTERS["wire_frames_encoded"].inc()
+    _COUNTERS["wire_frame_bytes_encoded"].inc(len(frame))
     return frame
 
 
@@ -235,8 +238,8 @@ def read_frame(stream, first: bytes = b"") -> tuple[dict, bytes]:
     header_len, blob_len = _check_prefix(prefix)
     header = _parse_header(_read_exact(stream, header_len))
     blob = _read_exact(stream, blob_len)
-    _stats["wire_frames_decoded"] += 1
-    _stats["wire_frame_bytes_decoded"] += _PREFIX_LEN + header_len + blob_len
+    _COUNTERS["wire_frames_decoded"].inc()
+    _COUNTERS["wire_frame_bytes_decoded"].inc(_PREFIX_LEN + header_len + blob_len)
     return header, blob
 
 
@@ -251,8 +254,8 @@ def split_frame(buf) -> tuple[dict, "memoryview"]:
     if end > len(view):
         raise WireError("truncated frame buffer")
     header = _parse_header(bytes(view[_PREFIX_LEN:_PREFIX_LEN + header_len]))
-    _stats["wire_frames_decoded"] += 1
-    _stats["wire_frame_bytes_decoded"] += end
+    _COUNTERS["wire_frames_decoded"].inc()
+    _COUNTERS["wire_frame_bytes_decoded"].inc(end)
     return header, view[_PREFIX_LEN + header_len:end]
 
 

@@ -75,10 +75,13 @@ from .engine.jobs import JobError, parse_jobs, run_jobs
 from .engine.session import Engine, EngineStats
 from .errors import ReproError
 from .lp.integer_feasibility import DEFAULT_NODE_BUDGET
+from .obs import expo as obs_expo
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 
 __all__ = ["ReproServer", "ServeClient"]
 
-_OPS = ("batch", "ping", "stats", "shutdown")
+_OPS = ("batch", "ping", "stats", "metrics", "shutdown")
 
 
 def _default_inflight() -> int:
@@ -129,6 +132,7 @@ class ReproServer:
         max_inflight: int | None = None,
         admission_timeout: float = 60.0,
         wire_format: str = "columnar",
+        slow_ms: float | None = None,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ReproError(
@@ -169,6 +173,18 @@ class ReproServer:
             max_inflight if max_inflight is not None else _default_inflight()
         )
         self.admission_timeout = admission_timeout
+        # Per-server telemetry: request-latency histograms per op plus
+        # the daemon totals bridged at exposition time.  A private
+        # registry (not the process-global one) so a multi-daemon host
+        # and the tests see exact per-server counts.
+        self.slow_ms = slow_ms
+        self.metrics = obs_metrics.MetricsRegistry()
+        self._op_histograms = {
+            op: self.metrics.histogram(
+                "repro_request_seconds", {"op": op}
+            )
+            for op in _OPS
+        }
         self._admission = threading.BoundedSemaphore(self.max_inflight)
         self.requests = 0
         self.batches = 0
@@ -297,10 +313,22 @@ class ReproServer:
         self.count_request()
         if engine is None:
             engine = self.engine
+        op = payload.get("op", "batch") if isinstance(payload, dict) else "batch"
+        histogram = (
+            self._op_histograms.get(op) if isinstance(op, str) else None
+        )
+        name = f"serve.{op}" if isinstance(op, str) else "serve.invalid"
+        start = time.perf_counter()
+        with obs_trace.start_trace(name, slow_ms=self.slow_ms):
+            response = self._handle_op(payload, op, engine)
+        if histogram is not None:
+            histogram.record(time.perf_counter() - start)
+        return response
+
+    def _handle_op(self, payload: object, op: object, engine: Engine) -> dict:
         try:
             if not isinstance(payload, dict):
                 raise JobError("request must be a JSON object")
-            op = payload.get("op", "batch")
             if op not in _OPS:
                 raise JobError(
                     f"unknown op {op!r}; expected one of {list(_OPS)}"
@@ -314,6 +342,8 @@ class ReproServer:
                 return response
             if op == "stats":
                 return {"ok": True, "op": "stats", **self.stats()}
+            if op == "metrics":
+                return {"ok": True, "op": "metrics", **self.metrics_payload()}
             if op == "shutdown":
                 # Stop accepting from a helper thread: shutdown() blocks
                 # until serve_forever exits, which must not wait on the
@@ -406,6 +436,61 @@ class ReproServer:
             "peak_inflight": peak,
             "admission_refusals": refusals,
             "uptime_seconds": time.monotonic() - self.started,
+            # telemetry views (additive: every pre-telemetry key above
+            # is unchanged — tests pin that)
+            "latency": {
+                op: hist.summary()
+                for op, hist in self._op_histograms.items()
+                if hist.count
+            },
+            "trace": {
+                "enabled": obs_trace.enabled(),
+                "slow_ms": self.slow_ms,
+                "recent": len(obs_trace.RECENT),
+            },
+        }
+
+    def metrics_payload(self) -> dict:
+        """The ``metrics`` endpoint body: the process-global and
+        per-server registries merged with gauge *views* of the legacy
+        stats surfaces (aggregated engine counters, store tiers, daemon
+        totals), rendered as both a JSON snapshot and Prometheus text,
+        plus the recent-trace ring."""
+        stats = self.stats()
+        store_stats = dict(stats["store"])
+        persistent = store_stats.pop("persistent", None)
+        families = [
+            obs_metrics.REGISTRY.snapshot(),
+            self.metrics.snapshot(),
+            obs_expo.gauge_family("repro_engine", stats["stats"]),
+            obs_expo.gauge_family("repro_store", store_stats),
+            obs_expo.gauge_family(
+                "repro_server",
+                {
+                    key: stats[key]
+                    for key in (
+                        "requests",
+                        "batches",
+                        "request_errors",
+                        "connections",
+                        "active_connections",
+                        "inflight_batches",
+                        "peak_inflight",
+                        "admission_refusals",
+                        "uptime_seconds",
+                    )
+                },
+            ),
+        ]
+        if isinstance(persistent, dict):
+            families.append(
+                obs_expo.gauge_family("repro_store_persistent", persistent)
+            )
+        snapshot = obs_expo.merge_snapshots(*families)
+        return {
+            "json": snapshot,
+            "prometheus": obs_expo.render_prometheus(snapshot),
+            "traces": obs_trace.RECENT.snapshot(),
         }
 
 

@@ -47,6 +47,7 @@ from typing import Iterable, Sequence
 from ..analysis.registry import shared_state
 from ..errors import ReproError
 from ..engine.session import VerdictStore
+from ..obs import metrics as obs_metrics
 from .shard import Shard
 
 __all__ = [
@@ -62,6 +63,11 @@ DEFAULT_SHARDS = 8
 DURABLE_TAGS = frozenset({"consistent", "witness", "global"})
 META_NAME = "META.json"
 META_VERSION = 1
+
+# Process-wide read-through promotions (per-store exact counts stay on
+# ``disk_hits``; this is the fleet-facing Prometheus view).  The span
+# for the disk read itself is attached inside ``Shard.lookup``.
+_DISK_HITS = obs_metrics.REGISTRY.counter("repro_store_disk_hits")
 
 
 class StoreFormatError(ReproError):
@@ -211,6 +217,7 @@ class PersistentVerdictStore:
         self._hot[i].put(key, value, fps)
         with self._lock:
             self.disk_hits += 1
+        _DISK_HITS.inc()
         return value
 
     def contains(self, key: tuple) -> bool:

@@ -34,14 +34,23 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
 
 from ..analysis.registry import requires_lock, shared_state
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import format as fmt
 
 __all__ = ["Shard", "ShardStats"]
 
 _SEGMENT_SUFFIX = ".seg"
+
+# Disk-touching latency only: the in-memory index probe records
+# nothing.  The obs tier is last in the lock order, so recording while
+# holding the shard lock is legal (RL05).
+_READ_HISTOGRAM = obs_metrics.REGISTRY.histogram("repro_store_read_seconds")
+_FLUSH_HISTOGRAM = obs_metrics.REGISTRY.histogram("repro_store_flush_seconds")
 
 
 class ShardStats:
@@ -192,10 +201,17 @@ class Shard:
             if entry is None:
                 return None
             segment, offset, length, compressed, fps = entry
+            start = time.perf_counter()
             with segment.open("rb") as fh:
                 fh.seek(offset)
                 blob = fh.read(length)
-            return fmt.decode_value(blob, compressed), fps
+            value = fmt.decode_value(blob, compressed)
+            elapsed = time.perf_counter() - start
+            _READ_HISTOGRAM.record(elapsed)
+            tr = obs_trace.current()
+            if tr is not None:
+                tr.add_span("store.read", start, elapsed, bytes=length)
+            return value, fps
 
     def keys(self) -> list[tuple]:
         with self._lock:
@@ -281,6 +297,7 @@ class Shard:
     def _flush_locked(self) -> int:
         if not self._pending:
             return 0
+        flush_start = time.perf_counter()
         fh = self._tail_handle()
         written = 0
         for op in self._pending:
@@ -308,6 +325,11 @@ class Shard:
         self._pending.clear()
         self._pending_index.clear()
         self.stats.flushes += 1
+        elapsed = time.perf_counter() - flush_start
+        _FLUSH_HISTOGRAM.record(elapsed)
+        tr = obs_trace.current()
+        if tr is not None:
+            tr.add_span("store.flush", flush_start, elapsed, ops=written)
         if self.auto_compact and self._dead > max(64, len(self._index)):
             self._compact_locked()
         return written

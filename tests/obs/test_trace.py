@@ -1,0 +1,207 @@
+"""Request tracing: span recording, the bounded ring, the span cap,
+and propagation across the thread pool and (unit-level) the process
+boundary.  The full serve → engine → worker → store chain is exercised
+in ``test_serve_metrics.py``.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+
+import pytest
+
+from repro.engine.session import Engine
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    MAX_SPANS,
+    Trace,
+    TraceBuffer,
+    activate,
+    current,
+    finish_trace,
+    span,
+    start_trace,
+    worker_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def tracing_on():
+    """Every test in this file assumes the default-enabled state and
+    must not leak a disabled switch into the rest of the suite."""
+    obs_trace.set_enabled(True)
+    yield
+    obs_trace.set_enabled(True)
+
+
+class TestTrace:
+    def test_add_span_rebases_onto_origin(self):
+        trace = Trace("t")
+        trace.add_span("a", trace.origin + 0.001, 0.0025)
+        (entry,) = trace.spans
+        assert entry == {"name": "a", "start_ms": 1.0, "ms": 2.5}
+
+    def test_extra_fields_ride_along(self):
+        trace = Trace("t")
+        trace.add_span("store.read", trace.origin, 0.001, bytes=42)
+        assert trace.spans[0]["bytes"] == 42
+
+    def test_span_cap_counts_drops(self):
+        trace = Trace("t")
+        for index in range(MAX_SPANS + 7):
+            trace.add_span(f"s{index}", trace.origin, 0.0)
+        assert len(trace.spans) == MAX_SPANS
+        assert trace.dropped == 7
+        assert trace.to_dict()["dropped_spans"] == 7
+
+    def test_merge_remote_tags_and_respects_cap(self):
+        trace = Trace("t")
+        remote = [{"name": "worker.chunk", "start_ms": 0.0, "ms": 1.0}]
+        trace.merge_remote(remote, worker=3)
+        (entry,) = trace.spans
+        assert entry["remote"] is True
+        assert entry["worker"] == 3
+        assert remote[0].get("remote") is None  # input not mutated
+
+        for _ in range(MAX_SPANS - 2):
+            trace.add_span("pad", trace.origin, 0.0)
+        trace.merge_remote([dict(remote[0])] * 3)  # room for one of three
+        assert len(trace.spans) == MAX_SPANS
+        assert trace.dropped == 2
+
+    def test_export_spans_is_a_deep_copy(self):
+        trace = Trace("t")
+        trace.add_span("a", trace.origin, 0.0)
+        exported = trace.export_spans()
+        exported[0]["name"] = "mutated"
+        assert trace.spans[0]["name"] == "a"
+
+    def test_concurrent_add_span_loses_nothing(self):
+        trace = Trace("t")
+        per_thread = MAX_SPANS // 4
+
+        def work():
+            for _ in range(per_thread):
+                trace.add_span("s", trace.origin, 0.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trace.spans) == 4 * per_thread
+        assert trace.dropped == 0
+
+
+class TestTraceBuffer:
+    def test_ring_keeps_newest_oldest_first(self):
+        ring = TraceBuffer(3)
+        for index in range(5):
+            ring.append({"id": index})
+        assert [entry["id"] for entry in ring.snapshot()] == [2, 3, 4]
+        assert len(ring) == 3
+        ring.clear()
+        assert ring.snapshot() == []
+
+
+class TestContextManagers:
+    def test_start_trace_publishes_and_buffers(self):
+        obs_trace.RECENT.clear()
+        with start_trace("serve.test") as trace:
+            assert current() is trace
+            with span("inner", n=2):
+                pass
+        assert current() is None
+        (entry,) = obs_trace.RECENT.snapshot()
+        assert entry["op"] == "serve.test"
+        assert entry["total_ms"] >= 0.0
+        assert entry["spans"][0]["name"] == "inner"
+        assert entry["spans"][0]["n"] == 2
+
+    def test_disabled_yields_none_everywhere(self):
+        obs_trace.set_enabled(False)
+        obs_trace.RECENT.clear()
+        with start_trace("serve.test") as trace:
+            assert trace is None
+            assert current() is None
+            with span("inner") as inner:
+                assert inner is None
+        assert len(obs_trace.RECENT) == 0
+
+    def test_activate_reentrant_and_none_safe(self):
+        trace = Trace("t")
+        with activate(trace):
+            assert current() is trace
+            with activate(None):
+                # None means "caller wasn't tracing": a no-op, not a
+                # reset — the outer trace stays current
+                assert current() is trace
+        assert current() is None
+
+    def test_worker_trace_carries_parent_id(self):
+        with worker_trace("abc123") as trace:
+            assert trace.trace_id == "abc123"
+            assert trace.op == "worker"
+            assert current() is trace
+        with worker_trace(None) as trace:
+            assert trace is None
+
+    def test_slow_request_log(self, caplog):
+        trace = Trace("serve.batch")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            finish_trace(trace, duration=0.010, slow_ms=5.0)
+            finish_trace(trace, duration=0.001, slow_ms=5.0)
+            finish_trace(trace, duration=0.010, slow_ms=None)
+            finish_trace(trace, duration=0.010, slow_ms=0.0)  # 0 = off
+        slow = [r for r in caplog.records if "slow request" in r.message]
+        assert len(slow) == 1
+        assert trace.trace_id in slow[0].getMessage()
+        assert "total_ms=10.000" in slow[0].getMessage()
+
+
+class TestThreadPropagation:
+    def test_activate_across_worker_threads(self):
+        """The ThreadExecutor shim: the trace object crosses threads and
+        lock-protected appends interleave safely."""
+        trace = Trace("t")
+
+        def work(name: str) -> None:
+            with activate(trace):
+                start = time.perf_counter()
+                current().add_span(name, start, 0.0)
+
+        threads = [
+            threading.Thread(target=work, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(s["name"] for s in trace.spans) == [
+            "w0", "w1", "w2", "w3",
+        ]
+        assert current() is None  # nothing leaked into this thread
+
+    def test_thread_backend_spans_land_on_the_request_trace(self):
+        """End-to-end through the engine's thread pool: compute spans
+        recorded inside pool workers attach to the submitting request's
+        trace."""
+        from repro.workloads.generators import planted_pair
+        from repro.core.schema import Schema
+
+        ab, bc = Schema(["A", "B"]), Schema(["B", "C"])
+        pairs = [
+            planted_pair(ab, bc, random.Random(seed), n_tuples=6)[1:]
+            for seed in range(6)
+        ]
+        engine = Engine()
+        with start_trace("serve.batch") as trace:
+            verdicts = engine.are_consistent_many(
+                pairs, parallelism=2, backend="thread"
+            )
+        assert verdicts == [True] * len(pairs)
+        names = {s["name"] for s in trace.spans}
+        assert any(name.startswith("engine.") for name in names), names
